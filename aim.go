@@ -1,0 +1,266 @@
+// Package aim is a from-scratch reproduction of the AIM-II DBMS
+// prototype described in "A DBMS Prototype to Support Extended NF²
+// Relations: An Integrated View on Flat Tables and Hierarchies"
+// (Dadam et al., SIGMOD 1986): a database system for the extended NF²
+// data model, which treats flat relations, ordered tables (lists) and
+// arbitrarily nested hierarchical structures (complex objects)
+// uniformly.
+//
+// The system provides:
+//
+//   - an SQL-like query language generalized for nested tables
+//     (nested SELECT result construction, range variables over any
+//     nesting level, EXISTS/ALL quantifiers, joins across levels,
+//     list indexing, masked text search, ASOF time-version queries);
+//   - complex-object storage with Mini Directories in all three
+//     storage structures of the paper (SS1, SS2, SS3), local address
+//     spaces with page lists and Mini TIDs, page-level check-out;
+//   - B-tree indexes with hierarchical addresses (plus the paper's
+//     two rejected strategies for comparison), word-fragment text
+//     indexes, and tuple names;
+//   - a full storage stack: slotted pages, segments, buffer pool,
+//     write-ahead logging and crash recovery.
+//
+// Quick start:
+//
+//	db, _ := aim.OpenMemory()
+//	defer db.Close()
+//	db.Exec(`CREATE TABLE DEPARTMENTS (
+//	    DNO INT, MGRNO INT,
+//	    PROJECTS TABLE OF (PNO INT, PNAME STRING,
+//	        MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)),
+//	    BUDGET INT,
+//	    EQUIP TABLE OF (QU INT, TYPE STRING))`)
+//	db.Exec(`INSERT INTO DEPARTMENTS VALUES
+//	    (314, 56194, {(17, 'CGA', {(39582, 'Leader')})}, 320000, {(2, '3278')})`)
+//	rows, schema, _ := db.Query(`SELECT x.DNO FROM x IN DEPARTMENTS
+//	    WHERE EXISTS y IN x.EQUIP: y.TYPE = '3278'`)
+//	fmt.Println(aim.Format("RESULT", schema, rows))
+package aim
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/tname"
+)
+
+// Re-exported model types: values and schemas of the extended NF²
+// data model.
+type (
+	// Value is any attribute value: an atomic value or a *Table.
+	Value = model.Value
+	// Tuple is one tuple (complex object or subobject).
+	Tuple = model.Tuple
+	// Table is a table value: ordered (list) or unordered (relation).
+	Table = model.Table
+	// TableType describes a (possibly nested) table schema.
+	TableType = model.TableType
+	// Attr is one attribute of a table type.
+	Attr = model.Attr
+	// Type is an attribute type: atomic or table-valued.
+	Type = model.Type
+)
+
+// Re-exported atomic value constructors.
+type (
+	// Int is an atomic integer value.
+	Int = model.Int
+	// Float is an atomic floating point value.
+	Float = model.Float
+	// Str is an atomic string value.
+	Str = model.Str
+	// Bool is an atomic boolean value.
+	Bool = model.Bool
+	// Time is an atomic instant value.
+	Time = model.Time
+	// Null is the atomic null value.
+	Null = model.Null
+)
+
+// Layout selects the Mini Directory storage structure for NF² tables
+// (Fig 6 of the paper).
+type Layout = object.Layout
+
+// The three storage structures; SS3 is AIM-II's (and this package's)
+// default.
+const (
+	SS1 = object.SS1
+	SS2 = object.SS2
+	SS3 = object.SS3
+)
+
+// Options configures a database.
+type Options struct {
+	// Dir is the database directory; empty means in-memory.
+	Dir string
+	// PoolPages is the buffer pool capacity in 4 KiB pages
+	// (default 1024).
+	PoolPages int
+	// DisableWAL turns off write-ahead logging for on-disk databases.
+	DisableWAL bool
+	// DefaultLayout is the storage structure for new NF² tables
+	// (default SS3).
+	DefaultLayout Layout
+	// Clock supplies timestamps for versioned tables (default
+	// wall-clock nanoseconds).
+	Clock func() int64
+}
+
+// DB is a database handle.
+type DB struct {
+	eng *engine.DB
+}
+
+// Result is the outcome of one executed statement.
+type Result = engine.Result
+
+// Open opens (or creates) a database.
+func Open(opts Options) (*DB, error) {
+	eng, err := engine.Open(engine.Options{
+		Dir:           opts.Dir,
+		PoolPages:     opts.PoolPages,
+		DisableWAL:    opts.DisableWAL,
+		DefaultLayout: opts.DefaultLayout,
+		Clock:         opts.Clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// OpenMemory opens a fresh in-memory database.
+func OpenMemory() (*DB, error) { return Open(Options{}) }
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Exec parses and runs a script of semicolon-separated NF² SQL
+// statements, committing after each.
+func (db *DB) Exec(script string) ([]Result, error) { return db.eng.Exec(script) }
+
+// Query runs one SELECT and returns the result table and its schema.
+func (db *DB) Query(q string) (*Table, *TableType, error) { return db.eng.Query(q) }
+
+// Now returns the database clock's current timestamp, usable in ASOF
+// clauses.
+func (db *DB) Now() int64 { return db.eng.Now() }
+
+// Engine exposes the underlying engine for advanced use (experiment
+// harnesses, storage statistics, tuple names).
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// BufferStats returns the buffer pool access counters (logical
+// fetches, hits, physical reads/writes).
+func (db *DB) BufferStats() buffer.Stats { return db.eng.Pool().Stats() }
+
+// ResetBufferStats zeroes the buffer pool counters.
+func (db *DB) ResetBufferStats() { db.eng.Pool().ResetStats() }
+
+// ObjectStats returns the physical composition (MD subtuples, data
+// subtuples, pointers, pages) of one complex object of an NF² table.
+func (db *DB) ObjectStats(table string, ref ObjectRef) (ObjectStatsT, error) {
+	m, ok := db.eng.Manager(table)
+	if !ok {
+		return ObjectStatsT{}, errNoNF2(table)
+	}
+	t, _ := db.eng.Catalog().Table(table)
+	return m.ObjectStats(t.Type, ref)
+}
+
+// ObjectRef identifies a complex object (the TID of its root MD
+// subtuple).
+type ObjectRef = object.Ref
+
+// ObjectStatsT is the physical composition of a complex object.
+type ObjectStatsT = object.Stats
+
+// Refs lists the object references of a table.
+func (db *DB) Refs(table string) ([]ObjectRef, error) { return db.eng.Refs(table) }
+
+// TNames returns a tuple-name registry for an NF² table (§4.3 of the
+// paper): system generated keys for objects, subobjects and
+// subtables that applications can hold for later direct access.
+func (db *DB) TNames(table string) (*tname.Registry, error) {
+	m, ok := db.eng.Manager(table)
+	if !ok {
+		return nil, errNoNF2(table)
+	}
+	t, _ := db.eng.Catalog().Table(table)
+	return tname.NewRegistry(m, t.Type), nil
+}
+
+// Checkout exports a complex object at page level (§4.1): the
+// returned snapshot can be shipped to a workstation and imported into
+// any database with CheckIn.
+func (db *DB) Checkout(table string, ref ObjectRef) ([]byte, error) {
+	m, ok := db.eng.Manager(table)
+	if !ok {
+		return nil, errNoNF2(table)
+	}
+	snap, err := m.Export(ref)
+	if err != nil {
+		return nil, err
+	}
+	return object.EncodeSnapshot(snap), nil
+}
+
+// CheckIn imports a checked-out object into an NF² table of the same
+// schema and layout, returning its new reference.
+func (db *DB) CheckIn(table string, snapshot []byte) (ObjectRef, error) {
+	m, ok := db.eng.Manager(table)
+	if !ok {
+		return ObjectRef{}, errNoNF2(table)
+	}
+	snap, err := object.DecodeSnapshot(snapshot)
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	ref, err := m.Import(snap)
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	t, _ := db.eng.Catalog().Table(table)
+	tup, err := m.Read(t.Type, ref)
+	if err != nil {
+		return ObjectRef{}, err
+	}
+	if err := model.Conform(t.Type, tup); err != nil {
+		return ObjectRef{}, err
+	}
+	// Register the imported object like a fresh insert.
+	if err := db.eng.RegisterImported(t, ref); err != nil {
+		return ObjectRef{}, err
+	}
+	return ref, nil
+}
+
+// Format renders a table in the paper's nested layout (relations in
+// { }, lists in < >).
+func Format(name string, tt *TableType, tbl *Table) string {
+	return model.FormatTable(name, tt, tbl)
+}
+
+type nf2Err string
+
+func (e nf2Err) Error() string { return "aim: table " + string(e) + " is not a stored NF² table" }
+
+func errNoNF2(table string) error { return nf2Err(table) }
+
+// FromEngine wraps an already-open engine handle in the public
+// facade; used by tools that assemble databases through internal
+// helpers (e.g. the fixture loader of the experiment harness).
+func FromEngine(eng *engine.DB) *DB { return &DB{eng: eng} }
+
+// Step addresses one navigation move inside a complex object: the
+// table-valued attribute index and the member position.
+type Step = object.Step
+
+// TName is a tuple name (§4.3): a system generated, stable reference
+// to an object, subobject or subtable.
+type TName = tname.Name
+
+// DecodeTName parses a tuple-name token produced by TName.Encode.
+func DecodeTName(token string) (TName, error) { return tname.Decode(token) }

@@ -1,0 +1,208 @@
+package aim_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func openLoaded(t testing.TB) *aim.DB {
+	t.Helper()
+	db, err := aim.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`
+CREATE TABLE DEPARTMENTS (
+  DNO INT, MGRNO INT,
+  PROJECTS TABLE OF (PNO INT, PNAME STRING,
+    MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)),
+  BUDGET INT,
+  EQUIP TABLE OF (QU INT, TYPE STRING)
+);
+INSERT INTO DEPARTMENTS VALUES
+ (314, 56194,
+  {(17, 'CGA', {(39582, 'Leader'), (56019, 'Consultant')}),
+   (23, 'HEAP', {(58912, 'Staff')})},
+  320000, {(2, '3278'), (3, 'PC/AT')}),
+ (218, 71349, {(25, 'TEXT', {(89921, 'Consultant')})}, 440000, {(1, 'PC')});
+`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicQueryAndFormat(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+	rows, schema, err := db.Query(`
+SELECT x.DNO FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Tuples[0][0].(aim.Int) != 314 {
+		t.Fatalf("rows = %v", rows)
+	}
+	out := aim.Format("RESULT", schema, rows)
+	if !strings.Contains(out, "314") || !strings.Contains(out, "DNO") {
+		t.Errorf("Format output:\n%s", out)
+	}
+}
+
+func TestPublicObjectStatsAndRefs(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+	refs, err := db.Refs("DEPARTMENTS")
+	if err != nil || len(refs) != 2 {
+		t.Fatalf("refs = %v, %v", refs, err)
+	}
+	stats, err := db.ObjectStats("DEPARTMENTS", refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Layout != aim.SS3 {
+		t.Errorf("default layout = %s", stats.Layout)
+	}
+	if stats.MDSubtuples < 3 || stats.DataSubtuples < 5 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if _, err := db.ObjectStats("NOPE", refs[0]); err == nil {
+		t.Error("stats on missing table succeeded")
+	}
+}
+
+func TestPublicCheckoutCheckIn(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+	refs, _ := db.Refs("DEPARTMENTS")
+	snap, err := db.Checkout("DEPARTMENTS", refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := aim.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if _, err := ws.Exec(`
+CREATE TABLE DEPARTMENTS (
+  DNO INT, MGRNO INT,
+  PROJECTS TABLE OF (PNO INT, PNAME STRING,
+    MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)),
+  BUDGET INT,
+  EQUIP TABLE OF (QU INT, TYPE STRING)
+)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.CheckIn("DEPARTMENTS", snap); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := ws.Query(`SELECT x.DNO, COUNT(x.PROJECTS) FROM x IN DEPARTMENTS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Tuples[0][1].(aim.Int) != 2 {
+		t.Fatalf("checked-in object = %v", rows)
+	}
+	// Queries on the workstation copy see the imported data via the
+	// registered indexesless path; add an index after import.
+	if _, err := ws.Exec(`CREATE INDEX fn ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)`); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ws.Query(`
+SELECT x.DNO FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS: z.FUNCTION = 'Consultant'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("indexed query over imported object = %v", got)
+	}
+}
+
+func TestPublicTNames(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+	refs, _ := db.Refs("DEPARTMENTS")
+	reg, err := db.TNames("DEPARTMENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := reg.SubobjectName(refs[0], aim.Step{Attr: 2, Pos: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := name.Encode()
+	back, err := aim.DecodeTName(token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup, err := reg.ResolveTuple(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tup[1].(aim.Str) != "CGA" {
+		t.Errorf("t-name resolves to %v", tup)
+	}
+}
+
+func TestPublicBufferStats(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+	db.ResetBufferStats()
+	if _, _, err := db.Query(`SELECT * FROM x IN DEPARTMENTS`); err != nil {
+		t.Fatal(err)
+	}
+	st := db.BufferStats()
+	if st.Fetches == 0 {
+		t.Error("no fetches recorded")
+	}
+}
+
+func TestPublicPersistentOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := aim.Open(aim.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE T (A INT); INSERT INTO T VALUES (7);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := aim.Open(aim.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows, _, err := db2.Query(`SELECT t.A FROM t IN T`)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("after reopen: %v, %v", rows, err)
+	}
+}
+
+// The package documentation example must actually work.
+func TestDocExample(t *testing.T) {
+	db, _ := aim.OpenMemory()
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE DEPARTMENTS (
+	    DNO INT, MGRNO INT,
+	    PROJECTS TABLE OF (PNO INT, PNAME STRING,
+	        MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)),
+	    BUDGET INT,
+	    EQUIP TABLE OF (QU INT, TYPE STRING))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO DEPARTMENTS VALUES
+	    (314, 56194, {(17, 'CGA', {(39582, 'Leader')})}, 320000, {(2, '3278')})`); err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := db.Query(`SELECT x.DNO FROM x IN DEPARTMENTS
+	    WHERE EXISTS y IN x.EQUIP: y.TYPE = '3278'`)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("doc example: %v, %v", rows, err)
+	}
+}

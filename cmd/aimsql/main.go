@@ -1,0 +1,147 @@
+// Command aimsql is an interactive shell (and script runner) for the
+// AIM-II NF² SQL dialect.
+//
+// Usage:
+//
+//	aimsql [-db DIR] [-f SCRIPT] [-demo]
+//
+// Without -db the database is in-memory and vanishes on exit. With
+// -f the script file is executed and the shell exits; otherwise
+// statements are read from stdin, terminated by semicolons. -demo
+// preloads the paper's office fixtures (Tables 1-8).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (empty = in-memory)")
+	script := flag.String("f", "", "execute this script file and exit")
+	demo := flag.Bool("demo", false, "preload the paper's office fixtures")
+	flag.Parse()
+
+	var db *aim.DB
+	var err error
+	if *demo {
+		if *dir != "" {
+			fmt.Fprintln(os.Stderr, "aimsql: -demo uses an in-memory database; -db ignored")
+		}
+		eng, err := core.Office()
+		if err != nil {
+			fatal(err)
+		}
+		db = wrap(eng)
+	} else {
+		db, err = aim.Open(aim.Options{Dir: *dir})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	defer db.Close()
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runScript(db, string(data)); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("AIM-II NF² SQL shell — statements end with ';', \\q quits, \\h for help")
+	repl(db, os.Stdin)
+}
+
+// wrap adapts an engine handle opened by core.Office into the public
+// facade (same underlying type).
+func wrap(eng *engine.DB) *aim.DB { return aim.FromEngine(eng) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aimsql:", err)
+	os.Exit(1)
+}
+
+func runScript(db *aim.DB, script string) error {
+	results, err := db.Exec(script)
+	for _, r := range results {
+		printResult(r)
+	}
+	return err
+}
+
+func printResult(r aim.Result) {
+	switch {
+	case r.Table != nil:
+		fmt.Print(aim.Format("RESULT", r.Type, r.Table))
+		fmt.Printf("(%d tuple(s))\n", r.Table.Len())
+	case r.Message != "":
+		fmt.Println(r.Message)
+	default:
+		fmt.Printf("%d tuple(s) affected\n", r.Count)
+	}
+}
+
+func repl(db *aim.DB, in io.Reader) {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "nf2> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, `\quit`, "exit", "quit":
+			return
+		case `\h`, `\help`:
+			printHelp()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "...> "
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		prompt = "nf2> "
+		if err := runScript(db, stmt); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func printHelp() {
+	fmt.Print(`Statements (terminate with ';'):
+  CREATE TABLE name (A INT, B TABLE OF (...), C LIST OF (...)) [VERSIONED] [LAYOUT SS1|SS2|SS3]
+  CREATE [TEXT] INDEX name ON table (path.to.attr) [USING DATA|ROOT|HIERARCHICAL]
+  INSERT INTO table VALUES (1, 'x', {(...)}, <(...)>), ...
+  INSERT INTO y.SUB FROM x IN T, y IN x.SUB2 WHERE ... VALUES (...)
+  SELECT [DISTINCT] items FROM v IN T [ASOF ts], w IN v.SUB [WHERE pred] [ORDER BY e [DESC]]
+    items: expr [AS name] | NAME = (SELECT ...)    nested result construction
+    pred:  =, <>, <, <=, >, >=, AND, OR, NOT, EXISTS v IN p: pred, ALL v IN p: pred,
+           attr CONTAINS '*mask*', path[k] list indexing, COUNT(path)
+  UPDATE v IN T SET A = expr [WHERE ...];  UPDATE v FROM ... SET ...
+  DELETE v FROM v IN T [, w IN v.SUB] WHERE ...
+  ALTER TABLE t ADD path.to.NEWATTR INT|FLOAT|STRING|BOOL|TIME
+  EXPLAIN SELECT ...                    show the chosen access paths
+  SHOW TABLES;  DESCRIBE table;  DROP TABLE t;  DROP INDEX i
+`)
+}

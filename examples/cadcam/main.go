@@ -1,0 +1,137 @@
+// CAD/CAM (the paper's motivating domain, §1): deeply nested complex
+// objects (assemblies -> parts -> surfaces -> control points), tuple
+// names handed to an application for direct access (§4.3), and the
+// page-level check-out of a whole design object to a "workstation"
+// (§4.1) — here a second database standing in for one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const assemblySchema = `
+CREATE TABLE ASSEMBLIES (
+  AID INT,
+  NAME STRING,
+  PARTS TABLE OF (
+    PID INT,
+    MATERIAL STRING,
+    SURFACES LIST OF (
+      SID INT,
+      KIND STRING,
+      POINTS LIST OF (X FLOAT, Y FLOAT, Z FLOAT)
+    )
+  ),
+  REVISION INT
+)`
+
+func main() {
+	db, err := aim.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.Exec(assemblySchema))
+	must(db.Exec(`
+INSERT INTO ASSEMBLIES VALUES
+ (1, 'gripper',
+  {(10, 'steel',
+    <(100, 'bezier', <(0.0, 0.0, 0.0), (1.0, 0.0, 0.5), (1.0, 1.0, 0.5)>),
+     (101, 'planar', <(0.0, 0.0, 0.0), (0.0, 1.0, 0.0)>)>),
+   (11, 'alu',
+    <(110, 'bezier', <(2.0, 2.0, 2.0), (3.0, 2.0, 2.5)>)>)},
+  1),
+ (2, 'rotary-joint',
+  {(20, 'steel', <(200, 'cylindrical', <(0.0, 0.0, 0.0)>)>)},
+  3)`))
+
+	// Nesting depth 4: the "deeply nested hierarchical structures"
+	// CAD objects require (§1).
+	show(db, "bezier surfaces and their control points", `
+SELECT a.NAME, p.PID, s.SID,
+       CTRL = (SELECT c.X, c.Y, c.Z FROM c IN s.POINTS)
+FROM a IN ASSEMBLIES, p IN a.PARTS, s IN p.SURFACES
+WHERE s.KIND = 'bezier'`)
+
+	// Partial update deep in the hierarchy: one part's material is
+	// rewritten in place, without touching the rest of the object.
+	must(db.Exec(`
+UPDATE p FROM a IN ASSEMBLIES, p IN a.PARTS
+SET MATERIAL = 'titanium' WHERE p.PID = 11`))
+	show(db, "after updating part 11's material", `
+SELECT p.PID, p.MATERIAL FROM a IN ASSEMBLIES, p IN a.PARTS WHERE a.AID = 1`)
+
+	// Tuple names: hand a stable reference to part 10 to the
+	// "application", mutate around it, dereference it later.
+	refs, err := db.Refs("ASSEMBLIES")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg, err := db.TNames("ASSEMBLIES")
+	if err != nil {
+		log.Fatal(err)
+	}
+	part10, err := reg.SubobjectName(refs[0], aim.Step{Attr: 2, Pos: 0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	token := part10.Encode()
+	fmt.Printf("--- tuple name for part 10 handed to the application ---\n%s\n\n", token)
+	must(db.Exec(`
+INSERT INTO a.PARTS FROM a IN ASSEMBLIES WHERE a.AID = 1
+VALUES (12, 'carbon', <>)`))
+	tup, err := reg.ResolveTuple(mustDecode(token))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- dereferencing the t-name after further inserts ---\npart %v, material %v\n\n", tup[0], tup[1])
+
+	// Check the gripper out to a "workstation" (a second database)
+	// at page level, modify it there, and inspect both copies.
+	snapshot, err := db.Checkout("ASSEMBLIES", refs[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- checked out assembly 1: %d bytes of raw pages ---\n\n", len(snapshot))
+
+	ws, err := aim.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ws.Close()
+	must(ws.Exec(assemblySchema))
+	if _, err := ws.CheckIn("ASSEMBLIES", snapshot); err != nil {
+		log.Fatal(err)
+	}
+	must(ws.Exec(`UPDATE a IN ASSEMBLIES SET REVISION = 2 WHERE a.AID = 1`))
+	show(ws, "workstation copy (revision bumped)", `
+SELECT a.AID, a.NAME, a.REVISION, COUNT(a.PARTS) AS NPARTS FROM a IN ASSEMBLIES`)
+	show(db, "server copy (unchanged)", `
+SELECT a.AID, a.NAME, a.REVISION, COUNT(a.PARTS) AS NPARTS FROM a IN ASSEMBLIES`)
+}
+
+func mustDecode(token string) aim.TName {
+	v, err := aim.DecodeTName(token)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func show(db *aim.DB, title, q string) {
+	tbl, tt, err := db.Query(q)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Printf("--- %s ---\n%s\n", title, aim.Format("RESULT", tt, tbl))
+}
+
+func must(_ []aim.Result, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Office automation (the paper's §2 application domain): a REPORTS
+// table with an ordered AUTHORS list and a DESCRIPTORS relation,
+// masked text search over titles via the word-fragment text index
+// (§5), and list indexing (AUTHORS[1], §3 Example 8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db, err := aim.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.Exec(`
+CREATE TABLE REPORTS (
+  REPNO STRING,
+  AUTHORS LIST OF (NAME STRING),
+  TITLE STRING,
+  DESCRIPTORS TABLE OF (WORD STRING, WEIGHT FLOAT)
+)`))
+
+	// Table 6 plus two more reports so the §5 text query has matches.
+	must(db.Exec(`
+INSERT INTO REPORTS VALUES
+ ('0179', <('Jones')>, 'Concurrency and Concurrency Control',
+  {('Concurrency Control', 0.6), ('Recovery', 0.3), ('Distribution', 0.1)}),
+ ('0189', <('Tilda'), ('Abraham')>, 'Text Editing and String Search',
+  {('Editing', 0.7), ('Formatting', 0.3)}),
+ ('0292', <('Meyer'), ('Racey')>, 'Branch and Bound Math Optimization',
+  {('Optimization', 0.6), ('Garbage Collection', 0.4)}),
+ ('0300', <('Jones'), ('Meyer')>, 'Minicomputer Performance for Computational Workloads',
+  {('Performance', 0.8)}),
+ ('0301', <('Racey')>, 'Computer Networks', {('Networks', 0.9)})`))
+
+	must(db.Exec(`CREATE TEXT INDEX rep_title ON REPORTS (TITLE)`))
+
+	show(db, "Table 6 plus two new reports", `SELECT * FROM x IN REPORTS`)
+
+	// §5: masked search + EXISTS over the ordered AUTHORS list.
+	show(db, "reports with *comput* in the title co-authored by Jones (text index)", `
+SELECT x.REPNO, x.AUTHORS, x.TITLE
+FROM x IN REPORTS
+WHERE x.TITLE CONTAINS '*comput*'
+  AND EXISTS y IN x.AUTHORS: y.NAME = 'Jones'`)
+
+	// Example 8: the FIRST author must be Jones — list indexing.
+	show(db, "reports whose first author is Jones (AUTHORS[1])", `
+SELECT x.AUTHORS, x.TITLE
+FROM x IN REPORTS
+WHERE x.AUTHORS[1].NAME = 'Jones'`)
+
+	// Heavy descriptors across all reports, ordered by weight.
+	show(db, "descriptors with weight >= 0.5, heaviest first", `
+SELECT x.REPNO, d.WORD, d.WEIGHT
+FROM x IN REPORTS, d IN x.DESCRIPTORS
+WHERE d.WEIGHT >= 0.5
+ORDER BY d.WEIGHT DESC`)
+
+	// Author productivity: count of reports per (distinct) author.
+	show(db, "authors and their report counts", `
+SELECT DISTINCT a.NAME,
+       REPORTS = (SELECT r.REPNO FROM r IN REPORTS
+                  WHERE EXISTS b IN r.AUTHORS: b.NAME = a.NAME)
+FROM x IN REPORTS, a IN x.AUTHORS`)
+}
+
+func show(db *aim.DB, title, q string) {
+	tbl, tt, err := db.Query(q)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Printf("--- %s ---\n%s\n", title, aim.Format("RESULT", tt, tbl))
+}
+
+func must(_ []aim.Result, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

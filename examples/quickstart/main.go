@@ -1,0 +1,97 @@
+// Quickstart: create the paper's DEPARTMENTS table, load department
+// 314, and run the flavor of every §3 query class — projection,
+// nesting, unnesting, quantifiers and subtable DML.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	db, err := aim.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	must(db.Exec(`
+CREATE TABLE DEPARTMENTS (
+  DNO INT,
+  MGRNO INT,
+  PROJECTS TABLE OF (
+    PNO INT,
+    PNAME STRING,
+    MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)
+  ),
+  BUDGET INT,
+  EQUIP TABLE OF (QU INT, TYPE STRING)
+)`))
+
+	must(db.Exec(`
+INSERT INTO DEPARTMENTS VALUES
+ (314, 56194,
+  {(17, 'CGA',  {(39582, 'Leader'), (56019, 'Consultant'), (69011, 'Secretary')}),
+   (23, 'HEAP', {(58912, 'Staff'), (90011, 'Leader'), (78218, 'Secretary'), (98602, 'Staff')})},
+  320000,
+  {(2, '3278'), (3, 'PC/AT'), (1, 'PC')}),
+ (218, 71349,
+  {(25, 'TEXT', {(92100, 'Leader'), (89921, 'Consultant'), (44512, 'Consultant')})},
+  440000,
+  {(2, '3278'), (1, 'PC/AT')})`))
+
+	// Example 1: retrieve the whole NF² table.
+	show(db, "SELECT * (whole NF² table)", `SELECT * FROM x IN DEPARTMENTS`)
+
+	// Example 4: unnest into a flat result.
+	show(db, "unnest (flat result)", `
+SELECT x.DNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS`)
+
+	// Example 5: EXISTS over a subtable.
+	show(db, "EXISTS (departments using a PC/AT)", `
+SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'`)
+
+	// Explicit nested result construction (Fig 2 style).
+	show(db, "nested result construction", `
+SELECT x.DNO,
+       CONSULTANTS = (SELECT z.EMPNO
+                      FROM y IN x.PROJECTS, z IN y.MEMBERS
+                      WHERE z.FUNCTION = 'Consultant')
+FROM x IN DEPARTMENTS`)
+
+	// Subtable DML: insert a member into project 17, then delete it.
+	must(db.Exec(`
+INSERT INTO y.MEMBERS FROM x IN DEPARTMENTS, y IN x.PROJECTS
+WHERE y.PNO = 17 VALUES (11111, 'Consultant')`))
+	show(db, "after subtable INSERT", `
+SELECT z.EMPNO, z.FUNCTION
+FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS WHERE y.PNO = 17`)
+	must(db.Exec(`
+DELETE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS
+WHERE z.EMPNO = 11111`))
+
+	// An index with hierarchical addresses (§4.2) speeds up the
+	// consultant query; the result is unchanged.
+	must(db.Exec(`CREATE INDEX fn ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION) USING HIERARCHICAL`))
+	show(db, "indexed consultant lookup", `
+SELECT x.DNO FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS: z.FUNCTION = 'Consultant'`)
+}
+
+func show(db *aim.DB, title, q string) {
+	tbl, tt, err := db.Query(q)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	fmt.Printf("--- %s ---\n%s\n", title, aim.Format("RESULT", tt, tbl))
+}
+
+func must(_ []aim.Result, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

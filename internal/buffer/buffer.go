@@ -1,0 +1,257 @@
+// Package buffer implements the buffer pool shared by all segments
+// of a database: a fixed set of page frames with pin/unpin semantics,
+// LRU replacement of unpinned frames, dirty-page write-back, and the
+// access statistics (logical fetches, physical reads and writes) that
+// the storage experiments report.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/segment"
+)
+
+// PageKey identifies a page across segments.
+type PageKey struct {
+	Seg  segment.ID
+	Page uint32
+}
+
+// Frame is one buffered page. The Page view is valid while the frame
+// is pinned.
+type Frame struct {
+	Key   PageKey
+	Page  *page.Page
+	buf   []byte
+	pins  int
+	dirty bool
+	lru   *list.Element
+}
+
+// Stats counts buffer pool traffic. Fetches is the number of logical
+// page accesses (Pin calls); Reads and Writes count physical I/O to
+// the backing stores.
+type Stats struct {
+	Fetches uint64
+	Hits    uint64
+	Reads   uint64
+	Writes  uint64
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	stores   map[segment.ID]segment.Store
+	frames   map[PageKey]*Frame
+	lru      *list.List // front = most recently used; only unpinned frames
+	stats    Stats
+
+	// FlushHook, when set, runs before a dirty frame is written back;
+	// the WAL uses it to enforce the write-ahead rule.
+	FlushHook func(key PageKey, lsn uint64) error
+}
+
+// NewPool creates a pool with room for capacity pages.
+func NewPool(capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		capacity: capacity,
+		stores:   make(map[segment.ID]segment.Store),
+		frames:   make(map[PageKey]*Frame),
+		lru:      list.New(),
+	}
+}
+
+// Register attaches a segment store to the pool under the given id.
+func (p *Pool) Register(id segment.ID, st segment.Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stores[id] = st
+}
+
+// Store returns the registered store for a segment.
+func (p *Pool) Store(id segment.ID) segment.Store {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stores[id]
+}
+
+// Stats returns a snapshot of the access counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the access counters.
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Allocate reserves a fresh page in the segment and returns its
+// number. The page is not formatted; callers Pin it and Init the
+// page view.
+func (p *Pool) Allocate(id segment.ID) (uint32, error) {
+	p.mu.Lock()
+	st := p.stores[id]
+	p.mu.Unlock()
+	if st == nil {
+		return 0, fmt.Errorf("buffer: segment %d not registered", id)
+	}
+	return st.Allocate(), nil
+}
+
+// Pin fetches the page into a frame and pins it. Every Pin must be
+// matched by an Unpin.
+func (p *Pool) Pin(key PageKey) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Fetches++
+	if f, ok := p.frames[key]; ok {
+		p.stats.Hits++
+		if f.lru != nil {
+			p.lru.Remove(f.lru)
+			f.lru = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	st := p.stores[key.Seg]
+	if st == nil {
+		return nil, fmt.Errorf("buffer: segment %d not registered", key.Seg)
+	}
+	f, err := p.freeFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Reads++
+	if err := st.ReadPage(key.Page, f.buf); err != nil {
+		p.releaseFrameLocked(f)
+		return nil, err
+	}
+	f.Key = key
+	f.pins = 1
+	f.dirty = false
+	p.frames[key] = f
+	return f, nil
+}
+
+// PinNew pins a freshly allocated page and initializes it as an empty
+// slotted page, skipping the physical read.
+func (p *Pool) PinNew(key PageKey) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Fetches++
+	if _, ok := p.frames[key]; ok {
+		return nil, fmt.Errorf("buffer: PinNew of already-buffered page %v", key)
+	}
+	f, err := p.freeFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	f.Key = key
+	f.pins = 1
+	f.dirty = true
+	f.Page.Init()
+	p.frames[key] = f
+	return f, nil
+}
+
+// Unpin releases one pin; dirty marks the frame as modified.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins < 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	if f.pins == 0 {
+		f.lru = p.lru.PushFront(f)
+	}
+}
+
+// freeFrameLocked finds or evicts a frame.
+func (p *Pool) freeFrameLocked() (*Frame, error) {
+	if len(p.frames) < p.capacity {
+		buf := make([]byte, page.Size)
+		return &Frame{buf: buf, Page: page.View(buf)}, nil
+	}
+	// Evict the least recently used unpinned frame.
+	el := p.lru.Back()
+	if el == nil {
+		return nil, fmt.Errorf("buffer: pool exhausted (%d frames, all pinned)", p.capacity)
+	}
+	victim := el.Value.(*Frame)
+	p.lru.Remove(el)
+	victim.lru = nil
+	if victim.dirty {
+		if err := p.writeBackLocked(victim); err != nil {
+			return nil, err
+		}
+	}
+	delete(p.frames, victim.Key)
+	return victim, nil
+}
+
+func (p *Pool) releaseFrameLocked(f *Frame) {
+	// A frame that failed to load is simply dropped; it was never in
+	// p.frames.
+}
+
+func (p *Pool) writeBackLocked(f *Frame) error {
+	if p.FlushHook != nil {
+		if err := p.FlushHook(f.Key, f.Page.LSN()); err != nil {
+			return err
+		}
+	}
+	st := p.stores[f.Key.Seg]
+	if st == nil {
+		return fmt.Errorf("buffer: segment %d not registered", f.Key.Seg)
+	}
+	p.stats.Writes++
+	if err := st.WritePage(f.Key.Page, f.buf); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// FlushAll writes back every dirty frame (pinned or not) and syncs
+// all stores. Used at commit, checkpoint and shutdown.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	for _, st := range p.stores {
+		if err := st.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InvalidateAll drops every frame without writing back. Only for
+// crash simulation in recovery tests.
+func (p *Pool) InvalidateAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[PageKey]*Frame)
+	p.lru.Init()
+}

@@ -1,0 +1,166 @@
+package buffer
+
+import (
+	"testing"
+
+	"repro/internal/page"
+	"repro/internal/segment"
+)
+
+func newPoolWithSeg(t testing.TB, capacity int) (*Pool, *segment.MemStore) {
+	t.Helper()
+	p := NewPool(capacity)
+	st := segment.NewMemStore()
+	p.Register(1, st)
+	return p, st
+}
+
+func TestPinNewAndHit(t *testing.T) {
+	p, _ := newPoolWithSeg(t, 4)
+	no, err := p.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.PinNew(PageKey{Seg: 1, Page: no})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot, err := f.Page.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f, true)
+
+	f2, err := p.Pin(PageKey{Seg: 1, Page: no})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f2.Page.Read(slot)
+	if err != nil || string(rec) != "hello" {
+		t.Fatalf("read = %q, %v", rec, err)
+	}
+	p.Unpin(f2, false)
+	st := p.Stats()
+	if st.Hits != 1 || st.Reads != 0 {
+		t.Errorf("stats = %+v, want 1 hit 0 reads", st)
+	}
+}
+
+func TestEvictionWritesBackAndReloads(t *testing.T) {
+	p, _ := newPoolWithSeg(t, 2)
+	var pages []uint32
+	for i := 0; i < 4; i++ {
+		no, _ := p.Allocate(1)
+		f, err := p.PinNew(PageKey{Seg: 1, Page: no})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Page.Insert([]byte{byte(i)})
+		p.Unpin(f, true)
+		pages = append(pages, no)
+	}
+	// Earlier pages were evicted; re-pinning must reload them intact.
+	for i, no := range pages {
+		f, err := p.Pin(PageKey{Seg: 1, Page: no})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := f.Page.Read(0)
+		if err != nil || rec[0] != byte(i) {
+			t.Errorf("page %d lost content: %v %v", no, rec, err)
+		}
+		p.Unpin(f, false)
+	}
+	if p.Stats().Writes == 0 {
+		t.Error("no write-backs recorded despite eviction")
+	}
+}
+
+func TestPoolExhaustedWhenAllPinned(t *testing.T) {
+	p, _ := newPoolWithSeg(t, 2)
+	var frames []*Frame
+	for i := 0; i < 2; i++ {
+		no, _ := p.Allocate(1)
+		f, err := p.PinNew(PageKey{Seg: 1, Page: no})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, f)
+	}
+	no, _ := p.Allocate(1)
+	if _, err := p.PinNew(PageKey{Seg: 1, Page: no}); err == nil {
+		t.Error("pinned past capacity")
+	}
+	for _, f := range frames {
+		p.Unpin(f, false)
+	}
+	if _, err := p.Pin(PageKey{Seg: 1, Page: no}); err == nil {
+		// After unpinning, eviction frees a frame; note the page was
+		// never written, so the read may legitimately fail at the
+		// store level instead.
+		t.Log("pin after unpin succeeded")
+	}
+}
+
+func TestFlushHookEnforcedBeforeWriteBack(t *testing.T) {
+	p, _ := newPoolWithSeg(t, 1)
+	var hooked []uint64
+	p.FlushHook = func(key PageKey, lsn uint64) error {
+		hooked = append(hooked, lsn)
+		return nil
+	}
+	no, _ := p.Allocate(1)
+	f, _ := p.PinNew(PageKey{Seg: 1, Page: no})
+	f.Page.SetLSN(42)
+	p.Unpin(f, true)
+	// Force eviction by pinning another page.
+	no2, _ := p.Allocate(1)
+	f2, err := p.PinNew(PageKey{Seg: 1, Page: no2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Unpin(f2, false)
+	if len(hooked) != 1 || hooked[0] != 42 {
+		t.Errorf("flush hook calls = %v", hooked)
+	}
+}
+
+func TestFlushAllAndInvalidate(t *testing.T) {
+	p, st := newPoolWithSeg(t, 8)
+	no, _ := p.Allocate(1)
+	f, _ := p.PinNew(PageKey{Seg: 1, Page: no})
+	f.Page.Insert([]byte("persisted"))
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, page.Size)
+	if err := st.ReadPage(no, buf); err != nil {
+		t.Fatal(err)
+	}
+	pg := page.View(buf)
+	rec, err := pg.Read(0)
+	if err != nil || string(rec) != "persisted" {
+		t.Errorf("store content = %q, %v", rec, err)
+	}
+	p.InvalidateAll()
+	f2, err := p.Pin(PageKey{Seg: 1, Page: no})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = f2.Page.Read(0)
+	if string(rec) != "persisted" {
+		t.Error("reload after invalidate lost data")
+	}
+	p.Unpin(f2, false)
+}
+
+func TestUnregisteredSegment(t *testing.T) {
+	p := NewPool(4)
+	if _, err := p.Pin(PageKey{Seg: 9, Page: 1}); err == nil {
+		t.Error("pin on unregistered segment succeeded")
+	}
+	if _, err := p.Allocate(9); err == nil {
+		t.Error("allocate on unregistered segment succeeded")
+	}
+}

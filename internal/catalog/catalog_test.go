@@ -1,0 +1,108 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/segment"
+	"repro/internal/subtuple"
+	"repro/internal/testdata"
+)
+
+func metaStore(t testing.TB) (*subtuple.Store, *segment.MemStore) {
+	t.Helper()
+	pool := buffer.NewPool(64)
+	ms := segment.NewMemStore()
+	pool.Register(MetaSegment, ms)
+	return subtuple.New(subtuple.Config{Pool: pool, Seg: MetaSegment}), ms
+}
+
+func TestBootstrapAndReopen(t *testing.T) {
+	st, _ := metaStore(t)
+	c, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := c.AllocateSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg <= MetaSegment {
+		t.Errorf("allocated segment %d", seg)
+	}
+	tbl := &Table{Name: "DEPARTMENTS", Type: testdata.DepartmentsType(), Seg: seg, Kind: Complex, Layout: 3, Versioned: true}
+	if err := c.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&IndexDef{Name: "fn", Table: "DEPARTMENTS", Path: []string{"PROJECTS", "MEMBERS", "FUNCTION"}, Kind: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen over the same store: the persisted state must load.
+	c2, err := Open(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Table("DEPARTMENTS")
+	if !ok {
+		t.Fatal("table lost on reopen")
+	}
+	if !got.Type.Equal(testdata.DepartmentsType()) || !got.Versioned || got.Seg != seg {
+		t.Errorf("reloaded table = %+v", got)
+	}
+	if ixs := c2.Indexes("DEPARTMENTS"); len(ixs) != 1 || ixs[0].Name != "fn" {
+		t.Errorf("reloaded indexes = %v", ixs)
+	}
+	if next, _ := c2.AllocateSegment(); next <= seg {
+		t.Errorf("segment counter regressed: %d", next)
+	}
+}
+
+func TestDuplicatesAndDrops(t *testing.T) {
+	st, _ := metaStore(t)
+	c, _ := Open(st)
+	seg, _ := c.AllocateSegment()
+	tbl := &Table{Name: "T", Type: testdata.EmployeesType(), Seg: seg, Kind: Flat}
+	if err := c.AddTable(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(tbl); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if err := c.AddIndex(&IndexDef{Name: "i", Table: "NOPE", Path: []string{"X"}}); err == nil {
+		t.Error("index on missing table accepted")
+	}
+	if err := c.AddIndex(&IndexDef{Name: "i", Table: "T", Path: []string{"LNAME"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&IndexDef{Name: "i", Table: "T", Path: []string{"FNAME"}}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	// Dropping the table removes its indexes.
+	if err := c.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Index("i"); ok {
+		t.Error("index survived table drop")
+	}
+	if err := c.DropTable("T"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if err := c.DropIndex("i"); err == nil {
+		t.Error("dropping missing index accepted")
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	st, _ := metaStore(t)
+	c, _ := Open(st)
+	for _, name := range []string{"ZETA", "ALPHA", "MID"} {
+		seg, _ := c.AllocateSegment()
+		if err := c.AddTable(&Table{Name: name, Type: testdata.EmployeesType(), Seg: seg, Kind: Flat}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tables := c.Tables()
+	if tables[0].Name != "ALPHA" || tables[1].Name != "MID" || tables[2].Name != "ZETA" {
+		t.Errorf("order = %v", []string{tables[0].Name, tables[1].Name, tables[2].Name})
+	}
+}

@@ -1,0 +1,141 @@
+// Package core is the reproduction layer of this repository: it wires
+// the AIM-II engine to the paper's worked examples and regenerates
+// every table (T1-T8) and figure (F1-F8) of Dadam et al., SIGMOD
+// 1986, plus the quantitative experiments behind the paper's
+// qualitative storage and addressing claims (§4). The aimbench
+// binary, the test suite and the benchmarks all run through this
+// package, so the reproduced artifacts are asserted, printable and
+// measurable from one place.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/testdata"
+)
+
+// Report is the outcome of reproducing one table or figure.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// Office opens an in-memory database loaded with the paper's office
+// fixtures: DEPARTMENTS (Table 5, versioned), REPORTS (Table 6), the
+// 1NF decomposition (Tables 1-4) and EMPLOYEES_1NF (Table 8). The
+// database clock is a logical tick counter so ASOF experiments are
+// deterministic.
+func Office() (*engine.DB, error) {
+	ts := int64(0)
+	db, err := engine.Open(engine.Options{Clock: func() int64 { ts++; return ts }})
+	if err != nil {
+		return nil, err
+	}
+	type load struct {
+		name string
+		tt   *model.TableType
+		data *model.Table
+		opts engine.TableOptions
+	}
+	loads := []load{
+		{"DEPARTMENTS", testdata.DepartmentsType(), testdata.Departments(), engine.TableOptions{Versioned: true}},
+		{"REPORTS", testdata.ReportsType(), testdata.Reports(), engine.TableOptions{}},
+		{"DEPARTMENTS_1NF", testdata.DepartmentsFlatType(), testdata.DepartmentsFlat(), engine.TableOptions{}},
+		{"PROJECTS_1NF", testdata.ProjectsFlatType(), testdata.ProjectsFlat(), engine.TableOptions{}},
+		{"MEMBERS_1NF", testdata.MembersFlatType(), testdata.MembersFlat(), engine.TableOptions{}},
+		{"EQUIP_1NF", testdata.EquipFlatType(), testdata.EquipFlat(), engine.TableOptions{}},
+		{"EMPLOYEES_1NF", testdata.EmployeesType(), testdata.Employees(), engine.TableOptions{}},
+	}
+	for _, l := range loads {
+		if err := db.CreateTable(l.name, l.tt, l.opts); err != nil {
+			return nil, err
+		}
+		for _, tup := range l.data.Tuples {
+			if err := db.Insert(l.name, tup); err != nil {
+				return nil, fmt.Errorf("core: loading %s: %w", l.name, err)
+			}
+		}
+	}
+	return db, nil
+}
+
+// Run reproduces one experiment by id (T1..T8, F1..F8) against a
+// fresh office database.
+func Run(id string) (Report, error) {
+	db, err := Office()
+	if err != nil {
+		return Report{}, err
+	}
+	defer db.Close()
+	switch id {
+	case "T1":
+		return storedTable(db, id, "Table 1: DEPARTMENTS-1NF", "DEPARTMENTS_1NF")
+	case "T2":
+		return storedTable(db, id, "Table 2: PROJECTS-1NF", "PROJECTS_1NF")
+	case "T3":
+		return storedTable(db, id, "Table 3: MEMBERS-1NF", "MEMBERS_1NF")
+	case "T4":
+		return storedTable(db, id, "Table 4: EQUIP-1NF", "EQUIP_1NF")
+	case "T5":
+		return storedTable(db, id, "Table 5: the NF² DEPARTMENTS table", "DEPARTMENTS")
+	case "T6":
+		return storedTable(db, id, "Table 6: REPORTS with an ordered AUTHORS subtable", "REPORTS")
+	case "T7":
+		return tableT7(db)
+	case "T8":
+		return storedTable(db, id, "Table 8: EMPLOYEES-1NF", "EMPLOYEES_1NF")
+	case "F1":
+		return figureF1()
+	case "F2":
+		return figureF2(db)
+	case "F3":
+		return figureF3(db)
+	case "F4":
+		return figureF4(db)
+	case "F5":
+		return figureF5(db)
+	case "F6":
+		return figureF6()
+	case "F7":
+		return figureF7()
+	case "F8":
+		return figureF8()
+	default:
+		return Report{}, fmt.Errorf("core: unknown experiment %q (T1..T8, F1..F8)", id)
+	}
+}
+
+// AllIDs lists every reproducible artifact in paper order.
+func AllIDs() []string {
+	return []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8",
+		"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8"}
+}
+
+func storedTable(db *engine.DB, id, title, table string) (Report, error) {
+	tbl, tt, err := db.Query(fmt.Sprintf("SELECT * FROM x IN %s", table))
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{ID: id, Title: title, Text: model.FormatTable(table, tt, tbl)}, nil
+}
+
+// tableT7 regenerates Table 7: the unnest of Table 5 (§3 Example 4).
+func tableT7(db *engine.DB) (Report, error) {
+	tbl, tt, err := db.Query(`
+SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS`)
+	if err != nil {
+		return Report{}, err
+	}
+	if !model.TableEqual(tbl, testdata.Unnested()) {
+		return Report{}, fmt.Errorf("core: T7 result does not match the derived Table 7")
+	}
+	return Report{
+		ID:    "T7",
+		Title: "Table 7: result of Example 4 (unnest with projection)",
+		Text:  model.FormatTable("RESULT", tt, tbl),
+	}, nil
+}

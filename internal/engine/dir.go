@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/page"
+	"repro/internal/subtuple"
+)
+
+// The object directory is the persistent list of root MD subtuple
+// TIDs of a complex table: a chain of chunk subtuples stored in the
+// table's own segment, each holding up to dirChunkCap entries. For
+// versioned tables the chunks are versioned like all other subtuples,
+// so an ASOF scan of the table sees the membership as of that
+// instant.
+
+const dirChunkCap = 400
+
+// chunk payload: next TID (6) | count uvarint | TID...
+func encodeDirChunk(next page.TID, refs []page.TID) []byte {
+	b := page.AppendTID(nil, next)
+	b = binary.AppendUvarint(b, uint64(len(refs)))
+	for _, r := range refs {
+		b = page.AppendTID(b, r)
+	}
+	return b
+}
+
+func decodeDirChunk(raw []byte) (next page.TID, refs []page.TID, err error) {
+	next, err = page.DecodeTID(raw)
+	if err != nil {
+		return
+	}
+	p := raw[page.EncodedTIDLen:]
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		err = fmt.Errorf("engine: corrupt directory chunk")
+		return
+	}
+	p = p[sz:]
+	refs = make([]page.TID, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var r page.TID
+		r, err = page.DecodeTID(p)
+		if err != nil {
+			return
+		}
+		refs = append(refs, r)
+		p = p[page.EncodedTIDLen:]
+	}
+	return
+}
+
+// dirAdd registers a new object root in the table's directory.
+func (db *DB) dirAdd(t *catalog.Table, ref page.TID) error {
+	st := db.stores[t.Seg]
+	if t.DirHead.Nil() {
+		head, err := st.Insert(encodeDirChunk(page.TID{}, []page.TID{ref}))
+		if err != nil {
+			return err
+		}
+		t.DirHead = head
+		return db.cat.UpdateTable(t)
+	}
+	raw, err := st.Read(t.DirHead)
+	if err != nil {
+		return err
+	}
+	next, refs, err := decodeDirChunk(raw)
+	if err != nil {
+		return err
+	}
+	if len(refs) < dirChunkCap {
+		refs = append(refs, ref)
+		return st.Update(t.DirHead, encodeDirChunk(next, refs))
+	}
+	// Head chunk full: start a new head pointing at the old one.
+	head, err := st.Insert(encodeDirChunk(t.DirHead, []page.TID{ref}))
+	if err != nil {
+		return err
+	}
+	t.DirHead = head
+	return db.cat.UpdateTable(t)
+}
+
+// dirRemove withdraws an object root from the directory.
+func (db *DB) dirRemove(t *catalog.Table, ref page.TID) error {
+	st := db.stores[t.Seg]
+	cur := t.DirHead
+	for !cur.Nil() {
+		raw, err := st.Read(cur)
+		if err != nil {
+			return err
+		}
+		next, refs, err := decodeDirChunk(raw)
+		if err != nil {
+			return err
+		}
+		for i, r := range refs {
+			if r == ref {
+				refs = append(refs[:i], refs[i+1:]...)
+				return st.Update(cur, encodeDirChunk(next, refs))
+			}
+		}
+		cur = next
+	}
+	return fmt.Errorf("engine: object %v not in directory of %s", ref, t.Name)
+}
+
+// dirScan streams the object roots, optionally as of an instant.
+func (db *DB) dirScan(t *catalog.Table, asof int64, fn func(ref page.TID) error) error {
+	st := db.stores[t.Seg]
+	cur := t.DirHead
+	for !cur.Nil() {
+		var raw []byte
+		var err error
+		skip := false
+		if asof != 0 {
+			var ok bool
+			raw, ok, err = st.ReadAsOf(cur, asof)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// The chunk did not exist at asof, but older chunks
+				// further down the chain may have; chunk next pointers
+				// never change after creation, so read the current
+				// version just to follow the chain.
+				raw, err = st.Read(cur)
+				if err != nil {
+					return err
+				}
+				skip = true
+			}
+		} else {
+			raw, err = st.Read(cur)
+			if err != nil {
+				return err
+			}
+		}
+		next, refs, err := decodeDirChunk(raw)
+		if err != nil {
+			return err
+		}
+		if !skip {
+			for _, r := range refs {
+				if err := fn(r); err != nil {
+					return err
+				}
+			}
+		}
+		cur = next
+	}
+	return nil
+}
+
+var _ = subtuple.ErrNotFound

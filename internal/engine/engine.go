@@ -1,0 +1,278 @@
+// Package engine assembles the AIM-II DBMS prototype: buffer pool,
+// write-ahead log, catalog, per-table subtuple stores, complex-object
+// managers, flat stores, indexes, text indexes, and the NF² SQL
+// executor with its access-path planner. It is the layer behind the
+// public aim package.
+package engine
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/flat"
+	"repro/internal/index"
+	"repro/internal/object"
+	"repro/internal/plan"
+	"repro/internal/segment"
+	"repro/internal/subtuple"
+	"repro/internal/textindex"
+	"repro/internal/wal"
+)
+
+// Options configures a database instance.
+type Options struct {
+	// Dir is the database directory; empty means a purely in-memory
+	// database (no files, no WAL).
+	Dir string
+	// PoolPages is the buffer pool capacity in pages (default 1024).
+	PoolPages int
+	// DisableWAL turns off logging even for on-disk databases.
+	DisableWAL bool
+	// DefaultLayout is the Mini Directory storage structure used for
+	// new NF² tables unless CREATE TABLE overrides it (default SS3,
+	// AIM-II's choice).
+	DefaultLayout object.Layout
+	// Clock supplies version timestamps for versioned tables; default
+	// is wall-clock nanoseconds. Tests use logical clocks.
+	Clock func() int64
+}
+
+// DB is one database instance.
+type DB struct {
+	mu sync.Mutex
+	// stmtMu serializes mutating statements against each other while
+	// letting queries run concurrently: the prototype is single-user
+	// in the paper's sense (no transaction interleaving), but the Go
+	// implementation is safe for concurrent readers.
+	stmtMu sync.RWMutex
+	opts   Options
+	pool   *buffer.Pool
+	log    *wal.Log
+	cat    *catalog.Catalog
+
+	stores map[segment.ID]*subtuple.Store
+	mgrs   map[string]*object.Manager
+	flats  map[string]*flat.Store
+
+	indexes     map[string][]*index.Index // by table
+	indexByName map[string]*index.Index
+	textIdx     map[string][]*textindex.Index
+	textByName  map[string]*textindex.Index
+
+	exec *exec.Executor
+}
+
+// Open creates or reopens a database.
+func Open(opts Options) (*DB, error) {
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 1024
+	}
+	if opts.DefaultLayout == 0 {
+		opts.DefaultLayout = object.SS3
+	}
+	if opts.Clock == nil {
+		opts.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	db := &DB{
+		opts:        opts,
+		pool:        buffer.NewPool(opts.PoolPages),
+		stores:      make(map[segment.ID]*subtuple.Store),
+		mgrs:        make(map[string]*object.Manager),
+		flats:       make(map[string]*flat.Store),
+		indexes:     make(map[string][]*index.Index),
+		indexByName: make(map[string]*index.Index),
+		textIdx:     make(map[string][]*textindex.Index),
+		textByName:  make(map[string]*textindex.Index),
+	}
+	if opts.Dir != "" && !opts.DisableWAL {
+		log, err := wal.Open(filepath.Join(opts.Dir, "wal.log"))
+		if err != nil {
+			return nil, err
+		}
+		db.log = log
+		db.pool.FlushHook = func(_ buffer.PageKey, lsn uint64) error {
+			return log.EnsureDurable(lsn) // the write-ahead rule
+		}
+	}
+	// Register the meta segment, then every segment the WAL mentions,
+	// and recover.
+	if err := db.registerSegment(catalog.MetaSegment, false); err != nil {
+		return nil, err
+	}
+	if db.log != nil {
+		segs := map[segment.ID]bool{}
+		if err := db.log.Replay(func(r wal.Record) error {
+			if r.Seg != 0 {
+				segs[r.Seg] = true
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for id := range segs {
+			if err := db.registerSegment(id, false); err != nil {
+				return nil, err
+			}
+		}
+		if err := subtuple.Recover(db.log, db.pool); err != nil {
+			return nil, fmt.Errorf("engine: recovery failed: %w", err)
+		}
+	}
+	cat, err := catalog.Open(db.stores[catalog.MetaSegment])
+	if err != nil {
+		return nil, err
+	}
+	db.cat = cat
+	// Wire up every cataloged table and rebuild its indexes.
+	for _, t := range cat.Tables() {
+		if err := db.attachTable(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range cat.Tables() {
+		for _, def := range cat.Indexes(t.Name) {
+			if err := db.buildIndex(def); err != nil {
+				return nil, err
+			}
+		}
+	}
+	db.exec = &exec.Executor{RT: (*runtime)(db), Plan: plan.Choose}
+	return db, nil
+}
+
+// registerSegment opens the backing store for a segment and creates
+// its subtuple store. versioned applies to the subtuple store.
+func (db *DB) registerSegment(id segment.ID, versioned bool) error {
+	if _, ok := db.stores[id]; ok {
+		return nil
+	}
+	var st segment.Store
+	if db.opts.Dir == "" {
+		st = segment.NewMemStore()
+	} else {
+		var err error
+		st, err = segment.OpenFileStore(filepath.Join(db.opts.Dir, fmt.Sprintf("seg_%d.dat", id)))
+		if err != nil {
+			return err
+		}
+	}
+	db.pool.Register(id, st)
+	db.stores[id] = subtuple.New(subtuple.Config{
+		Pool:      db.pool,
+		Seg:       id,
+		Log:       db.log,
+		Versioned: versioned,
+		Clock:     db.opts.Clock,
+	})
+	return nil
+}
+
+// attachTable wires the runtime structures for a cataloged table.
+func (db *DB) attachTable(t *catalog.Table) error {
+	// The store may have been registered during recovery without the
+	// versioned flag; recreate it with the right configuration.
+	if st, ok := db.stores[t.Seg]; !ok || st.Versioned() != t.Versioned {
+		if !ok {
+			if err := db.registerSegment(t.Seg, t.Versioned); err != nil {
+				return err
+			}
+		} else {
+			db.stores[t.Seg] = subtuple.New(subtuple.Config{
+				Pool: db.pool, Seg: t.Seg, Log: db.log,
+				Versioned: t.Versioned, Clock: db.opts.Clock,
+			})
+		}
+	}
+	st := db.stores[t.Seg]
+	if t.Kind == catalog.Flat {
+		fs, err := flat.New(st, t.Type)
+		if err != nil {
+			return err
+		}
+		db.flats[t.Name] = fs
+	} else {
+		db.mgrs[t.Name] = object.NewManager(st, object.Layout(t.Layout))
+	}
+	return nil
+}
+
+// Catalog exposes the catalog (read-mostly).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Pool exposes the buffer pool (for statistics in experiments).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Manager returns the complex-object manager of an NF² table.
+func (db *DB) Manager(table string) (*object.Manager, bool) {
+	m, ok := db.mgrs[table]
+	return m, ok
+}
+
+// FlatStore returns the store of a flat table.
+func (db *DB) FlatStore(table string) (*flat.Store, bool) {
+	f, ok := db.flats[table]
+	return f, ok
+}
+
+// IndexByName returns a live index.
+func (db *DB) IndexByName(name string) (*index.Index, bool) {
+	ix, ok := db.indexByName[name]
+	return ix, ok
+}
+
+// TextIndexByName returns a live text index.
+func (db *DB) TextIndexByName(name string) (*textindex.Index, bool) {
+	ti, ok := db.textByName[name]
+	return ti, ok
+}
+
+// Now returns the current timestamp from the database clock.
+func (db *DB) Now() int64 { return db.opts.Clock() }
+
+// Commit appends a commit record and syncs the log; a no-op for
+// in-memory databases. The SQL layer commits after every statement
+// (the prototype is single-user with statement-level transactions).
+func (db *DB) Commit() error {
+	if db.log == nil {
+		return nil
+	}
+	if _, err := db.log.Append(&wal.Record{Op: wal.OpCommit}); err != nil {
+		return err
+	}
+	return db.log.Sync()
+}
+
+// Checkpoint flushes all dirty pages to the segment files.
+func (db *DB) Checkpoint() error { return db.pool.FlushAll() }
+
+// Close checkpoints and closes the database.
+func (db *DB) Close() error {
+	if err := db.Commit(); err != nil {
+		return err
+	}
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if db.log != nil {
+		if err := db.log.Close(); err != nil {
+			return err
+		}
+	}
+	for _, st := range db.stores {
+		if s := db.pool.Store(st.Segment()); s != nil {
+			if err := s.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Runtime exposes the engine's executor runtime (used by planner
+// tests and external tools that call plan.Choose directly).
+func (db *DB) Runtime() exec.Runtime { return (*runtime)(db) }

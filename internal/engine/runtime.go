@@ -1,0 +1,368 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+	"repro/internal/textindex"
+	"repro/internal/tname"
+)
+
+// runtime adapts DB to the executor's Runtime interface.
+type runtime DB
+
+func (r *runtime) db() *DB { return (*DB)(r) }
+
+// Table implements exec.Runtime.
+func (r *runtime) Table(name string) (*catalog.Table, bool) { return r.db().cat.Table(name) }
+
+// ScanTable implements exec.Runtime.
+func (r *runtime) ScanTable(t *catalog.Table, asof int64, fn func(ref page.TID, tup model.Tuple) error) error {
+	return r.db().ScanTable(t, asof, fn)
+}
+
+// ReadRef implements exec.Runtime.
+func (r *runtime) ReadRef(t *catalog.Table, ref page.TID, asof int64) (model.Tuple, error) {
+	return r.db().ReadRef(t, ref, asof)
+}
+
+// Indexes implements exec.Runtime.
+func (r *runtime) Indexes(table string) []*index.Index { return r.db().indexes[table] }
+
+// TextIndexes implements exec.Runtime.
+func (r *runtime) TextIndexes(table string) []*textindex.Index { return r.db().textIdx[table] }
+
+// InsertTuple implements exec.Runtime.
+func (r *runtime) InsertTuple(t *catalog.Table, tup model.Tuple) error {
+	return r.db().Insert(t.Name, tup)
+}
+
+// DeleteTuple implements exec.Runtime.
+func (r *runtime) DeleteTuple(t *catalog.Table, ref page.TID) error {
+	return r.db().Delete(t.Name, ref)
+}
+
+// UpdateAtoms implements exec.Runtime.
+func (r *runtime) UpdateAtoms(t *catalog.Table, ref page.TID, steps []object.Step, vals []model.Value) error {
+	return r.db().UpdateAtoms(t.Name, ref, steps, vals)
+}
+
+// InsertMember implements exec.Runtime.
+func (r *runtime) InsertMember(t *catalog.Table, ref page.TID, steps []object.Step, attr int, member model.Tuple) error {
+	return r.db().InsertMember(t.Name, ref, steps, attr, member)
+}
+
+// DeleteMember implements exec.Runtime.
+func (r *runtime) DeleteMember(t *catalog.Table, ref page.TID, steps []object.Step, attr, pos int) error {
+	return r.db().DeleteMember(t.Name, ref, steps, attr, pos)
+}
+
+// ParseTime implements exec.Runtime.
+func (r *runtime) ParseTime(v model.Value) (int64, error) { return exec.ParseTimeValue(v) }
+
+// TName implements exec.Runtime: it mints a tuple name for the
+// (sub)object a query variable is bound to.
+func (r *runtime) TName(t *catalog.Table, ref page.TID, steps []object.Step) (string, error) {
+	db := r.db()
+	m, ok := db.mgrs[t.Name]
+	if !ok {
+		return "", fmt.Errorf("engine: TNAME requires an NF² table, %q is flat", t.Name)
+	}
+	reg := tname.NewRegistry(m, t.Type)
+	n, err := reg.SubobjectName(ref, steps...)
+	if err != nil {
+		return "", err
+	}
+	return n.Encode(), nil
+}
+
+// --- public data access ------------------------------------------------
+
+// ScanTable streams all tuples of a table with their references,
+// optionally as of an instant.
+func (db *DB) ScanTable(t *catalog.Table, asof int64, fn func(ref page.TID, tup model.Tuple) error) error {
+	if t.Kind == catalog.Flat {
+		fs := db.flats[t.Name]
+		if asof == 0 {
+			return fs.Scan(fn)
+		}
+		return fs.Subtuples().ScanAsOf(asof, func(tid page.TID, raw []byte) error {
+			vals, err := model.DecodeAtoms(raw)
+			if err != nil {
+				return err
+			}
+			if len(vals) > len(t.Type.Attrs) {
+				return fmt.Errorf("engine: stored tuple has %d values, schema %d", len(vals), len(t.Type.Attrs))
+			}
+			// Versions written before an ALTER TABLE ADD are shorter;
+			// the new attributes read as null.
+			for len(vals) < len(t.Type.Attrs) {
+				vals = append(vals, model.Null{})
+			}
+			return fn(tid, model.Tuple(vals))
+		})
+	}
+	m := db.mgrs[t.Name]
+	return db.dirScan(t, asof, func(ref page.TID) error {
+		tup, err := m.ReadAsOf(t.Type, ref, asof)
+		if err != nil {
+			if asof != 0 {
+				return nil // object did not exist at asof
+			}
+			return err
+		}
+		return fn(ref, tup)
+	})
+}
+
+// ReadRef materializes one tuple by reference.
+func (db *DB) ReadRef(t *catalog.Table, ref page.TID, asof int64) (model.Tuple, error) {
+	if t.Kind == catalog.Flat {
+		fs := db.flats[t.Name]
+		if asof == 0 {
+			return fs.Read(ref)
+		}
+		tup, ok, err := fs.ReadAsOf(ref, asof)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("engine: tuple %v did not exist at %d", ref, asof)
+		}
+		return tup, nil
+	}
+	return db.mgrs[t.Name].ReadAsOf(t.Type, ref, asof)
+}
+
+// Refs returns the object references of a complex table (or tuple
+// TIDs of a flat one).
+func (db *DB) Refs(table string) ([]page.TID, error) {
+	t, ok := db.cat.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("engine: no table %q", table)
+	}
+	var refs []page.TID
+	if t.Kind == catalog.Flat {
+		err := db.flats[table].Scan(func(tid page.TID, _ model.Tuple) error {
+			refs = append(refs, tid)
+			return nil
+		})
+		return refs, err
+	}
+	err := db.dirScan(t, 0, func(ref page.TID) error {
+		refs = append(refs, ref)
+		return nil
+	})
+	return refs, err
+}
+
+// --- DML with index maintenance -----------------------------------------
+
+// Insert adds a tuple to a table, maintaining all indexes.
+func (db *DB) Insert(table string, tup model.Tuple) error {
+	t, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if err := model.Conform(t.Type, tup); err != nil {
+		return err
+	}
+	if t.Kind == catalog.Flat {
+		tid, err := db.flats[table].Insert(tup)
+		if err != nil {
+			return err
+		}
+		for _, ix := range db.indexes[table] {
+			if err := ix.AddFlat(tid, tup, t.Type); err != nil {
+				return err
+			}
+		}
+		for _, ti := range db.textIdx[table] {
+			ai := t.Type.AttrIndex(ti.Path[0])
+			if s, ok := tup[ai].(model.Str); ok {
+				ti.Add(string(s), index.Addr{TID: tid})
+			}
+		}
+		return nil
+	}
+	m := db.mgrs[table]
+	ref, err := m.Insert(t.Type, tup)
+	if err != nil {
+		return err
+	}
+	if err := db.dirAdd(t, ref); err != nil {
+		return err
+	}
+	return db.indexObject(t, ref, true)
+}
+
+// indexObject adds (or removes) one object's entries in all indexes.
+func (db *DB) indexObject(t *catalog.Table, ref page.TID, add bool) error {
+	m := db.mgrs[t.Name]
+	for _, ix := range db.indexes[t.Name] {
+		var err error
+		if add {
+			err = ix.AddObject(m, t.Type, ref)
+		} else {
+			err = ix.RemoveObject(m, t.Type, ref)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, ti := range db.textIdx[t.Name] {
+		err := db.forEachTextOfObject(t, ref, ti.Path, func(text string, addr index.Addr) error {
+			if add {
+				ti.Add(text, addr)
+			} else {
+				ti.Remove(text, addr)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes a tuple/object by reference, maintaining indexes.
+func (db *DB) Delete(table string, ref page.TID) error {
+	t, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if t.Kind == catalog.Flat {
+		fs := db.flats[table]
+		tup, err := fs.Read(ref)
+		if err != nil {
+			return err
+		}
+		for _, ix := range db.indexes[table] {
+			if err := ix.RemoveFlat(ref, tup, t.Type); err != nil {
+				return err
+			}
+		}
+		for _, ti := range db.textIdx[table] {
+			ai := t.Type.AttrIndex(ti.Path[0])
+			if s, ok := tup[ai].(model.Str); ok {
+				ti.Remove(string(s), index.Addr{TID: ref})
+			}
+		}
+		return fs.Delete(ref)
+	}
+	if err := db.indexObject(t, ref, false); err != nil {
+		return err
+	}
+	if err := db.dirRemove(t, ref); err != nil {
+		return err
+	}
+	return db.mgrs[table].Delete(t.Type, ref)
+}
+
+// UpdateAtoms overwrites the atomic attributes of the (sub)object
+// addressed by steps (for flat tables vals covers all attributes).
+func (db *DB) UpdateAtoms(table string, ref page.TID, steps []object.Step, vals []model.Value) error {
+	t, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if t.Kind == catalog.Flat {
+		fs := db.flats[table]
+		old, err := fs.Read(ref)
+		if err != nil {
+			return err
+		}
+		for _, ix := range db.indexes[table] {
+			if err := ix.RemoveFlat(ref, old, t.Type); err != nil {
+				return err
+			}
+		}
+		for _, ti := range db.textIdx[table] {
+			ai := t.Type.AttrIndex(ti.Path[0])
+			if s, ok := old[ai].(model.Str); ok {
+				ti.Remove(string(s), index.Addr{TID: ref})
+			}
+		}
+		if err := fs.Update(ref, model.Tuple(vals)); err != nil {
+			return err
+		}
+		for _, ix := range db.indexes[table] {
+			if err := ix.AddFlat(ref, model.Tuple(vals), t.Type); err != nil {
+				return err
+			}
+		}
+		for _, ti := range db.textIdx[table] {
+			ai := t.Type.AttrIndex(ti.Path[0])
+			if s, ok := vals[ai].(model.Str); ok {
+				ti.Add(string(s), index.Addr{TID: ref})
+			}
+		}
+		return nil
+	}
+	// Conservative index maintenance: withdraw the object's entries,
+	// mutate, re-add.
+	if err := db.indexObject(t, ref, false); err != nil {
+		return err
+	}
+	m := db.mgrs[table]
+	if err := m.UpdateAtoms(t.Type, ref, vals, steps...); err != nil {
+		db.indexObject(t, ref, true)
+		return err
+	}
+	return db.indexObject(t, ref, true)
+}
+
+// InsertMember adds a member to a subtable of a stored object.
+func (db *DB) InsertMember(table string, ref page.TID, steps []object.Step, attr int, member model.Tuple) error {
+	t, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if t.Kind != catalog.Complex {
+		return fmt.Errorf("engine: table %q is flat; subtable DML needs an NF² table", table)
+	}
+	if err := db.indexObject(t, ref, false); err != nil {
+		return err
+	}
+	m := db.mgrs[table]
+	if err := m.InsertMember(t.Type, ref, steps, attr, -1, member); err != nil {
+		db.indexObject(t, ref, true)
+		return err
+	}
+	return db.indexObject(t, ref, true)
+}
+
+// DeleteMember removes a member of a subtable of a stored object.
+func (db *DB) DeleteMember(table string, ref page.TID, steps []object.Step, attr, pos int) error {
+	t, ok := db.cat.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %q", table)
+	}
+	if t.Kind != catalog.Complex {
+		return fmt.Errorf("engine: table %q is flat; subtable DML needs an NF² table", table)
+	}
+	if err := db.indexObject(t, ref, false); err != nil {
+		return err
+	}
+	m := db.mgrs[table]
+	if err := m.DeleteMember(t.Type, ref, steps, attr, pos); err != nil {
+		db.indexObject(t, ref, true)
+		return err
+	}
+	return db.indexObject(t, ref, true)
+}
+
+// RegisterImported adds an already-stored object (e.g. one imported
+// from a page-level checkout) to the table's directory and indexes.
+func (db *DB) RegisterImported(t *catalog.Table, ref page.TID) error {
+	if err := db.dirAdd(t, ref); err != nil {
+		return err
+	}
+	return db.indexObject(t, ref, true)
+}

@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Table and Type are set for queries.
+	Table *model.Table
+	Type  *model.TableType
+	// Count is the number of affected tuples for DML.
+	Count int
+	// Message describes DDL outcomes.
+	Message string
+}
+
+// Exec parses and runs a script of semicolon-separated statements,
+// committing after each one (the prototype is a single-user system
+// with statement-level transactions).
+func (db *DB) Exec(script string) ([]Result, error) {
+	stmts, err := sql.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, st := range stmts {
+		res, err := db.ExecStmt(st)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+		if err := db.Commit(); err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// Query runs a single SELECT and returns its result table and schema.
+// Queries may run concurrently with each other; mutating statements
+// are serialized by ExecStmt.
+func (db *DB) Query(q string) (*model.Table, *model.TableType, error) {
+	st, err := sql.ParseOne(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: Query requires a SELECT, got %T", st)
+	}
+	db.stmtMu.RLock()
+	defer db.stmtMu.RUnlock()
+	return db.exec.Query(sel)
+}
+
+// MustQuery is Query for tests and examples; it panics on error.
+func (db *DB) MustQuery(q string) (*model.Table, *model.TableType) {
+	tbl, tt, err := db.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	return tbl, tt
+}
+
+// ExecStmt runs one parsed statement. Read-only statements share the
+// statement lock; everything else takes it exclusively.
+func (db *DB) ExecStmt(st sql.Statement) (Result, error) {
+	switch st.(type) {
+	case *sql.Select, *sql.Explain, *sql.ShowTables, *sql.Describe:
+		db.stmtMu.RLock()
+		defer db.stmtMu.RUnlock()
+	default:
+		db.stmtMu.Lock()
+		defer db.stmtMu.Unlock()
+	}
+	return db.execStmtLocked(st)
+}
+
+func (db *DB) execStmtLocked(st sql.Statement) (Result, error) {
+	switch st := st.(type) {
+	case *sql.Select:
+		tbl, tt, err := db.exec.Query(st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Table: tbl, Type: tt, Count: tbl.Len()}, nil
+	case *sql.CreateTable:
+		var layout object.Layout
+		switch st.Layout {
+		case "":
+		case "SS1":
+			layout = object.SS1
+		case "SS2":
+			layout = object.SS2
+		case "SS3":
+			layout = object.SS3
+		default:
+			return Result{}, fmt.Errorf("engine: unknown layout %q", st.Layout)
+		}
+		if err := db.CreateTable(st.Name, st.Type, TableOptions{Versioned: st.Versioned, Layout: layout}); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: fmt.Sprintf("table %s created", st.Name)}, nil
+	case *sql.DropTable:
+		if err := db.DropTable(st.Name); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: fmt.Sprintf("table %s dropped", st.Name)}, nil
+	case *sql.CreateIndex:
+		if st.Text {
+			if err := db.CreateTextIndex(st.Name, st.Table, st.Path); err != nil {
+				return Result{}, err
+			}
+			return Result{Message: fmt.Sprintf("text index %s created", st.Name)}, nil
+		}
+		if err := db.CreateIndex(st.Name, st.Table, st.Path, st.Using); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: fmt.Sprintf("index %s created", st.Name)}, nil
+	case *sql.DropIndex:
+		if err := db.DropIndex(st.Name); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: fmt.Sprintf("index %s dropped", st.Name)}, nil
+	case *sql.Insert:
+		n, err := db.exec.ExecInsert(st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) inserted", n)}, nil
+	case *sql.Delete:
+		n, err := db.exec.ExecDelete(st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) deleted", n)}, nil
+	case *sql.Update:
+		n, err := db.exec.ExecUpdate(st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) updated", n)}, nil
+	case *sql.AlterTableAdd:
+		if err := db.AlterTableAdd(st.Table, st.Path, st.Type); err != nil {
+			return Result{}, err
+		}
+		return Result{Message: fmt.Sprintf("table %s altered", st.Table)}, nil
+	case *sql.Explain:
+		return db.explain(st.Sel)
+	case *sql.ShowTables:
+		tt := model.MustTableType(false,
+			model.Attr{Name: "NAME", Type: model.AtomicType(model.KindString)},
+			model.Attr{Name: "KIND", Type: model.AtomicType(model.KindString)},
+			model.Attr{Name: "LAYOUT", Type: model.AtomicType(model.KindString)},
+			model.Attr{Name: "VERSIONED", Type: model.AtomicType(model.KindBool)},
+		)
+		tbl := model.NewRelation()
+		for _, t := range db.cat.Tables() {
+			kind, layout := "FLAT", ""
+			if t.Kind == catalog.Complex {
+				kind = "NF2"
+				layout = object.Layout(t.Layout).String()
+			}
+			tbl.Append(model.Tuple{
+				model.Str(t.Name), model.Str(kind), model.Str(layout), model.Bool(t.Versioned),
+			})
+		}
+		return Result{Table: tbl, Type: tt, Count: tbl.Len()}, nil
+	case *sql.Describe:
+		t, ok := db.cat.Table(st.Name)
+		if !ok {
+			return Result{}, fmt.Errorf("engine: no table %q", st.Name)
+		}
+		return Result{Message: t.Type.String()}, nil
+	}
+	return Result{}, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+// explain reports the access path per FROM item of a query.
+func (db *DB) explain(sel *sql.Select) (Result, error) {
+	cands := plan.Choose(sel, (*runtime)(db))
+	var b strings.Builder
+	for i, fi := range sel.From {
+		source := fi.Source.Table
+		if source == "" {
+			source = fi.Source.Path.String()
+		}
+		fmt.Fprintf(&b, "%s IN %s: ", fi.Var, source)
+		switch {
+		case fi.Source.Table == "":
+			b.WriteString("iterate subtable of outer binding")
+		case cands[i] != nil:
+			fmt.Fprintf(&b, "%s -> %d candidate object(s)", cands[i].Why, len(cands[i].Refs))
+		default:
+			b.WriteString("full table scan")
+		}
+		b.WriteByte('\n')
+	}
+	return Result{Message: strings.TrimRight(b.String(), "\n")}, nil
+}

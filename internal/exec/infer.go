@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// typeEnv tracks range-variable types for result schema inference.
+type typeEnv struct {
+	vars   map[string]*model.TableType
+	parent *typeEnv
+}
+
+func newTypeEnv(parent *typeEnv) *typeEnv {
+	return &typeEnv{vars: make(map[string]*model.TableType), parent: parent}
+}
+
+func (te *typeEnv) lookup(name string) (*model.TableType, bool) {
+	for s := te; s != nil; s = s.parent {
+		if tt, ok := s.vars[name]; ok {
+			return tt, true
+		}
+	}
+	return nil, false
+}
+
+// typeEnvFrom exposes the types of the bindings in a value env.
+func typeEnvFrom(en *env) *typeEnv {
+	te := newTypeEnv(nil)
+	for s := en; s != nil; s = s.parent {
+		for name, b := range s.vars {
+			if _, shadowed := te.vars[name]; !shadowed {
+				te.vars[name] = b.tt
+			}
+		}
+	}
+	return te
+}
+
+// inferred is the static type of an expression: an atomic kind, a
+// table type, or a tuple type (the result of [k] indexing).
+type inferred struct {
+	kind  model.Kind
+	table *model.TableType // when kind == KindTable
+	tuple *model.TableType // when the expression denotes a member tuple
+}
+
+func (in inferred) isTuple() bool { return in.tuple != nil }
+
+// atomKind coerces to an atomic kind (unwrapping single-attribute
+// tuples) for result schema building.
+func (in inferred) atomType() (model.Type, error) {
+	if in.isTuple() {
+		if len(in.tuple.Attrs) == 1 {
+			return in.tuple.Attrs[0].Type, nil
+		}
+		return model.Type{}, fmt.Errorf("exec: tuple of %d attributes used as a value; select an attribute", len(in.tuple.Attrs))
+	}
+	if in.kind == model.KindTable {
+		return model.Type{Kind: model.KindTable, Table: in.table}, nil
+	}
+	return model.Type{Kind: in.kind}, nil
+}
+
+// inferExpr computes the static type of an expression.
+func (e *Executor) inferExpr(x sql.Expr, te *typeEnv) (inferred, error) {
+	switch x := x.(type) {
+	case *sql.Literal:
+		if model.IsNull(x.Val) {
+			return inferred{kind: model.KindString}, nil // null literal defaults to string
+		}
+		return inferred{kind: x.Val.Kind()}, nil
+	case *sql.PathExpr:
+		return e.inferPath(x, te)
+	case *sql.Unary:
+		if x.Op == "NOT" {
+			return inferred{kind: model.KindBool}, nil
+		}
+		return e.inferExpr(x.E, te)
+	case *sql.Binary:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=":
+			return inferred{kind: model.KindBool}, nil
+		}
+		l, err := e.inferExpr(x.L, te)
+		if err != nil {
+			return inferred{}, err
+		}
+		r, err := e.inferExpr(x.R, te)
+		if err != nil {
+			return inferred{}, err
+		}
+		if l.kind == model.KindFloat || r.kind == model.KindFloat {
+			return inferred{kind: model.KindFloat}, nil
+		}
+		if l.kind == model.KindString && x.Op == "+" {
+			return inferred{kind: model.KindString}, nil
+		}
+		return inferred{kind: model.KindInt}, nil
+	case *sql.Quant, *sql.Contains:
+		return inferred{kind: model.KindBool}, nil
+	case *sql.TNameOf:
+		return inferred{kind: model.KindString}, nil
+	case *sql.Count:
+		return inferred{kind: model.KindInt}, nil
+	}
+	return inferred{}, fmt.Errorf("exec: cannot infer type of %T", x)
+}
+
+// inferPath types a path expression.
+func (e *Executor) inferPath(p *sql.PathExpr, te *typeEnv) (inferred, error) {
+	tt, ok := te.lookup(p.Var)
+	if !ok {
+		return inferred{}, fmt.Errorf("exec: unknown variable %q", p.Var)
+	}
+	cur := inferred{tuple: tt}
+	for _, st := range p.Steps {
+		if st.Name != "" {
+			if !cur.isTuple() {
+				return inferred{}, fmt.Errorf("exec: %s: attribute %q applied to a non-tuple", p, st.Name)
+			}
+			attr, ok := cur.tuple.Attr(st.Name)
+			if !ok {
+				return inferred{}, fmt.Errorf("exec: %s: no attribute %q in %s", p, st.Name, cur.tuple)
+			}
+			if attr.Type.Kind == model.KindTable {
+				cur = inferred{kind: model.KindTable, table: attr.Type.Table}
+			} else {
+				cur = inferred{kind: attr.Type.Kind}
+			}
+			continue
+		}
+		if cur.kind != model.KindTable || cur.isTuple() {
+			return inferred{}, fmt.Errorf("exec: %s: [%d] applied to a non-table", p, st.Index)
+		}
+		cur = inferred{tuple: cur.table}
+	}
+	return cur, nil
+}
+
+// sourceType resolves the element type of a FROM source.
+func (e *Executor) sourceType(src sql.TableRef, te *typeEnv) (*model.TableType, error) {
+	if src.Table != "" {
+		t, ok := e.RT.Table(src.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %q", src.Table)
+		}
+		return t.Type, nil
+	}
+	in, err := e.inferPath(src.Path, te)
+	if err != nil {
+		return nil, err
+	}
+	if in.kind != model.KindTable || in.isTuple() {
+		return nil, fmt.Errorf("exec: FROM source %s is not a table", src.Path)
+	}
+	return in.table, nil
+}
+
+// inferSelect computes the result schema of a select block.
+func (e *Executor) inferSelect(sel *sql.Select, outer *typeEnv) (*model.TableType, error) {
+	te := newTypeEnv(outer)
+	for _, fi := range sel.From {
+		tt, err := e.sourceType(fi.Source, te)
+		if err != nil {
+			return nil, err
+		}
+		te.vars[fi.Var] = tt
+	}
+	ordered := e.selectOrdered(sel, te)
+	if sel.Star {
+		if len(sel.From) != 1 {
+			return nil, fmt.Errorf("exec: SELECT * requires exactly one FROM item; list the attributes instead")
+		}
+		src := te.vars[sel.From[0].Var].Clone()
+		src.Ordered = ordered
+		return src, nil
+	}
+	var attrs []model.Attr
+	for i, item := range sel.Items {
+		name := item.ResultName()
+		if name == "" {
+			name = fmt.Sprintf("COL%d", i+1)
+		}
+		if item.Sub != nil {
+			sub, err := e.inferSelect(item.Sub, te)
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, model.Attr{Name: name, Type: model.Type{Kind: model.KindTable, Table: sub}})
+			continue
+		}
+		in, err := e.inferExpr(item.Expr, te)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := in.atomType()
+		if err != nil {
+			return nil, fmt.Errorf("exec: select item %d: %w", i+1, err)
+		}
+		attrs = append(attrs, model.Attr{Name: name, Type: typ})
+	}
+	return model.NewTableType(ordered, attrs...)
+}
+
+// selectOrdered decides whether the result is an ordered table: an
+// explicit ORDER BY always orders, and a plain projection of a single
+// ordered source preserves its order (so selecting from a list yields
+// a list).
+func (e *Executor) selectOrdered(sel *sql.Select, te *typeEnv) bool {
+	if len(sel.OrderBy) > 0 {
+		return true
+	}
+	if len(sel.From) == 1 {
+		if tt, ok := te.lookup(sel.From[0].Var); ok && tt != nil {
+			return tt.Ordered
+		}
+	}
+	return false
+}

@@ -1,0 +1,139 @@
+// Package exec evaluates NF² SQL statements against stored tables.
+// It implements the generalized SELECT-FROM-WHERE semantics of §3 of
+// the paper — range variables over stored tables and over
+// table-valued attributes at any nesting level, nested result
+// construction (nest), flattening (unnest), EXISTS/ALL quantifiers,
+// joins across nesting levels, list indexing, masked text search and
+// ASOF time-version access — plus the DML operations (insert,
+// update, delete of complex objects or arbitrary parts of them).
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+	"repro/internal/sql"
+	"repro/internal/textindex"
+)
+
+// Runtime is the storage interface the executor runs against; the
+// engine implements it. All reads accept an as-of timestamp (0 =
+// current state).
+type Runtime interface {
+	// Table resolves a stored table by name.
+	Table(name string) (*catalog.Table, bool)
+	// ScanTable streams all tuples of a stored table with their
+	// references (object root TIDs for complex tables, tuple TIDs for
+	// flat ones).
+	ScanTable(t *catalog.Table, asof int64, fn func(ref page.TID, tup model.Tuple) error) error
+	// ReadRef materializes one tuple by reference.
+	ReadRef(t *catalog.Table, ref page.TID, asof int64) (model.Tuple, error)
+	// Indexes returns the live value indexes of a table.
+	Indexes(table string) []*index.Index
+	// TextIndexes returns the live text indexes of a table.
+	TextIndexes(table string) []*textindex.Index
+
+	// InsertTuple adds a tuple to a stored table.
+	InsertTuple(t *catalog.Table, tup model.Tuple) error
+	// DeleteTuple removes a whole tuple/object.
+	DeleteTuple(t *catalog.Table, ref page.TID) error
+	// UpdateAtoms overwrites the atomic attributes of the (sub)object
+	// addressed by steps (empty steps = the top level; for flat
+	// tables vals covers all attributes).
+	UpdateAtoms(t *catalog.Table, ref page.TID, steps []object.Step, vals []model.Value) error
+	// InsertMember adds a member tuple to a subtable of an object.
+	InsertMember(t *catalog.Table, ref page.TID, steps []object.Step, attr int, member model.Tuple) error
+	// DeleteMember removes a subtable member.
+	DeleteMember(t *catalog.Table, ref page.TID, steps []object.Step, attr, pos int) error
+
+	// ParseTime converts an ASOF literal into a timestamp.
+	ParseTime(v model.Value) (int64, error)
+	// TName mints the tuple name (§4.3) of the (sub)object addressed
+	// by ref and steps, as an opaque token.
+	TName(t *catalog.Table, ref page.TID, steps []object.Step) (string, error)
+}
+
+// Candidates restricts the scan of one FROM item to a pre-computed
+// reference list (produced by the planner from index information).
+type Candidates struct {
+	Refs []page.TID
+	// Why describes the access path for EXPLAIN output.
+	Why string
+}
+
+// Planner chooses access paths for the top-level FROM items of a
+// select; nil entries mean full scan. It may return nil entirely.
+type Planner func(sel *sql.Select, rt Runtime) map[int]*Candidates
+
+// Executor evaluates statements.
+type Executor struct {
+	RT   Runtime
+	Plan Planner // optional
+	// Trace, when non-nil, receives access-path decisions.
+	Trace func(msg string)
+}
+
+// New creates an executor over a runtime.
+func New(rt Runtime) *Executor { return &Executor{RT: rt} }
+
+// binding is the current value of one range variable, with the
+// provenance needed for DML through the variable.
+type binding struct {
+	tt  *model.TableType
+	tup model.Tuple
+
+	// Stored provenance (zero when the tuple is derived data):
+	tbl   *catalog.Table
+	ref   page.TID
+	steps []object.Step // navigation from the object root to tup
+	// parentAttr/parentPos locate tup inside its parent subtable when
+	// steps is non-empty (== last step).
+	asof int64
+}
+
+// env is a chained variable scope.
+type env struct {
+	vars   map[string]*binding
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: make(map[string]*binding), parent: parent}
+}
+
+func (e *env) lookup(name string) (*binding, bool) {
+	for s := e; s != nil; s = s.parent {
+		if b, ok := s.vars[name]; ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) bind(name string, b *binding) { e.vars[name] = b }
+
+// ParseTimeValue is the default ASOF literal convention: Int values
+// are raw timestamps (logical ticks or nanoseconds), Time values
+// their instant, Str values dates in RFC3339, "2006-01-02 15:04:05"
+// or "2006-01-02" form (interpreted in UTC).
+func ParseTimeValue(v model.Value) (int64, error) {
+	switch x := v.(type) {
+	case model.Int:
+		return int64(x), nil
+	case model.Time:
+		return int64(x), nil
+	case model.Str:
+		for _, layout := range []string{time.RFC3339Nano, time.RFC3339, "2006-01-02 15:04:05", "2006-01-02"} {
+			if t, err := time.Parse(layout, string(x)); err == nil {
+				return t.UnixNano(), nil
+			}
+		}
+		return 0, fmt.Errorf("exec: cannot parse timestamp %q", string(x))
+	}
+	return 0, fmt.Errorf("exec: cannot use %v as a timestamp", v)
+}

@@ -1,0 +1,296 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+	"repro/internal/sql"
+	"repro/internal/subtuple"
+)
+
+// Query evaluates a top-level select and returns the result table
+// with its inferred schema.
+func (e *Executor) Query(sel *sql.Select) (*model.Table, *model.TableType, error) {
+	return e.selectIn(sel, newEnv(nil), true)
+}
+
+// selectIn evaluates a select block in an outer environment.
+// planning enables index access paths (only sensible for blocks over
+// stored tables).
+func (e *Executor) selectIn(sel *sql.Select, outer *env, planning bool) (*model.Table, *model.TableType, error) {
+	resultType, err := e.inferSelect(sel, typeEnvFrom(outer))
+	if err != nil {
+		return nil, nil, err
+	}
+	var cands map[int]*Candidates
+	if planning && e.Plan != nil {
+		cands = e.Plan(sel, e.RT)
+		if e.Trace != nil {
+			for i, c := range cands {
+				if c != nil {
+					e.Trace(fmt.Sprintf("from item %d (%s): %s (%d candidates)", i, sel.From[i].Var, c.Why, len(c.Refs)))
+				}
+			}
+		}
+	}
+	out := &model.Table{Ordered: resultType.Ordered}
+	type keyed struct {
+		tup  model.Tuple
+		keys []model.Value
+	}
+	var rows []keyed
+	scope := newEnv(outer)
+	err = e.forEach(sel.From, 0, scope, cands, func() error {
+		if sel.Where != nil {
+			ok, err := e.evalCond(sel.Where, scope)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		tup, err := e.buildResult(sel, resultType, scope)
+		if err != nil {
+			return err
+		}
+		k := keyed{tup: tup}
+		for _, ob := range sel.OrderBy {
+			v, err := e.evalExpr(ob.Expr, scope)
+			if err != nil {
+				return err
+			}
+			a, err := v.asAtom()
+			if err != nil {
+				return err
+			}
+			k.keys = append(k.keys, a)
+		}
+		rows = append(rows, k)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(sel.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, ob := range sel.OrderBy {
+				c, err := model.Compare(rows[i].keys[k], rows[j].keys[k])
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				if c != 0 {
+					if ob.Desc {
+						return c > 0
+					}
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, nil, sortErr
+		}
+	}
+	seen := make(map[string]bool)
+	for _, r := range rows {
+		if sel.Distinct {
+			key := model.CanonicalTuple(r.tup)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		out.Append(r.tup)
+	}
+	return out, resultType, nil
+}
+
+// forEach performs the nested-loop binding of range variables: "a
+// good mental model ... is to associate them with a loop which runs
+// over all tuples of the relation they are bound to" (§3).
+func (e *Executor) forEach(items []sql.FromItem, i int, scope *env, cands map[int]*Candidates, body func() error) error {
+	if i == len(items) {
+		return body()
+	}
+	it := items[i]
+	asof := int64(0)
+	if it.AsOf != nil {
+		lit, ok := it.AsOf.(*sql.Literal)
+		if !ok {
+			return fmt.Errorf("exec: ASOF requires a literal timestamp")
+		}
+		var err error
+		asof, err = e.RT.ParseTime(lit.Val)
+		if err != nil {
+			return err
+		}
+	}
+	if it.Source.Table != "" {
+		t, ok := e.RT.Table(it.Source.Table)
+		if !ok {
+			return fmt.Errorf("exec: unknown table %q", it.Source.Table)
+		}
+		if asof != 0 && !t.Versioned {
+			return fmt.Errorf("exec: table %q is not versioned; ASOF unavailable", t.Name)
+		}
+		visit := func(ref page.TID, tup model.Tuple) error {
+			scope.bind(it.Var, &binding{tt: t.Type, tup: tup, tbl: t, ref: ref, asof: asof})
+			return e.forEach(items, i+1, scope, cands, body)
+		}
+		if c := cands[i]; c != nil {
+			for _, ref := range c.Refs {
+				tup, err := e.RT.ReadRef(t, ref, asof)
+				if err != nil {
+					if errors.Is(err, subtuple.ErrNotFound) {
+						continue // candidate vanished between planning and execution
+					}
+					return err
+				}
+				if err := visit(ref, tup); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return e.RT.ScanTable(t, asof, visit)
+	}
+	// Path source: a table-valued attribute of an outer variable.
+	tbl, memberType, prov, err := e.evalFromPath(it.Source.Path, scope)
+	if err != nil {
+		return err
+	}
+	if tbl == nil {
+		return nil // null subtable: no bindings
+	}
+	for pos, tup := range tbl.Tuples {
+		b := &binding{tt: memberType, tup: tup}
+		if prov != nil {
+			b.tbl = prov.tbl
+			b.ref = prov.ref
+			b.steps = append(append([]object.Step(nil), prov.steps...), object.Step{Attr: prov.attr, Pos: pos})
+			b.asof = prov.asof
+		}
+		scope.bind(it.Var, b)
+		if err := e.forEach(items, i+1, scope, cands, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// provenance describes where a FROM path's members live inside a
+// stored object, enabling DML through the bound variable.
+type provenance struct {
+	tbl   *catalog.Table
+	ref   page.TID
+	steps []object.Step
+	attr  int
+	asof  int64
+}
+
+// evalFromPath evaluates a FROM path to the table to iterate, its
+// member type, and — when the base variable is bound to a stored
+// object and every traversal is positional — the provenance needed to
+// mutate through the new variable.
+func (e *Executor) evalFromPath(p *sql.PathExpr, scope *env) (*model.Table, *model.TableType, *provenance, error) {
+	b, ok := scope.lookup(p.Var)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("exec: unknown variable %q", p.Var)
+	}
+	cur := value{tup: b.tup, tt: b.tt}
+	var prov *provenance
+	if b.tbl != nil {
+		prov = &provenance{tbl: b.tbl, ref: b.ref, steps: append([]object.Step(nil), b.steps...), asof: b.asof}
+	}
+	pendingAttr := -1 // table attribute awaiting a position
+	for _, st := range p.Steps {
+		if cur.isNull() {
+			return nil, nil, nil, nil
+		}
+		if st.Name != "" {
+			if !cur.isTuple() {
+				return nil, nil, nil, fmt.Errorf("exec: FROM %s: attribute %q applied to a non-tuple", p, st.Name)
+			}
+			ai := cur.tt.AttrIndex(st.Name)
+			if ai < 0 {
+				return nil, nil, nil, fmt.Errorf("exec: FROM %s: no attribute %q in %s", p, st.Name, cur.tt)
+			}
+			attr := cur.tt.Attrs[ai]
+			v := cur.tup[ai]
+			if attr.Type.Kind == model.KindTable {
+				pendingAttr = ai
+				cur = value{atom: v, tt: attr.Type.Table}
+			} else {
+				return nil, nil, nil, fmt.Errorf("exec: FROM %s: %q is atomic", p, st.Name)
+			}
+			continue
+		}
+		tbl, ok := cur.atom.(*model.Table)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("exec: FROM %s: [%d] applied to a non-table", p, st.Index)
+		}
+		if st.Index > tbl.Len() {
+			return nil, nil, nil, nil
+		}
+		if prov != nil && pendingAttr >= 0 {
+			prov.steps = append(prov.steps, object.Step{Attr: pendingAttr, Pos: st.Index - 1})
+		}
+		pendingAttr = -1
+		cur = value{tup: tbl.Tuples[st.Index-1], tt: cur.tt}
+	}
+	if cur.isTuple() || cur.atom == nil {
+		return nil, nil, nil, fmt.Errorf("exec: FROM %s does not denote a table", p)
+	}
+	tbl, ok := cur.atom.(*model.Table)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("exec: FROM %s does not denote a table", p)
+	}
+	if prov != nil {
+		if pendingAttr < 0 {
+			prov = nil // path did not end in an attribute traversal
+		} else {
+			prov.attr = pendingAttr
+		}
+	}
+	return tbl, cur.tt, prov, nil
+}
+
+// buildResult constructs one result tuple for the current bindings.
+func (e *Executor) buildResult(sel *sql.Select, rt *model.TableType, scope *env) (model.Tuple, error) {
+	if sel.Star {
+		b, _ := scope.lookup(sel.From[0].Var)
+		return b.tup.Clone(), nil
+	}
+	tup := make(model.Tuple, len(sel.Items))
+	for i, item := range sel.Items {
+		if item.Sub != nil {
+			sub, _, err := e.selectIn(item.Sub, scope, false)
+			if err != nil {
+				return nil, err
+			}
+			tup[i] = sub
+			continue
+		}
+		v, err := e.evalExpr(item.Expr, scope)
+		if err != nil {
+			return nil, err
+		}
+		a, err := v.asAtom()
+		if err != nil {
+			return nil, err
+		}
+		if t, ok := a.(*model.Table); ok {
+			a = t.Clone()
+		}
+		tup[i] = a
+	}
+	return tup, nil
+}

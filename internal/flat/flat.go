@@ -1,0 +1,120 @@
+// Package flat stores tables in first normal form. Flat tables are
+// the degenerate case of the extended NF² model: every tuple is
+// completely stored in one data subtuple and there are no Mini
+// Directories at all (§4.1: "a flat (1NF) table does not have Mini
+// Directories for its objects"). This is also the substrate for the
+// 1NF baseline (Tables 1-4) that the NF² representation is compared
+// against, and for Lorie's "on top" complex objects.
+package flat
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/page"
+	"repro/internal/subtuple"
+)
+
+// Store holds the tuples of one flat table in one subtuple store.
+type Store struct {
+	st *subtuple.Store
+	tt *model.TableType
+}
+
+// New creates a flat store; tt must be in first normal form.
+func New(st *subtuple.Store, tt *model.TableType) (*Store, error) {
+	if !tt.Flat() {
+		return nil, fmt.Errorf("flat: table type %s is not in first normal form", tt)
+	}
+	return &Store{st: st, tt: tt}, nil
+}
+
+// Type returns the table's type.
+func (s *Store) Type() *model.TableType { return s.tt }
+
+// Subtuples returns the underlying subtuple store.
+func (s *Store) Subtuples() *subtuple.Store { return s.st }
+
+// Insert stores a tuple and returns its TID.
+func (s *Store) Insert(tup model.Tuple) (page.TID, error) {
+	if err := model.Conform(s.tt, tup); err != nil {
+		return page.TID{}, err
+	}
+	payload, err := model.EncodeAtoms(tup)
+	if err != nil {
+		return page.TID{}, err
+	}
+	return s.st.Insert(payload)
+}
+
+// Read returns the tuple stored at the TID.
+func (s *Store) Read(tid page.TID) (model.Tuple, error) {
+	raw, err := s.st.Read(tid)
+	if err != nil {
+		return nil, err
+	}
+	return s.decode(raw)
+}
+
+// ReadAsOf returns the tuple as of the instant ts; the boolean
+// reports whether it existed then.
+func (s *Store) ReadAsOf(tid page.TID, ts int64) (model.Tuple, bool, error) {
+	raw, ok, err := s.st.ReadAsOf(tid, ts)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	tup, err := s.decode(raw)
+	return tup, true, err
+}
+
+func (s *Store) decode(raw []byte) (model.Tuple, error) {
+	vals, err := model.DecodeAtoms(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(vals) > len(s.tt.Attrs) {
+		return nil, fmt.Errorf("flat: stored tuple has %d values, schema %d", len(vals), len(s.tt.Attrs))
+	}
+	// Tuples written before an ALTER TABLE ADD read the new (last)
+	// attributes as null.
+	for len(vals) < len(s.tt.Attrs) {
+		vals = append(vals, model.Null{})
+	}
+	return model.Tuple(vals), nil
+}
+
+// Update overwrites the tuple at the TID.
+func (s *Store) Update(tid page.TID, tup model.Tuple) error {
+	if err := model.Conform(s.tt, tup); err != nil {
+		return err
+	}
+	payload, err := model.EncodeAtoms(tup)
+	if err != nil {
+		return err
+	}
+	return s.st.Update(tid, payload)
+}
+
+// Delete removes the tuple at the TID.
+func (s *Store) Delete(tid page.TID) error { return s.st.Delete(tid) }
+
+// Scan streams all tuples of the table.
+func (s *Store) Scan(fn func(tid page.TID, tup model.Tuple) error) error {
+	return s.st.Scan(func(tid page.TID, raw []byte) error {
+		tup, err := s.decode(raw)
+		if err != nil {
+			return err
+		}
+		return fn(tid, tup)
+	})
+}
+
+// All materializes the whole table.
+func (s *Store) All() (*model.Table, error) {
+	t := &model.Table{Ordered: s.tt.Ordered}
+	err := s.Scan(func(_ page.TID, tup model.Tuple) error {
+		t.Append(tup)
+		return nil
+	})
+	return t, err
+}

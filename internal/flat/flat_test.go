@@ -1,0 +1,115 @@
+package flat
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/model"
+	"repro/internal/page"
+	"repro/internal/segment"
+	"repro/internal/subtuple"
+	"repro/internal/testdata"
+)
+
+func newFlat(t testing.TB, versioned bool) *Store {
+	t.Helper()
+	pool := buffer.NewPool(64)
+	pool.Register(1, segment.NewMemStore())
+	var clock func() int64
+	if versioned {
+		ts := int64(0)
+		clock = func() int64 { ts++; return ts }
+	}
+	st := subtuple.New(subtuple.Config{Pool: pool, Seg: 1, Versioned: versioned, Clock: clock})
+	s, err := New(st, testdata.EmployeesType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRejectsNestedType(t *testing.T) {
+	pool := buffer.NewPool(8)
+	pool.Register(1, segment.NewMemStore())
+	st := subtuple.New(subtuple.Config{Pool: pool, Seg: 1})
+	if _, err := New(st, testdata.DepartmentsType()); err == nil {
+		t.Error("nested type accepted by flat store")
+	}
+}
+
+func TestCRUD(t *testing.T) {
+	s := newFlat(t, false)
+	emp := testdata.Employees().Tuples[0]
+	tid, err := s.Insert(emp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(tid)
+	if err != nil || !model.TupleEqual(got, emp) {
+		t.Fatalf("read = %v, %v", got, err)
+	}
+	upd := emp.Clone()
+	upd[3] = model.Str("female")
+	if err := s.Update(tid, upd); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Read(tid)
+	if got[3].(model.Str) != "female" {
+		t.Error("update lost")
+	}
+	if err := s.Delete(tid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(tid); err == nil {
+		t.Error("read after delete")
+	}
+	// Type enforcement.
+	if _, err := s.Insert(model.Tuple{model.Int(1)}); err == nil {
+		t.Error("short tuple accepted")
+	}
+	if _, err := s.Insert(model.Tuple{model.Str("x"), model.Str("a"), model.Str("b"), model.Str("c")}); err == nil {
+		t.Error("mistyped tuple accepted")
+	}
+}
+
+func TestScanAndAll(t *testing.T) {
+	s := newFlat(t, false)
+	for _, tup := range testdata.Employees().Tuples {
+		if _, err := s.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	err := s.Scan(func(_ page.TID, _ model.Tuple) error { n++; return nil })
+	if err != nil || n != 20 {
+		t.Fatalf("scan = %d, %v", n, err)
+	}
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.TableEqual(all, testdata.Employees()) {
+		t.Error("All() differs from inserted data")
+	}
+}
+
+func TestVersionedFlat(t *testing.T) {
+	s := newFlat(t, true)
+	emp := testdata.Employees().Tuples[0]
+	tid, _ := s.Insert(emp) // ts=1
+	t1 := int64(1)
+	upd := emp.Clone()
+	upd[1] = model.Str("Renamed")
+	s.Update(tid, upd) // ts=2
+	old, ok, err := s.ReadAsOf(tid, t1)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if old[1].(model.Str) != "Kramer" {
+		t.Errorf("ASOF name = %v", old[1])
+	}
+	cur, _ := s.Read(tid)
+	if cur[1].(model.Str) != "Renamed" {
+		t.Errorf("current name = %v", cur[1])
+	}
+}

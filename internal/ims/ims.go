@@ -1,0 +1,201 @@
+// Package ims implements a miniature IMS-style hierarchical database
+// — the system Fig 1 of the paper uses to contrast the NF² model
+// with: segment types in a fixed hierarchy, occurrences stored in
+// hierarchic (preorder) sequence, and the navigational DL/I-style
+// calls GU (get unique), GN (get next) and GNP (get next within
+// parent) /Da81, IBM3/.
+//
+// The point of this baseline is the programming model: where one NF²
+// query retrieves a structured result, the IMS interface forces the
+// application to navigate segment by segment with "language
+// constructs ... completely different from the high level language
+// constructs used in relational database systems" (§2).
+package ims
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// SegmentType is one node of the hierarchy definition (e.g.
+// DEPARTMENT with children PROJECT, BUDGET, EQUIP).
+type SegmentType struct {
+	Name     string
+	Fields   []string
+	Children []*SegmentType
+}
+
+// Find returns the named segment type in this subtree, or nil.
+func (st *SegmentType) Find(name string) *SegmentType {
+	if st.Name == name {
+		return st
+	}
+	for _, c := range st.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Segment is one stored segment occurrence.
+type Segment struct {
+	Type   *SegmentType
+	Values []model.Value
+	// level and parent index into the database's hierarchic sequence.
+	level  int
+	parent int
+}
+
+// Field returns a field value by name.
+func (s *Segment) Field(name string) (model.Value, bool) {
+	for i, f := range s.Type.Fields {
+		if f == name {
+			return s.Values[i], true
+		}
+	}
+	return nil, false
+}
+
+// DB is a hierarchical database: occurrences in hierarchic sequence
+// (the HSAM organization) plus a position cursor per database, as in
+// DL/I.
+type DB struct {
+	root *SegmentType
+	seq  []Segment
+	pos  int // current position (index of the last retrieved segment)
+	par  int // established parentage (set by GU/GN, used by GNP)
+}
+
+// New creates an empty hierarchical database for the segment
+// hierarchy rooted at root.
+func New(root *SegmentType) *DB { return &DB{root: root, pos: -1, par: -1} }
+
+// Root returns the root segment type.
+func (db *DB) Root() *SegmentType { return db.root }
+
+// Len returns the number of stored segment occurrences.
+func (db *DB) Len() int { return len(db.seq) }
+
+// Insert appends a segment occurrence under the given parent position
+// (-1 for root segments). Occurrences must be inserted in hierarchic
+// sequence, as in HSAM.
+func (db *DB) Insert(typ *SegmentType, parent int, values ...model.Value) (int, error) {
+	if len(values) != len(typ.Fields) {
+		return 0, fmt.Errorf("ims: segment %s takes %d fields, got %d", typ.Name, len(typ.Fields), len(values))
+	}
+	level := 0
+	if parent >= 0 {
+		level = db.seq[parent].level + 1
+		ok := false
+		for _, c := range db.seq[parent].Type.Children {
+			if c == typ {
+				ok = true
+			}
+		}
+		if !ok {
+			return 0, fmt.Errorf("ims: %s is not a child segment of %s", typ.Name, db.seq[parent].Type.Name)
+		}
+	} else if typ != db.root {
+		return 0, fmt.Errorf("ims: %s is not the root segment type", typ.Name)
+	}
+	db.seq = append(db.seq, Segment{Type: typ, Values: values, level: level, parent: parent})
+	return len(db.seq) - 1, nil
+}
+
+// Qual is a segment search argument: segment type name plus an
+// optional field=value qualification.
+type Qual struct {
+	Segment string
+	Field   string
+	Value   model.Value
+}
+
+func (db *DB) matches(i int, q Qual) bool {
+	s := &db.seq[i]
+	if s.Type.Name != q.Segment {
+		return false
+	}
+	if q.Field == "" {
+		return true
+	}
+	v, ok := s.Field(q.Field)
+	return ok && model.AtomEqual(v, q.Value)
+}
+
+// GU (get unique) positions at the first segment matching the
+// qualification chain from the root and returns it.
+func (db *DB) GU(quals ...Qual) (*Segment, error) {
+	for i := range db.seq {
+		if db.qualChainMatches(i, quals) {
+			db.pos, db.par = i, i
+			return &db.seq[i], nil
+		}
+	}
+	return nil, fmt.Errorf("ims: GE (not found)")
+}
+
+// qualChainMatches checks the last qual against segment i and the
+// earlier quals against its ancestors.
+func (db *DB) qualChainMatches(i int, quals []Qual) bool {
+	if len(quals) == 0 {
+		return true
+	}
+	if !db.matches(i, quals[len(quals)-1]) {
+		return false
+	}
+	anc := db.seq[i].parent
+	for q := len(quals) - 2; q >= 0; q-- {
+		for anc >= 0 && !db.matches(anc, quals[q]) {
+			anc = db.seq[anc].parent
+		}
+		if anc < 0 {
+			return false
+		}
+		anc = db.seq[anc].parent
+	}
+	return true
+}
+
+// GN (get next) advances through the hierarchic sequence to the next
+// segment matching the qualification (any segment when none given).
+func (db *DB) GN(quals ...Qual) (*Segment, error) {
+	for i := db.pos + 1; i < len(db.seq); i++ {
+		if db.qualChainMatches(i, quals) {
+			db.pos, db.par = i, i
+			return &db.seq[i], nil
+		}
+	}
+	return nil, fmt.Errorf("ims: GB (end of database)")
+}
+
+// GNP (get next within parent) advances to the next matching segment
+// that is a descendant of the parentage established by the last
+// GU/GN; the parentage itself does not move.
+func (db *DB) GNP(quals ...Qual) (*Segment, error) {
+	if db.par < 0 {
+		return nil, fmt.Errorf("ims: no parent position established")
+	}
+	for i := db.pos + 1; i < len(db.seq); i++ {
+		if db.seq[i].level <= db.seq[db.par].level {
+			break // left the parent's subtree
+		}
+		if db.qualChainMatches(i, quals) {
+			db.pos = i
+			return &db.seq[i], nil
+		}
+	}
+	return nil, fmt.Errorf("ims: GE (no more within parent)")
+}
+
+// Parentage returns the current position's parent segment, if any.
+func (db *DB) Parentage() (*Segment, bool) {
+	if db.pos < 0 || db.seq[db.pos].parent < 0 {
+		return nil, false
+	}
+	return &db.seq[db.seq[db.pos].parent], true
+}
+
+// Reset clears the position cursor and parentage.
+func (db *DB) Reset() { db.pos, db.par = -1, -1 }

@@ -1,0 +1,192 @@
+package ims
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/testdata"
+)
+
+// Fig 1 hierarchy: DEPARTMENT root with children PROJECT (child
+// MEMBER), BUDGET and EQUIP.
+func fig1Schema() (*SegmentType, map[string]*SegmentType) {
+	member := &SegmentType{Name: "MEMBER", Fields: []string{"EMPNO", "FUNCTION"}}
+	project := &SegmentType{Name: "PROJECT", Fields: []string{"PNO", "PNAME"}, Children: []*SegmentType{member}}
+	budget := &SegmentType{Name: "BUDGET", Fields: []string{"AMOUNT"}}
+	equip := &SegmentType{Name: "EQUIP", Fields: []string{"QU", "TYPE"}}
+	dept := &SegmentType{Name: "DEPARTMENT", Fields: []string{"DNO", "MGRNO"}, Children: []*SegmentType{project, budget, equip}}
+	return dept, map[string]*SegmentType{
+		"DEPARTMENT": dept, "PROJECT": project, "MEMBER": member, "BUDGET": budget, "EQUIP": equip,
+	}
+}
+
+// LoadFig1 loads Table 5 into the Fig 1 hierarchy in hierarchic
+// sequence.
+func LoadFig1(t testing.TB) (*DB, map[string]*SegmentType) {
+	t.Helper()
+	root, types := fig1Schema()
+	db := New(root)
+	for _, d := range testdata.Departments().Tuples {
+		dp, err := db.Insert(types["DEPARTMENT"], -1, d[0], d[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range d[2].(*model.Table).Tuples {
+			pp, err := db.Insert(types["PROJECT"], dp, p[0], p[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range p[2].(*model.Table).Tuples {
+				if _, err := db.Insert(types["MEMBER"], pp, m[0], m[1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if _, err := db.Insert(types["BUDGET"], dp, d[3]); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range d[4].(*model.Table).Tuples {
+			if _, err := db.Insert(types["EQUIP"], dp, e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db, types
+}
+
+func TestInsertValidation(t *testing.T) {
+	root, types := fig1Schema()
+	db := New(root)
+	if _, err := db.Insert(types["PROJECT"], -1, model.Int(1), model.Str("X")); err == nil {
+		t.Error("non-root segment accepted at root")
+	}
+	dp, _ := db.Insert(types["DEPARTMENT"], -1, model.Int(1), model.Int(2))
+	if _, err := db.Insert(types["MEMBER"], dp, model.Int(1), model.Str("F")); err == nil {
+		t.Error("MEMBER accepted directly under DEPARTMENT")
+	}
+	if _, err := db.Insert(types["PROJECT"], dp, model.Int(1)); err == nil {
+		t.Error("wrong field count accepted")
+	}
+}
+
+func TestGUAndGN(t *testing.T) {
+	db, _ := LoadFig1(t)
+	// GU with a qualified SSA chain: department 314's project 23.
+	seg, err := db.GU(
+		Qual{Segment: "DEPARTMENT", Field: "DNO", Value: model.Int(314)},
+		Qual{Segment: "PROJECT", Field: "PNO", Value: model.Int(23)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := seg.Field("PNAME"); v.(model.Str) != "HEAP" {
+		t.Errorf("PNAME = %v", v)
+	}
+	// GN without qualification walks the hierarchic sequence.
+	db.Reset()
+	count := 0
+	for {
+		if _, err := db.GN(); err != nil {
+			break
+		}
+		count++
+	}
+	if count != db.Len() {
+		t.Errorf("GN visited %d of %d segments", count, db.Len())
+	}
+}
+
+// The paper's §2 scenario: retrieving one department's whole object
+// requires a GU plus a GNP loop per segment type — the navigational
+// style the NF² language replaces.
+func TestGNPRetrievesDepartment(t *testing.T) {
+	db, _ := LoadFig1(t)
+	if _, err := db.GU(Qual{Segment: "DEPARTMENT", Field: "DNO", Value: model.Int(314)}); err != nil {
+		t.Fatal(err)
+	}
+	var projects, members, equip, budget int
+	for {
+		seg, err := db.GNP()
+		if err != nil {
+			break
+		}
+		switch seg.Type.Name {
+		case "PROJECT":
+			projects++
+		case "MEMBER":
+			members++
+		case "EQUIP":
+			equip++
+		case "BUDGET":
+			budget++
+		}
+	}
+	if projects != 2 || members != 7 || equip != 3 || budget != 1 {
+		t.Errorf("GNP walk found %d projects, %d members, %d equip, %d budget", projects, members, equip, budget)
+	}
+}
+
+// GNP must not leak into the next department's subtree.
+func TestGNPStopsAtParentBoundary(t *testing.T) {
+	db, _ := LoadFig1(t)
+	if _, err := db.GU(Qual{Segment: "DEPARTMENT", Field: "DNO", Value: model.Int(218)}); err != nil {
+		t.Fatal(err)
+	}
+	var members []int64
+	for {
+		seg, err := db.GNP(Qual{Segment: "MEMBER"})
+		if err != nil {
+			break
+		}
+		v, _ := seg.Field("EMPNO")
+		members = append(members, int64(v.(model.Int)))
+	}
+	if len(members) != 6 {
+		t.Errorf("department 218 GNP found %d members, want 6", len(members))
+	}
+	for _, e := range members {
+		if e == 39582 { // belongs to department 314
+			t.Error("GNP leaked into department 314")
+		}
+	}
+}
+
+// Qualified GN: all consultants in the database.
+func TestQualifiedGN(t *testing.T) {
+	db, _ := LoadFig1(t)
+	db.Reset()
+	n := 0
+	for {
+		if _, err := db.GN(Qual{Segment: "MEMBER", Field: "FUNCTION", Value: model.Str("Consultant")}); err != nil {
+			break
+		}
+		n++
+	}
+	if n != 3 { // 56019, 89921, 44512
+		t.Errorf("consultants via GN = %d, want 3", n)
+	}
+}
+
+func TestParentage(t *testing.T) {
+	db, _ := LoadFig1(t)
+	if _, err := db.GU(Qual{Segment: "MEMBER", Field: "EMPNO", Value: model.Int(56019)}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := db.Parentage()
+	if !ok {
+		t.Fatal("no parent")
+	}
+	if v, _ := p.Field("PNO"); v.(model.Int) != 17 {
+		t.Errorf("parent project = %v", v)
+	}
+}
+
+func TestFindSegmentType(t *testing.T) {
+	root, _ := fig1Schema()
+	if st := root.Find("MEMBER"); st == nil || st.Name != "MEMBER" {
+		t.Errorf("Find(MEMBER) = %v", st)
+	}
+	if st := root.Find("NOPE"); st != nil {
+		t.Errorf("Find(NOPE) = %v", st)
+	}
+}

@@ -1,0 +1,260 @@
+package index
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+)
+
+// Def describes an index in the catalog.
+type Def struct {
+	Name  string
+	Table string
+	// Path names the indexed attribute: a chain of table-valued
+	// attribute names ending in an atomic attribute, e.g.
+	// PROJECTS.MEMBERS.FUNCTION. A single name indexes a top-level
+	// attribute.
+	Path []string
+	Kind Kind
+}
+
+// Index is a live index instance over one table.
+type Index struct {
+	Def
+	tree *BTree
+	// tablePath holds the attribute indexes of the table-valued
+	// attributes along Path; atomPos is the position of the indexed
+	// attribute among the target level's atomic attributes.
+	tablePath []int
+	atomPos   int
+	attrType  model.Kind
+}
+
+// ResolvePath resolves an attribute-name path against a table type,
+// returning the table-valued attribute indexes, the level type, and
+// the position of the final atomic attribute among the level's atoms.
+func ResolvePath(tt *model.TableType, path []string) (tablePath []int, level *model.TableType, atomPos int, kind model.Kind, err error) {
+	level = tt
+	for i, name := range path {
+		ai := level.AttrIndex(name)
+		if ai < 0 {
+			return nil, nil, 0, 0, fmt.Errorf("index: no attribute %q in %s", name, level)
+		}
+		attr := level.Attrs[ai]
+		if i == len(path)-1 {
+			if attr.Type.Kind == model.KindTable {
+				return nil, nil, 0, 0, fmt.Errorf("index: %q is a subtable, not an atomic attribute", name)
+			}
+			pos := 0
+			for _, j := range level.AtomicIndexes() {
+				if j == ai {
+					return tablePath, level, pos, attr.Type.Kind, nil
+				}
+				pos++
+			}
+			return nil, nil, 0, 0, fmt.Errorf("index: internal: %q not among atomic attributes", name)
+		}
+		if attr.Type.Kind != model.KindTable {
+			return nil, nil, 0, 0, fmt.Errorf("index: %q is atomic but the path continues", name)
+		}
+		tablePath = append(tablePath, ai)
+		level = attr.Type.Table
+	}
+	return nil, nil, 0, 0, fmt.Errorf("index: empty attribute path")
+}
+
+// New creates an empty index for the table type.
+func New(def Def, tt *model.TableType) (*Index, error) {
+	tp, _, pos, kind, err := ResolvePath(tt, def.Path)
+	if err != nil {
+		return nil, err
+	}
+	if def.Kind < DataTID || def.Kind > Hierarchical {
+		return nil, fmt.Errorf("index: unknown address kind %d", def.Kind)
+	}
+	return &Index{Def: def, tree: NewBTree(), tablePath: tp, atomPos: pos, attrType: kind}, nil
+}
+
+// Tree exposes the underlying B-tree (for range scans).
+func (ix *Index) Tree() *BTree { return ix.tree }
+
+// Depth returns the number of Mini TID components a hierarchical
+// address of this index carries (the nesting level of the indexed
+// attribute; 1 for top-level attributes).
+func (ix *Index) Depth() int {
+	if len(ix.tablePath) == 0 {
+		return 1
+	}
+	return len(ix.tablePath)
+}
+
+// Key encodes an atomic value as the index key.
+func (ix *Index) Key(v model.Value) ([]byte, error) { return model.EncodeKeyValue(v) }
+
+// AddObject indexes every occurrence of the indexed attribute inside
+// one complex object, with addresses according to the index kind.
+func (ix *Index) AddObject(m *object.Manager, tt *model.TableType, ref object.Ref) error {
+	return ix.eachEntry(m, tt, ref, func(key []byte, addr Addr) {
+		ix.tree.Insert(key, addr)
+	})
+}
+
+// RemoveObject removes every index entry contributed by the object.
+func (ix *Index) RemoveObject(m *object.Manager, tt *model.TableType, ref object.Ref) error {
+	return ix.eachEntry(m, tt, ref, func(key []byte, addr Addr) {
+		ix.tree.Delete(key, addr)
+	})
+}
+
+func (ix *Index) eachEntry(m *object.Manager, tt *model.TableType, ref object.Ref, fn func(key []byte, addr Addr)) error {
+	return m.EnumLevel(tt, ref, ix.tablePath, func(dpath []page.MiniTID, atoms []model.Value) error {
+		// Data subtuples written before an ALTER TABLE ADD are short;
+		// the missing attribute reads as null.
+		var v model.Value = model.Null{}
+		if ix.atomPos < len(atoms) {
+			v = atoms[ix.atomPos]
+		}
+		key, err := ix.Key(v)
+		if err != nil {
+			return err
+		}
+		var addr Addr
+		switch ix.Kind {
+		case Hierarchical:
+			addr = Addr{TID: ref, Path: append([]page.MiniTID(nil), dpath...)}
+		case RootTID:
+			addr = Addr{TID: ref}
+		case DataTID:
+			tid, err := m.ResolveDataMini(ref, dpath[len(dpath)-1])
+			if err != nil {
+				return err
+			}
+			addr = Addr{TID: tid}
+		}
+		fn(key, addr)
+		return nil
+	})
+}
+
+// AddFlat indexes one tuple of a flat table (the classic System R
+// case: the address is simply the tuple's TID).
+func (ix *Index) AddFlat(tid page.TID, tup model.Tuple, tt *model.TableType) error {
+	key, err := ix.flatKey(tup, tt)
+	if err != nil {
+		return err
+	}
+	ix.tree.Insert(key, Addr{TID: tid})
+	return nil
+}
+
+// RemoveFlat removes one flat tuple's entry.
+func (ix *Index) RemoveFlat(tid page.TID, tup model.Tuple, tt *model.TableType) error {
+	key, err := ix.flatKey(tup, tt)
+	if err != nil {
+		return err
+	}
+	ix.tree.Delete(key, Addr{TID: tid})
+	return nil
+}
+
+func (ix *Index) flatKey(tup model.Tuple, tt *model.TableType) ([]byte, error) {
+	if len(ix.tablePath) != 0 {
+		return nil, fmt.Errorf("index: nested path on flat table")
+	}
+	ai := tt.AttrIndex(ix.Path[0])
+	if ai < 0 {
+		return nil, fmt.Errorf("index: no attribute %q", ix.Path[0])
+	}
+	return ix.Key(tup[ai])
+}
+
+// Lookup returns the address list for an exact key value.
+func (ix *Index) Lookup(v model.Value) ([]Addr, error) {
+	key, err := ix.Key(v)
+	if err != nil {
+		return nil, err
+	}
+	return ix.tree.Search(key), nil
+}
+
+// LookupRange streams the addresses of all keys in [lo, hi]; nil
+// bounds are open. Exclusive bounds are handled by the caller via key
+// filtering.
+func (ix *Index) LookupRange(lo, hi model.Value, fn func(addrs []Addr) bool) error {
+	var lk, hk []byte
+	var err error
+	if !model.IsNull(lo) {
+		if lk, err = ix.Key(lo); err != nil {
+			return err
+		}
+	}
+	if !model.IsNull(hi) {
+		if hk, err = ix.Key(hi); err != nil {
+			return err
+		}
+	}
+	ix.tree.Range(lk, hk, func(_ []byte, addrs []Addr) bool { return fn(addrs) })
+	return nil
+}
+
+// DistinctRoots deduplicates an address list to the distinct complex
+// objects it references — the "multiple access to the same complex
+// object can be avoided" property of root-TID and hierarchical
+// addresses (§4.2).
+func DistinctRoots(addrs []Addr) []page.TID {
+	seen := make(map[page.TID]bool, len(addrs))
+	var out []page.TID
+	for _, a := range addrs {
+		if !seen[a.TID] {
+			seen[a.TID] = true
+			out = append(out, a.TID)
+		}
+	}
+	return out
+}
+
+// IntersectByPrefix returns the pairs of addresses from as and bs
+// that refer to the same complex subobject at nesting depth k — the
+// final-solution query execution of Fig 7b, resolving a conjunctive
+// predicate purely from index information.
+func IntersectByPrefix(as, bs []Addr, k int) [][2]Addr {
+	type pk struct {
+		tid  page.TID
+		path [8]page.MiniTID // fixed array as map key; depth ≤ 8
+	}
+	if k > 8 {
+		k = 8
+	}
+	keyOf := func(a Addr) (pk, bool) {
+		if len(a.Path) < k {
+			return pk{}, false
+		}
+		key := pk{tid: a.TID}
+		for i := 0; i < k; i++ {
+			key.path[i] = a.Path[i]
+		}
+		for i := k; i < 8; i++ {
+			key.path[i] = page.NilMini
+		}
+		return key, true
+	}
+	byPrefix := make(map[pk][]Addr, len(as))
+	for _, a := range as {
+		if key, ok := keyOf(a); ok {
+			byPrefix[key] = append(byPrefix[key], a)
+		}
+	}
+	var out [][2]Addr
+	for _, b := range bs {
+		key, ok := keyOf(b)
+		if !ok {
+			continue
+		}
+		for _, a := range byPrefix[key] {
+			out = append(out, [2]Addr{a, b})
+		}
+	}
+	return out
+}

@@ -1,0 +1,308 @@
+// Package lorie implements the baseline the paper contrasts AIM-II
+// with (§1, §4.1): Lorie's approach /HL82, LP83/ of supporting
+// complex objects ON TOP of an existing flat relational DBMS. "A
+// complex object is implemented as a series of tuples logically
+// linked together": every hierarchy level is an ordinary flat tuple
+// extended with hidden, system-managed pointer attributes (first
+// child per subtable, next sibling) used to chain the tuples of one
+// complex object together.
+//
+// The advantage (also quoted in the paper) is that the underlying
+// flat system needs almost no changes. The disadvantages are exactly
+// what AIM-II's integrated design removes, and what the benchmarks
+// measure:
+//
+//   - no clustering: the linked tuples are placed wherever the flat
+//     storage layer puts them, so materializing one complex object
+//     chases pointers across many pages;
+//   - structure and data are interleaved: every navigation step must
+//     read full data tuples just to follow their hidden pointers;
+//   - complex objects are "a special animal": the flat query
+//     machinery cannot see the hierarchy.
+package lorie
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/page"
+	"repro/internal/subtuple"
+)
+
+// Store keeps the complex objects of one nested table as linked flat
+// tuples in a subtuple store.
+type Store struct {
+	st *subtuple.Store
+	tt *model.TableType
+}
+
+// New creates a store for the nested table type.
+func New(st *subtuple.Store, tt *model.TableType) *Store {
+	return &Store{st: st, tt: tt}
+}
+
+// Type returns the table type.
+func (s *Store) Type() *model.TableType { return s.tt }
+
+// tuple payload: EncodeAtoms(atoms) ++ per subtable: firstChild TID
+// ++ nextSibling TID. The pointer attributes are "entirely managed by
+// the system" and invisible to the user.
+func encodeTuple(tt *model.TableType, tup model.Tuple, children []page.TID, sibling page.TID) ([]byte, error) {
+	body, err := model.EncodeAtoms(model.Atoms(tt, tup))
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range children {
+		body = page.AppendTID(body, c)
+	}
+	return page.AppendTID(body, sibling), nil
+}
+
+func decodeTuple(tt *model.TableType, raw []byte) (atoms []model.Value, children []page.TID, sibling page.TID, err error) {
+	nsub := len(tt.TableIndexes())
+	tail := (nsub + 1) * page.EncodedTIDLen
+	if len(raw) < tail {
+		err = fmt.Errorf("lorie: short tuple record")
+		return
+	}
+	atoms, err = model.DecodeAtoms(raw[:len(raw)-tail])
+	if err != nil {
+		return
+	}
+	p := raw[len(raw)-tail:]
+	for i := 0; i < nsub; i++ {
+		var c page.TID
+		c, err = page.DecodeTID(p)
+		if err != nil {
+			return
+		}
+		children = append(children, c)
+		p = p[page.EncodedTIDLen:]
+	}
+	sibling, err = page.DecodeTID(p)
+	return
+}
+
+// Insert stores the complex object as linked tuples and returns the
+// root tuple's TID. Children are inserted before their parents (so
+// the parent can embed first-child pointers) and siblings in reverse
+// order (so each can point at the next); placement is wherever the
+// flat layer finds room — no object clustering.
+func (s *Store) Insert(tup model.Tuple) (page.TID, error) {
+	if err := model.Conform(s.tt, tup); err != nil {
+		return page.TID{}, err
+	}
+	return s.insertLevel(s.tt, tup, page.TID{})
+}
+
+func (s *Store) insertLevel(tt *model.TableType, tup model.Tuple, sibling page.TID) (page.TID, error) {
+	tis := tt.TableIndexes()
+	children := make([]page.TID, len(tis))
+	for gi, ti := range tis {
+		sub := tt.Attrs[ti].Type.Table
+		tbl := tup[ti].(*model.Table)
+		// Insert members in reverse so each points at its successor.
+		next := page.TID{}
+		for i := tbl.Len() - 1; i >= 0; i-- {
+			tid, err := s.insertLevel(sub, tbl.Tuples[i], next)
+			if err != nil {
+				return page.TID{}, err
+			}
+			next = tid
+		}
+		children[gi] = next
+	}
+	rec, err := encodeTuple(tt, tup, children, sibling)
+	if err != nil {
+		return page.TID{}, err
+	}
+	return s.st.Insert(rec)
+}
+
+// Read materializes the whole complex object by chasing the pointer
+// chains.
+func (s *Store) Read(root page.TID) (model.Tuple, error) {
+	return s.readLevel(s.tt, root)
+}
+
+func (s *Store) readLevel(tt *model.TableType, tid page.TID) (model.Tuple, error) {
+	raw, err := s.st.Read(tid)
+	if err != nil {
+		return nil, err
+	}
+	atoms, children, _, err := decodeTuple(tt, raw)
+	if err != nil {
+		return nil, err
+	}
+	tis := tt.TableIndexes()
+	subs := make([]*model.Table, len(tis))
+	for gi, ti := range tis {
+		sub := tt.Attrs[ti].Type.Table
+		tbl := &model.Table{Ordered: sub.Ordered}
+		cur := children[gi]
+		for !cur.Nil() {
+			raw, err := s.st.Read(cur)
+			if err != nil {
+				return nil, err
+			}
+			_, _, sibling, err := decodeTuple(sub, raw)
+			if err != nil {
+				return nil, err
+			}
+			member, err := s.readLevel(sub, cur)
+			if err != nil {
+				return nil, err
+			}
+			tbl.Append(member)
+			cur = sibling
+		}
+		subs[gi] = tbl
+	}
+	return assemble(tt, atoms, subs)
+}
+
+func assemble(tt *model.TableType, atoms []model.Value, subs []*model.Table) (model.Tuple, error) {
+	if len(atoms) != len(tt.AtomicIndexes()) {
+		return nil, fmt.Errorf("lorie: stored level has %d atoms, schema wants %d", len(atoms), len(tt.AtomicIndexes()))
+	}
+	tup := make(model.Tuple, len(tt.Attrs))
+	ai, si := 0, 0
+	for i, a := range tt.Attrs {
+		if a.Type.Kind == model.KindTable {
+			tup[i] = subs[si]
+			si++
+		} else {
+			tup[i] = atoms[ai]
+			ai++
+		}
+	}
+	return tup, nil
+}
+
+// Delete removes the complex object, chasing every pointer chain to
+// free the linked tuples individually — there is no page-level
+// shortcut in the "on top" design.
+func (s *Store) Delete(root page.TID) error {
+	return s.deleteLevel(s.tt, root)
+}
+
+func (s *Store) deleteLevel(tt *model.TableType, tid page.TID) error {
+	raw, err := s.st.Read(tid)
+	if err != nil {
+		return err
+	}
+	_, children, _, err := decodeTuple(tt, raw)
+	if err != nil {
+		return err
+	}
+	for gi, ti := range tt.TableIndexes() {
+		sub := tt.Attrs[ti].Type.Table
+		cur := children[gi]
+		for !cur.Nil() {
+			raw, err := s.st.Read(cur)
+			if err != nil {
+				return err
+			}
+			_, _, sibling, err := decodeTuple(sub, raw)
+			if err != nil {
+				return err
+			}
+			if err := s.deleteLevel(sub, cur); err != nil {
+				return err
+			}
+			cur = sibling
+		}
+	}
+	return s.st.Delete(tid)
+}
+
+// AppendMember prepends a new member to a subtable of the complex
+// object: attrPath names the table-valued attribute indexes from the
+// top level down to the target subtable, positions the member
+// ordinals walked at each intermediate level. The new member's linked
+// tuples go wherever the flat layer finds room — over time this
+// scatters a growing object across the shared table pages, the
+// clustering problem §4.1's local address spaces avoid.
+func (s *Store) AppendMember(root page.TID, attrPath []int, positions []int, member model.Tuple) error {
+	if len(attrPath) != len(positions)+1 {
+		return fmt.Errorf("lorie: attrPath needs one more entry than positions")
+	}
+	// Walk to the tuple owning the target subtable.
+	cur, curTT := root, s.tt
+	for i, attr := range attrPath[:len(attrPath)-1] {
+		raw, err := s.st.Read(cur)
+		if err != nil {
+			return err
+		}
+		_, children, _, err := decodeTuple(curTT, raw)
+		if err != nil {
+			return err
+		}
+		gi := giOf(curTT, attr)
+		sub := curTT.Attrs[attr].Type.Table
+		next := children[gi]
+		for p := 0; p < positions[i]; p++ {
+			raw, err := s.st.Read(next)
+			if err != nil {
+				return err
+			}
+			_, _, sibling, err := decodeTuple(sub, raw)
+			if err != nil {
+				return err
+			}
+			next = sibling
+		}
+		if next.Nil() {
+			return fmt.Errorf("lorie: position %d out of range", positions[i])
+		}
+		cur, curTT = next, sub
+	}
+	last := attrPath[len(attrPath)-1]
+	gi := giOf(curTT, last)
+	sub := curTT.Attrs[last].Type.Table
+	if err := model.Conform(sub, member); err != nil {
+		return err
+	}
+	raw, err := s.st.Read(cur)
+	if err != nil {
+		return err
+	}
+	atoms, children, sibling, err := decodeTuple(curTT, raw)
+	if err != nil {
+		return err
+	}
+	newChild, err := s.insertLevel(sub, member, children[gi])
+	if err != nil {
+		return err
+	}
+	children[gi] = newChild
+	// Rewrite the owner tuple with the new first-child pointer (same
+	// size: the pointer attributes are fixed width).
+	rec, err := encodeAtomsAndPtrs(atoms, children, sibling)
+	if err != nil {
+		return err
+	}
+	return s.st.Update(cur, rec)
+}
+
+func giOf(tt *model.TableType, attr int) int {
+	gi := 0
+	for _, ti := range tt.TableIndexes() {
+		if ti == attr {
+			return gi
+		}
+		gi++
+	}
+	return -1
+}
+
+func encodeAtomsAndPtrs(atoms []model.Value, children []page.TID, sibling page.TID) ([]byte, error) {
+	body, err := model.EncodeAtoms(atoms)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range children {
+		body = page.AppendTID(body, c)
+	}
+	return page.AppendTID(body, sibling), nil
+}

@@ -1,0 +1,192 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Compare orders two atomic values of the same kind. It returns
+// -1, 0, +1. Null sorts before every non-null value; two nulls are
+// equal. Comparing values of different non-null kinds is an error
+// (the language layer coerces Int/Float before calling Compare).
+func Compare(a, b Value) (int, error) {
+	an, bn := IsNull(a), IsNull(b)
+	switch {
+	case an && bn:
+		return 0, nil
+	case an:
+		return -1, nil
+	case bn:
+		return 1, nil
+	}
+	if a.Kind() == KindTable || b.Kind() == KindTable {
+		return 0, fmt.Errorf("model: cannot compare table values")
+	}
+	// Numeric cross-kind comparison: promote Int to Float.
+	if a.Kind() != b.Kind() {
+		af, aok := toFloat(a)
+		bf, bok := toFloat(b)
+		if aok && bok {
+			return cmpOrdered(af, bf), nil
+		}
+		return 0, fmt.Errorf("model: cannot compare %s with %s", a.Kind(), b.Kind())
+	}
+	switch av := a.(type) {
+	case Int:
+		return cmpOrdered(av, b.(Int)), nil
+	case Float:
+		return cmpOrdered(av, b.(Float)), nil
+	case Str:
+		return cmpOrdered(av, b.(Str)), nil
+	case Time:
+		return cmpOrdered(av, b.(Time)), nil
+	case Bool:
+		bb := b.(Bool)
+		switch {
+		case av == bb:
+			return 0, nil
+		case !bool(av):
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	return 0, fmt.Errorf("model: cannot compare values of kind %s", a.Kind())
+}
+
+func toFloat(v Value) (float64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return float64(x), true
+	case Float:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+func cmpOrdered[T int64 | float64 | string | Int | Float | Str | Time](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AtomEqual reports whether two atomic values are equal under Compare
+// semantics (nulls equal each other only).
+func AtomEqual(a, b Value) bool {
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// ValueEqual reports deep equality of two values. Tables compare with
+// list semantics when ordered and bag semantics when unordered.
+func ValueEqual(a, b Value) bool {
+	at, aIsT := a.(*Table)
+	bt, bIsT := b.(*Table)
+	if aIsT != bIsT {
+		return false
+	}
+	if aIsT {
+		return TableEqual(at, bt)
+	}
+	return AtomEqual(a, b)
+}
+
+// TupleEqual reports deep equality of two tuples.
+func TupleEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ValueEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TableEqual reports equality of two table values. Ordered tables
+// (lists) must match tuple-for-tuple in order; unordered tables
+// (relations) are compared as bags via canonical sorting.
+func TableEqual(a, b *Table) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Ordered != b.Ordered || len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	if a.Ordered {
+		for i := range a.Tuples {
+			if !TupleEqual(a.Tuples[i], b.Tuples[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	ak := canonicalKeys(a)
+	bk := canonicalKeys(b)
+	for i := range ak {
+		if ak[i] != bk[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func canonicalKeys(t *Table) []string {
+	keys := make([]string, len(t.Tuples))
+	for i, tup := range t.Tuples {
+		keys[i] = CanonicalTuple(tup)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CanonicalTuple renders a tuple to a canonical string usable as a map
+// key for bag comparison and duplicate elimination. Unordered
+// subtables are canonicalized by sorting their members' canonical
+// forms, so two relations that are equal as sets of (recursively
+// canonicalized) tuples produce the same key.
+func CanonicalTuple(tup Tuple) string {
+	s := "("
+	for i, v := range tup {
+		if i > 0 {
+			s += "|"
+		}
+		s += canonicalValue(v)
+	}
+	return s + ")"
+}
+
+func canonicalValue(v Value) string {
+	if IsNull(v) {
+		return "∅"
+	}
+	tbl, ok := v.(*Table)
+	if !ok {
+		return v.Kind().String() + ":" + v.String()
+	}
+	keys := make([]string, len(tbl.Tuples))
+	for i, tup := range tbl.Tuples {
+		keys[i] = CanonicalTuple(tup)
+	}
+	if !tbl.Ordered {
+		sort.Strings(keys)
+	}
+	open, close := "{", "}"
+	if tbl.Ordered {
+		open, close = "<", ">"
+	}
+	s := open
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k
+	}
+	return s + close
+}

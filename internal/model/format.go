@@ -1,0 +1,213 @@
+package model
+
+import (
+	"strings"
+)
+
+// FormatTable renders an NF² table in the layout the paper's Tables
+// 1-8 use: a hierarchical header (subtable columns carry their own
+// nested header, with relations marked { } and lists < >) above the
+// tuples, nested cells laid out inside their parent column.
+func FormatTable(name string, tt *TableType, tbl *Table) string {
+	cols := measureCols(tt, tbl.Tuples)
+	var b strings.Builder
+	title := decorate(name, tt.Ordered)
+	b.WriteString(title)
+	b.WriteByte('\n')
+
+	headerLines := headerDepth(tt)
+	header := make([]string, headerLines)
+	renderHeader(cols, header, 0)
+	total := 0
+	for i, c := range cols {
+		if i > 0 {
+			total += 3
+		}
+		total += c.width
+	}
+	rule := strings.Repeat("-", total)
+	b.WriteString(rule)
+	b.WriteByte('\n')
+	for _, l := range header {
+		b.WriteString(strings.TrimRight(l, " "))
+		b.WriteByte('\n')
+	}
+	b.WriteString(rule)
+	b.WriteByte('\n')
+	for i, tup := range tbl.Tuples {
+		if i > 0 {
+			b.WriteString(strings.Repeat("·", total))
+			b.WriteByte('\n')
+		}
+		for _, l := range renderTuple(cols, tup) {
+			b.WriteString(strings.TrimRight(l, " "))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString(rule)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+type colSpec struct {
+	attr     Attr
+	width    int
+	children []*colSpec
+}
+
+func decorate(name string, ordered bool) string {
+	if ordered {
+		return "< " + name + " >"
+	}
+	return "{ " + name + " }"
+}
+
+func displayVal(v Value) string {
+	if v == nil {
+		return "NULL"
+	}
+	return v.String()
+}
+
+// measureCols computes column widths bottom-up over all tuples.
+func measureCols(tt *TableType, tuples []Tuple) []*colSpec {
+	cols := make([]*colSpec, len(tt.Attrs))
+	for i, a := range tt.Attrs {
+		c := &colSpec{attr: a}
+		if a.Type.Kind == KindTable {
+			var sub []Tuple
+			for _, tup := range tuples {
+				if t, ok := tup[i].(*Table); ok && t != nil {
+					sub = append(sub, t.Tuples...)
+				}
+			}
+			c.children = measureCols(a.Type.Table, sub)
+			w := 0
+			for j, ch := range c.children {
+				if j > 0 {
+					w += 3
+				}
+				w += ch.width
+			}
+			name := decorate(a.Name, a.Type.Table.Ordered)
+			if len(name) > w {
+				w = len(name)
+				// Widen the last child so children fill the parent.
+				if n := len(c.children); n > 0 {
+					deficit := w
+					for j, ch := range c.children {
+						if j > 0 {
+							deficit -= 3
+						}
+						if j < n-1 {
+							deficit -= ch.width
+						}
+					}
+					c.children[n-1].width = deficit
+				}
+			}
+			c.width = w
+		} else {
+			w := len(a.Name)
+			for _, tup := range tuples {
+				if l := len(displayVal(tup[i])); l > w {
+					w = l
+				}
+			}
+			c.width = w
+		}
+		cols[i] = c
+	}
+	return cols
+}
+
+func headerDepth(tt *TableType) int { return tt.Depth() }
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// renderHeader fills lines[level:] with this level's attribute names
+// and, below table attributes, their nested headers.
+func renderHeader(cols []*colSpec, lines []string, level int) {
+	for i, c := range cols {
+		if i > 0 {
+			for l := range lines[level:] {
+				lines[level+l] += "   "
+			}
+		}
+		name := c.attr.Name
+		if c.attr.Type.Kind == KindTable {
+			name = decorate(c.attr.Name, c.attr.Type.Table.Ordered)
+		}
+		start := len(lines[level])
+		lines[level] += pad(name, c.width)
+		if c.attr.Type.Kind == KindTable {
+			// Align nested header lines under this column.
+			for l := level + 1; l < len(lines); l++ {
+				if len(lines[l]) < start {
+					lines[l] += strings.Repeat(" ", start-len(lines[l]))
+				}
+			}
+			sub := make([]string, len(lines)-level-1)
+			renderHeader(c.children, sub, 0)
+			for l, s := range sub {
+				lines[level+1+l] += pad(s, c.width)
+			}
+		} else {
+			for l := level + 1; l < len(lines); l++ {
+				if len(lines[l]) < start {
+					lines[l] += strings.Repeat(" ", start-len(lines[l]))
+				}
+				lines[l] += pad("", c.width)
+			}
+		}
+	}
+}
+
+// renderTuple renders one tuple as a block of lines; nested tables
+// stack their subtuples vertically inside the parent column.
+func renderTuple(cols []*colSpec, tup Tuple) []string {
+	cells := make([][]string, len(cols))
+	height := 1
+	for i, c := range cols {
+		var block []string
+		if c.attr.Type.Kind == KindTable {
+			tbl, _ := tup[i].(*Table)
+			if tbl != nil {
+				for _, sub := range tbl.Tuples {
+					block = append(block, renderTuple(c.children, sub)...)
+				}
+			}
+			if len(block) == 0 {
+				block = []string{pad("", c.width)}
+			}
+		} else {
+			block = []string{pad(displayVal(tup[i]), c.width)}
+		}
+		for l := range block {
+			block[l] = pad(block[l], c.width)
+		}
+		cells[i] = block
+		if len(block) > height {
+			height = len(block)
+		}
+	}
+	lines := make([]string, height)
+	for l := 0; l < height; l++ {
+		for i, block := range cells {
+			if i > 0 {
+				lines[l] += "   "
+			}
+			if l < len(block) {
+				lines[l] += block[l]
+			} else {
+				lines[l] += pad("", cols[i].width)
+			}
+		}
+	}
+	return lines
+}

@@ -1,0 +1,288 @@
+package model
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func deptType() *TableType {
+	return MustTableType(false,
+		Attr{Name: "DNO", Type: AtomicType(KindInt)},
+		Attr{Name: "PROJECTS", Type: TableOf(false,
+			Attr{Name: "PNO", Type: AtomicType(KindInt)},
+			Attr{Name: "MEMBERS", Type: TableOf(false,
+				Attr{Name: "EMPNO", Type: AtomicType(KindInt)})},
+		)},
+		Attr{Name: "BUDGET", Type: AtomicType(KindInt)},
+	)
+}
+
+func TestTableTypeBasics(t *testing.T) {
+	tt := deptType()
+	if tt.Flat() {
+		t.Error("nested type reported flat")
+	}
+	if d := tt.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	if got := tt.AtomicIndexes(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("AtomicIndexes = %v", got)
+	}
+	if got := tt.TableIndexes(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("TableIndexes = %v", got)
+	}
+	if i := tt.AttrIndex("BUDGET"); i != 2 {
+		t.Errorf("AttrIndex(BUDGET) = %d", i)
+	}
+	if i := tt.AttrIndex("NOPE"); i != -1 {
+		t.Errorf("AttrIndex(NOPE) = %d", i)
+	}
+	if !tt.Equal(tt.Clone()) {
+		t.Error("Clone not Equal")
+	}
+}
+
+func TestTableTypeValidate(t *testing.T) {
+	cases := []struct {
+		name  string
+		attrs []Attr
+	}{
+		{"duplicate", []Attr{{Name: "A", Type: AtomicType(KindInt)}, {Name: "A", Type: AtomicType(KindInt)}}},
+		{"empty name", []Attr{{Name: "", Type: AtomicType(KindInt)}}},
+		{"invalid type", []Attr{{Name: "A", Type: Type{}}}},
+		{"nil subtable", []Attr{{Name: "A", Type: Type{Kind: KindTable}}}},
+		{"nested dup", []Attr{{Name: "A", Type: TableOf(false,
+			Attr{Name: "X", Type: AtomicType(KindInt)}, Attr{Name: "X", Type: AtomicType(KindInt)})}}},
+	}
+	for _, c := range cases {
+		if _, err := NewTableType(false, c.attrs...); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestConform(t *testing.T) {
+	tt := deptType()
+	ok := Tuple{Int(1), NewRelation(Tuple{Int(2), NewRelation(Tuple{Int(3)})}), Int(4)}
+	if err := Conform(tt, ok); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	bad := []Tuple{
+		{Int(1)},                                     // arity
+		{Int(1), NewRelation(), Str("x")},            // wrong atomic kind
+		{Int(1), NewList(), Int(4)},                  // ordering mismatch
+		{Int(1), Str("no table"), Int(4)},            // not a table
+		{Int(1), NewRelation(Tuple{Int(2)}), Int(4)}, // inner arity
+	}
+	for i, tup := range bad {
+		if err := Conform(tt, tup); err == nil {
+			t.Errorf("bad tuple %d accepted", i)
+		}
+	}
+	// Null is allowed for atomic attributes.
+	withNull := Tuple{Null{}, NewRelation(), Int(4)}
+	if err := Conform(tt, withNull); err != nil {
+		t.Errorf("null rejected: %v", err)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Str("b"), Str("a"), 1},
+		{Float(1.5), Float(1.5), 0},
+		{Int(2), Float(2.5), -1}, // numeric promotion
+		{Float(3), Int(2), 1},
+		{Bool(false), Bool(true), -1},
+		{Null{}, Int(0), -1},
+		{Int(0), Null{}, 1},
+		{Null{}, Null{}, 0},
+		{TimeOf(time.Unix(1, 0)), TimeOf(time.Unix(2, 0)), -1},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Compare(Str("x"), Int(1)); err == nil {
+		t.Error("cross-kind compare succeeded")
+	}
+	if _, err := Compare(NewRelation(), NewRelation()); err == nil {
+		t.Error("table compare succeeded")
+	}
+}
+
+func TestTableEqualBagSemantics(t *testing.T) {
+	a := NewRelation(Tuple{Int(1)}, Tuple{Int(2)})
+	b := NewRelation(Tuple{Int(2)}, Tuple{Int(1)})
+	if !TableEqual(a, b) {
+		t.Error("unordered tables with same bag not equal")
+	}
+	al := NewList(Tuple{Int(1)}, Tuple{Int(2)})
+	bl := NewList(Tuple{Int(2)}, Tuple{Int(1)})
+	if TableEqual(al, bl) {
+		t.Error("ordered tables with different order equal")
+	}
+	dup := NewRelation(Tuple{Int(1)}, Tuple{Int(1)})
+	single := NewRelation(Tuple{Int(1)}, Tuple{Int(2)})
+	if TableEqual(dup, single) {
+		t.Error("different bags equal")
+	}
+}
+
+func TestAtomsCodecRoundTrip(t *testing.T) {
+	vals := []Value{Int(-42), Str("héllo"), Float(3.25), Bool(true), Null{}, TimeOf(time.Unix(123, 456))}
+	enc, err := EncodeAtoms(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAtoms(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if !AtomEqual(got[i], vals[i]) {
+			t.Errorf("value %d: got %v want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestAtomsCodecCorrupt(t *testing.T) {
+	vals := []Value{Int(1), Str("abc")}
+	enc, _ := EncodeAtoms(vals)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeAtoms(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeAtoms(append(enc, 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// Property: EncodeAtoms/DecodeAtoms round-trips arbitrary int/string
+// mixes.
+func TestAtomsCodecQuick(t *testing.T) {
+	f := func(ints []int64, strs []string) bool {
+		var vals []Value
+		for _, i := range ints {
+			vals = append(vals, Int(i))
+		}
+		for _, s := range strs {
+			vals = append(vals, Str(s))
+		}
+		enc, err := EncodeAtoms(vals)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeAtoms(enc)
+		if err != nil || len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if !AtomEqual(got[i], vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EncodeKeyValue preserves ordering for ints.
+func TestKeyEncodingOrderQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, _ := EncodeKeyValue(Int(a))
+		kb, _ := EncodeKeyValue(Int(b))
+		cmp, _ := Compare(Int(a), Int(b))
+		return bytes.Compare(ka, kb) == cmp
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyEncodingOrderFloatInt(t *testing.T) {
+	pairs := []struct{ a, b Value }{
+		{Int(1), Float(1.5)},
+		{Float(-2.5), Int(-2)},
+		{Int(0), Float(0)},
+		{Float(math.Inf(-1)), Int(math.MinInt64)},
+		{Null{}, Int(math.MinInt64)},
+		{Str("a"), Str("ab")},
+		{Bool(false), Bool(true)},
+	}
+	for _, p := range pairs {
+		ka, err := EncodeKeyValue(p.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := EncodeKeyValue(p.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmp, err := Compare(p.a, p.b)
+		if err != nil {
+			// Cross-class comparisons (Null vs Int etc.) order by tag.
+			cmp = bytes.Compare(ka[:1], kb[:1])
+		}
+		if bytes.Compare(ka, kb) != cmp {
+			t.Errorf("key order of %v vs %v diverges from Compare", p.a, p.b)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	tt := deptType()
+	tbl := NewRelation(
+		Tuple{Int(314), NewRelation(
+			Tuple{Int(17), NewRelation(Tuple{Int(39582)}, Tuple{Int(56019)})},
+			Tuple{Int(23), NewRelation(Tuple{Int(58912)})},
+		), Int(320000)},
+	)
+	out := FormatTable("DEPARTMENTS", tt, tbl)
+	for _, want := range []string{"{ DEPARTMENTS }", "DNO", "{ PROJECTS }", "PNO", "{ MEMBERS }", "EMPNO", "314", "17", "39582", "56019", "23", "58912", "320000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Members of project 17 must appear before project 23's.
+	if strings.Index(out, "56019") > strings.Index(out, "58912") {
+		t.Errorf("nested rows out of order:\n%s", out)
+	}
+}
+
+func TestTupleCloneDeep(t *testing.T) {
+	orig := Tuple{Int(1), NewRelation(Tuple{Int(2)})}
+	cp := orig.Clone()
+	cp[1].(*Table).Tuples[0][0] = Int(99)
+	if orig[1].(*Table).Tuples[0][0].(Int) != 2 {
+		t.Error("Clone shares nested state")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	if NewList(Tuple{Str("a")}).String() != `<("a")>` {
+		t.Errorf("list rendering = %s", NewList(Tuple{Str("a")}).String())
+	}
+	if NewRelation().String() != "{}" {
+		t.Errorf("empty relation = %s", NewRelation().String())
+	}
+	if Bool(true).String() != "TRUE" || (Null{}).String() != "NULL" {
+		t.Error("atomic rendering wrong")
+	}
+}

@@ -1,0 +1,237 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Value is an attribute value in the extended NF² data model: either
+// an atomic value (Int, Float, String, Bool, Time, Null) or a Table.
+type Value interface {
+	// Kind returns the kind of the value. Null values report the kind
+	// KindInvalid and must be tested with IsNull.
+	Kind() Kind
+	// String renders the value for display.
+	String() string
+}
+
+// Int is an atomic integer value.
+type Int int64
+
+// Kind implements Value.
+func (Int) Kind() Kind { return KindInt }
+
+func (v Int) String() string { return strconv.FormatInt(int64(v), 10) }
+
+// Float is an atomic floating-point value.
+type Float float64
+
+// Kind implements Value.
+func (Float) Kind() Kind { return KindFloat }
+
+func (v Float) String() string { return strconv.FormatFloat(float64(v), 'g', -1, 64) }
+
+// String_ would stutter; the atomic string value is called Str.
+type Str string
+
+// Kind implements Value.
+func (Str) Kind() Kind { return KindString }
+
+func (v Str) String() string { return string(v) }
+
+// Bool is an atomic boolean value.
+type Bool bool
+
+// Kind implements Value.
+func (Bool) Kind() Kind { return KindBool }
+
+func (v Bool) String() string {
+	if v {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// Time is an atomic instant, stored with nanosecond precision in UTC.
+type Time int64
+
+// Kind implements Value.
+func (Time) Kind() Kind { return KindTime }
+
+func (v Time) String() string { return v.Time().Format(time.RFC3339Nano) }
+
+// Time converts the value to a time.Time in UTC.
+func (v Time) Time() time.Time { return time.Unix(0, int64(v)).UTC() }
+
+// TimeOf converts a time.Time to a Time value.
+func TimeOf(t time.Time) Time { return Time(t.UnixNano()) }
+
+// Null is the atomic null value. It is a member of every atomic
+// domain; table-valued attributes use an empty Table instead.
+type Null struct{}
+
+// Kind implements Value.
+func (Null) Kind() Kind { return KindInvalid }
+
+func (Null) String() string { return "NULL" }
+
+// IsNull reports whether v is the null value (or a nil Value).
+func IsNull(v Value) bool {
+	if v == nil {
+		return true
+	}
+	_, ok := v.(Null)
+	return ok
+}
+
+// Tuple is one tuple (object or subobject) of a table: its attribute
+// values in schema order. Components may be atomic values or *Table
+// values for table-valued attributes.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	cp := make(Tuple, len(t))
+	for i, v := range t {
+		if tbl, ok := v.(*Table); ok {
+			cp[i] = tbl.Clone()
+		} else {
+			cp[i] = v
+		}
+	}
+	return cp
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if v == nil {
+			b.WriteString("NULL")
+		} else if s, ok := v.(Str); ok {
+			b.WriteString(strconv.Quote(string(s)))
+		} else {
+			b.WriteString(v.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Table is a table value: a collection of tuples that is either
+// ordered (a list, tuple order significant) or unordered (a relation,
+// tuple order irrelevant for equality).
+type Table struct {
+	Ordered bool
+	Tuples  []Tuple
+}
+
+// NewRelation returns an unordered table value holding the given
+// tuples.
+func NewRelation(tuples ...Tuple) *Table { return &Table{Ordered: false, Tuples: tuples} }
+
+// NewList returns an ordered table value holding the given tuples.
+func NewList(tuples ...Tuple) *Table { return &Table{Ordered: true, Tuples: tuples} }
+
+// Kind implements Value.
+func (*Table) Kind() Kind { return KindTable }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.Tuples) }
+
+// Append adds tuples at the end of the table.
+func (t *Table) Append(tuples ...Tuple) { t.Tuples = append(t.Tuples, tuples...) }
+
+// Clone returns a deep copy of the table value.
+func (t *Table) Clone() *Table {
+	if t == nil {
+		return nil
+	}
+	cp := &Table{Ordered: t.Ordered, Tuples: make([]Tuple, len(t.Tuples))}
+	for i, tup := range t.Tuples {
+		cp.Tuples[i] = tup.Clone()
+	}
+	return cp
+}
+
+// String renders the table with { } for relations and < > for lists,
+// matching the notation of the paper's figures.
+func (t *Table) String() string {
+	open, close := "{", "}"
+	if t.Ordered {
+		open, close = "<", ">"
+	}
+	var b strings.Builder
+	b.WriteString(open)
+	for i, tup := range t.Tuples {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(tup.String())
+	}
+	b.WriteString(close)
+	return b.String()
+}
+
+// Conform checks that the tuple matches the table type: correct arity,
+// each component of the declared kind (or Null for atomic attributes),
+// and subtables conforming recursively, including their Ordered flag.
+func Conform(tt *TableType, tup Tuple) error {
+	if len(tup) != len(tt.Attrs) {
+		return fmt.Errorf("model: tuple has %d values, type %s has %d attributes", len(tup), tt, len(tt.Attrs))
+	}
+	for i, a := range tt.Attrs {
+		v := tup[i]
+		if a.Type.Kind == KindTable {
+			tbl, ok := v.(*Table)
+			if !ok || tbl == nil {
+				return fmt.Errorf("model: attribute %q requires a table value, got %v", a.Name, v)
+			}
+			if tbl.Ordered != a.Type.Table.Ordered {
+				return fmt.Errorf("model: attribute %q ordering mismatch (want ordered=%v)", a.Name, a.Type.Table.Ordered)
+			}
+			for j, sub := range tbl.Tuples {
+				if err := Conform(a.Type.Table, sub); err != nil {
+					return fmt.Errorf("model: attribute %q tuple %d: %w", a.Name, j, err)
+				}
+			}
+			continue
+		}
+		if IsNull(v) {
+			continue
+		}
+		if v.Kind() != a.Type.Kind {
+			return fmt.Errorf("model: attribute %q requires %s, got %s value %v", a.Name, a.Type.Kind, v.Kind(), v)
+		}
+	}
+	return nil
+}
+
+// Atoms extracts the atomic attribute values of the tuple, in
+// declaration order. These are exactly the values stored in the
+// tuple's data subtuple (§4.1).
+func Atoms(tt *TableType, tup Tuple) []Value {
+	idx := tt.AtomicIndexes()
+	out := make([]Value, len(idx))
+	for i, j := range idx {
+		out[i] = tup[j]
+	}
+	return out
+}
+
+// Subtables extracts the table-valued attribute values of the tuple,
+// in declaration order, paired with their attribute definitions.
+func Subtables(tt *TableType, tup Tuple) []*Table {
+	idx := tt.TableIndexes()
+	out := make([]*Table, len(idx))
+	for i, j := range idx {
+		out[i], _ = tup[j].(*Table)
+	}
+	return out
+}

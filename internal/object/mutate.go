@@ -1,0 +1,369 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/page"
+)
+
+// giOf maps an attribute index to its position among the level's
+// table-valued attributes.
+func giOf(tt *model.TableType, attr int) (int, error) {
+	if attr < 0 || attr >= len(tt.Attrs) || tt.Attrs[attr].Type.Kind != model.KindTable {
+		return 0, fmt.Errorf("%w: attr %d is not a subtable", ErrBadPath, attr)
+	}
+	gi := 0
+	for _, ti := range tt.TableIndexes() {
+		if ti == attr {
+			return gi, nil
+		}
+		gi++
+	}
+	return 0, fmt.Errorf("%w: attr %d is not a subtable", ErrBadPath, attr)
+}
+
+// UpdateAtoms overwrites the atomic attribute values of the
+// (sub)object addressed by steps. Only the data subtuple is touched;
+// the Mini Directory is not changed at all — the separation of
+// structure and data at work.
+func (m *Manager) UpdateAtoms(tt *model.TableType, ref Ref, vals []model.Value, steps ...Step) error {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return err
+	}
+	lt, lh, err := m.locate(o, tt, h, steps)
+	if err != nil {
+		return err
+	}
+	idx := lt.AtomicIndexes()
+	if len(vals) != len(idx) {
+		return fmt.Errorf("object: %d atomic values, level has %d atomic attributes", len(vals), len(idx))
+	}
+	for i, ai := range idx {
+		if model.IsNull(vals[i]) {
+			continue
+		}
+		if vals[i].Kind() != lt.Attrs[ai].Type.Kind {
+			return fmt.Errorf("object: attribute %q requires %s, got %s", lt.Attrs[ai].Name, lt.Attrs[ai].Type.Kind, vals[i].Kind())
+		}
+	}
+	payload, err := model.EncodeAtoms(vals)
+	if err != nil {
+		return err
+	}
+	return o.update(lh.d, payload)
+}
+
+// InsertMember inserts a new member tuple into the subtable attr of
+// the (sub)object addressed by steps, at position pos (-1 appends; for
+// ordered subtables the position defines the list order). Only the
+// affected subtable's structural information is rewritten.
+func (m *Manager) InsertMember(tt *model.TableType, ref Ref, steps []Step, attr, pos int, member model.Tuple) error {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return err
+	}
+	rootBody := body
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return err
+	}
+	lt, lh, err := m.locate(o, tt, h, steps)
+	if err != nil {
+		return err
+	}
+	gi, err := giOf(lt, attr)
+	if err != nil {
+		return err
+	}
+	sub := lt.Attrs[attr].Type.Table
+	if err := model.Conform(sub, member); err != nil {
+		return err
+	}
+
+	switch m.layout {
+	case SS1, SS2:
+		// Build the member and obtain the single pointer recorded in
+		// the parent structure.
+		var ptr page.MiniTID
+		if sub.Flat() {
+			ptr, err = placeAtoms(o, sub, member)
+		} else {
+			var nodeBody []byte
+			nodeBody, err = m.buildLevel(o, sub, member)
+			if err == nil {
+				ptr, err = o.place(nodeBody)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if m.layout == SS1 {
+			// Splice the pointer into the subtable MD subtuple.
+			raw, err := o.read(lh.subC[gi])
+			if err != nil {
+				return err
+			}
+			r := &reader{b: raw}
+			n := r.count()
+			ptrs := make([]page.MiniTID, n)
+			for i := range ptrs {
+				ptrs[i] = r.mini()
+			}
+			if r.err != nil {
+				return r.err
+			}
+			ptrs, err = spliceIn(ptrs, pos, ptr)
+			if err != nil {
+				return err
+			}
+			if err := o.update(lh.subC[gi], encodePtrList(ptrs)); err != nil {
+				return err
+			}
+		} else {
+			// SS2: the group lives inline in the parent node body.
+			g, err := spliceIn(lh.groups[gi], pos, ptr)
+			if err != nil {
+				return err
+			}
+			lh.groups[gi] = g
+			nb := m.encodeNode(lh)
+			if lh.isRoot {
+				rootBody = nb
+				o.dirty = true
+			} else if err := o.update(lh.self, nb); err != nil {
+				return err
+			}
+		}
+	case SS3:
+		// Build the member's embedded entry and splice it into the
+		// subtable MD subtuple.
+		var entry []byte
+		if sub.Flat() {
+			d, err := placeAtoms(o, sub, member)
+			if err != nil {
+				return err
+			}
+			entry = page.AppendMiniTID(nil, d)
+		} else {
+			entry, err = m.buildLevel(o, sub, member)
+			if err != nil {
+				return err
+			}
+		}
+		raw, err := o.read(lh.subC[gi])
+		if err != nil {
+			return err
+		}
+		n, sz := binary.Uvarint(raw)
+		if sz <= 0 {
+			return fmt.Errorf("object: corrupt subtable MD")
+		}
+		es := len(entry)
+		bodyBytes := raw[sz:]
+		if pos < 0 {
+			pos = int(n)
+		}
+		if pos > int(n) {
+			return fmt.Errorf("%w: position %d of %d members", ErrBadPath, pos, n)
+		}
+		nb := binary.AppendUvarint(nil, n+1)
+		nb = append(nb, bodyBytes[:pos*es]...)
+		nb = append(nb, entry...)
+		nb = append(nb, bodyBytes[pos*es:]...)
+		if err := o.update(lh.subC[gi], nb); err != nil {
+			return err
+		}
+	}
+	if o.dirty {
+		return o.flushRoot(rootBody)
+	}
+	return nil
+}
+
+func spliceIn(ptrs []page.MiniTID, pos int, ptr page.MiniTID) ([]page.MiniTID, error) {
+	if pos < 0 {
+		pos = len(ptrs)
+	}
+	if pos > len(ptrs) {
+		return nil, fmt.Errorf("%w: position %d of %d members", ErrBadPath, pos, len(ptrs))
+	}
+	out := make([]page.MiniTID, 0, len(ptrs)+1)
+	out = append(out, ptrs[:pos]...)
+	out = append(out, ptr)
+	out = append(out, ptrs[pos:]...)
+	return out, nil
+}
+
+func encodePtrList(ptrs []page.MiniTID) []byte {
+	b := binary.AppendUvarint(nil, uint64(len(ptrs)))
+	for _, p := range ptrs {
+		b = page.AppendMiniTID(b, p)
+	}
+	return b
+}
+
+// DeleteMember removes the member at position pos of subtable attr of
+// the (sub)object addressed by steps, freeing all its subtuples.
+func (m *Manager) DeleteMember(tt *model.TableType, ref Ref, steps []Step, attr, pos int) error {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return err
+	}
+	rootBody := body
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return err
+	}
+	lt, lh, err := m.locate(o, tt, h, steps)
+	if err != nil {
+		return err
+	}
+	gi, err := giOf(lt, attr)
+	if err != nil {
+		return err
+	}
+	sub := lt.Attrs[attr].Type.Table
+	hs, err := m.memberHandles(o, sub, lh, gi)
+	if err != nil {
+		return err
+	}
+	if pos < 0 || pos >= len(hs) {
+		return fmt.Errorf("%w: position %d of %d members", ErrBadPath, pos, len(hs))
+	}
+	mh := hs[pos]
+	// Free the member's subtuples.
+	if sub.Flat() {
+		if err := o.remove(mh.d); err != nil {
+			return err
+		}
+	} else {
+		if err := m.freeLevel(o, sub, mh); err != nil {
+			return err
+		}
+		if (m.layout == SS1 || m.layout == SS2) && !mh.self.Nil() {
+			if err := o.remove(mh.self); err != nil {
+				return err
+			}
+		}
+	}
+	// Remove the member's entry from the parent structure.
+	switch m.layout {
+	case SS1:
+		raw, err := o.read(lh.subC[gi])
+		if err != nil {
+			return err
+		}
+		r := &reader{b: raw}
+		n := r.count()
+		ptrs := make([]page.MiniTID, 0, n-1)
+		for i := 0; i < n; i++ {
+			p := r.mini()
+			if i != pos {
+				ptrs = append(ptrs, p)
+			}
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if err := o.update(lh.subC[gi], encodePtrList(ptrs)); err != nil {
+			return err
+		}
+	case SS2:
+		g := lh.groups[gi]
+		lh.groups[gi] = append(append([]page.MiniTID(nil), g[:pos]...), g[pos+1:]...)
+		nb := m.encodeNode(lh)
+		if lh.isRoot {
+			rootBody = nb
+			o.dirty = true
+		} else if err := o.update(lh.self, nb); err != nil {
+			return err
+		}
+	case SS3:
+		raw, err := o.read(lh.subC[gi])
+		if err != nil {
+			return err
+		}
+		n, sz := binary.Uvarint(raw)
+		if sz <= 0 {
+			return fmt.Errorf("object: corrupt subtable MD")
+		}
+		es := entrySize(sub)
+		if sub.Flat() {
+			es = page.EncodedMiniTIDLen
+		}
+		bodyBytes := raw[sz:]
+		nb := binary.AppendUvarint(nil, n-1)
+		nb = append(nb, bodyBytes[:pos*es]...)
+		nb = append(nb, bodyBytes[(pos+1)*es:]...)
+		if err := o.update(lh.subC[gi], nb); err != nil {
+			return err
+		}
+	}
+	if err := o.reap(); err != nil {
+		return err
+	}
+	if o.dirty {
+		return o.flushRoot(rootBody)
+	}
+	return nil
+}
+
+// freeLevel deletes all subtuples reachable from the handle (data
+// subtuples, subtable MDs and member nodes), excluding the node
+// record of the handle itself.
+func (m *Manager) freeLevel(o *objCtx, tt *model.TableType, h levelHandle) error {
+	for gi, ti := range tt.TableIndexes() {
+		sub := tt.Attrs[ti].Type.Table
+		hs, err := m.memberHandles(o, sub, h, gi)
+		if err != nil {
+			return err
+		}
+		for _, mh := range hs {
+			if sub.Flat() {
+				if err := o.remove(mh.d); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := m.freeLevel(o, sub, mh); err != nil {
+				return err
+			}
+			if (m.layout == SS1 || m.layout == SS2) && !mh.self.Nil() {
+				if err := o.remove(mh.self); err != nil {
+					return err
+				}
+			}
+		}
+		if m.layout == SS1 || m.layout == SS3 {
+			if err := o.remove(h.subC[gi]); err != nil {
+				return err
+			}
+		}
+	}
+	return o.remove(h.d)
+}
+
+// Delete removes the whole complex object: every data and MD subtuple
+// including the root. In a versioned store the subtuples are
+// tombstoned and the object remains readable with ReadAsOf.
+func (m *Manager) Delete(tt *model.TableType, ref Ref) error {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return err
+	}
+	if err := m.freeLevel(o, tt, h); err != nil {
+		return err
+	}
+	return m.st.Delete(ref)
+}

@@ -1,0 +1,244 @@
+package object
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// genType builds a random nested table type with bounded depth and
+// fan-out.
+func genType(rng *rand.Rand, depth int) *model.TableType {
+	nAttrs := 1 + rng.Intn(4)
+	attrs := make([]model.Attr, 0, nAttrs)
+	for i := 0; i < nAttrs; i++ {
+		name := fmt.Sprintf("A%d_%c", depth, 'A'+byte(i))
+		if depth > 0 && rng.Intn(3) == 0 {
+			attrs = append(attrs, model.Attr{
+				Name: name,
+				Type: model.Type{Kind: model.KindTable, Table: genType(rng, depth-1)},
+			})
+			continue
+		}
+		kinds := []model.Kind{model.KindInt, model.KindString, model.KindFloat, model.KindBool}
+		attrs = append(attrs, model.Attr{Name: name, Type: model.AtomicType(kinds[rng.Intn(len(kinds))])})
+	}
+	return &model.TableType{Ordered: rng.Intn(2) == 0, Attrs: attrs}
+}
+
+// genTuple builds a random tuple conforming to the type.
+func genTuple(rng *rand.Rand, tt *model.TableType, fanout int) model.Tuple {
+	tup := make(model.Tuple, len(tt.Attrs))
+	for i, a := range tt.Attrs {
+		switch a.Type.Kind {
+		case model.KindInt:
+			tup[i] = model.Int(rng.Int63n(1000))
+		case model.KindString:
+			tup[i] = model.Str(fmt.Sprintf("s%d", rng.Intn(100)))
+		case model.KindFloat:
+			tup[i] = model.Float(float64(rng.Intn(100)) / 4)
+		case model.KindBool:
+			tup[i] = model.Bool(rng.Intn(2) == 0)
+		case model.KindTable:
+			n := rng.Intn(fanout + 1)
+			tbl := &model.Table{Ordered: a.Type.Table.Ordered}
+			for j := 0; j < n; j++ {
+				tbl.Append(genTuple(rng, a.Type.Table, fanout-1))
+			}
+			tup[i] = tbl
+		}
+	}
+	return tup
+}
+
+// TestPropertyRandomSchemasRoundTrip inserts random tuples of random
+// nested schemas under every layout and checks exact round trips.
+func TestPropertyRandomSchemasRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 40; trial++ {
+		tt := genType(rng, 3)
+		if err := tt.Validate(); err != nil {
+			t.Fatalf("generated invalid type: %v", err)
+		}
+		tups := make([]model.Tuple, 3)
+		for i := range tups {
+			tups[i] = genTuple(rng, tt, 4)
+		}
+		for _, layout := range []Layout{SS1, SS2, SS3} {
+			st, _ := newTestStore(t, false)
+			m := NewManager(st, layout)
+			for i, tup := range tups {
+				ref, err := m.Insert(tt, tup)
+				if err != nil {
+					t.Fatalf("trial %d %s insert %d: %v\ntype: %s", trial, layout, i, err, tt)
+				}
+				got, err := m.Read(tt, ref)
+				if err != nil {
+					t.Fatalf("trial %d %s read %d: %v\ntype: %s", trial, layout, i, err, tt)
+				}
+				if !model.TupleEqual(got, tup) {
+					t.Fatalf("trial %d %s tuple %d mismatch\ntype: %s\n got %v\nwant %v",
+						trial, layout, i, tt, got, tup)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyRandomMutations applies a random sequence of member
+// inserts, member deletes and atom updates to a stored object and to
+// an in-memory shadow tuple, checking equality after every step.
+func TestPropertyRandomMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		tt := genType(rng, 2)
+		// Ensure at least one subtable so mutations have a target.
+		if len(tt.TableIndexes()) == 0 {
+			tt.Attrs = append(tt.Attrs, model.Attr{
+				Name: "SUB_X",
+				Type: model.TableOf(false, model.Attr{Name: "V", Type: model.AtomicType(model.KindInt)}),
+			})
+		}
+		shadow := genTuple(rng, tt, 3)
+		for _, layout := range []Layout{SS1, SS2, SS3} {
+			st, _ := newTestStore(t, false)
+			m := NewManager(st, layout)
+			ref, err := m.Insert(tt, shadow.Clone())
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, layout, err)
+			}
+			cur := shadow.Clone()
+			for step := 0; step < 30; step++ {
+				if err := mutateOnce(rng, m, tt, ref, cur); err != nil {
+					t.Fatalf("trial %d %s step %d: %v\ntype %s", trial, layout, step, err, tt)
+				}
+				got, err := m.Read(tt, ref)
+				if err != nil {
+					t.Fatalf("trial %d %s step %d read: %v", trial, layout, step, err)
+				}
+				if !model.TupleEqual(got, cur) {
+					t.Fatalf("trial %d %s step %d divergence\ntype %s\n got %v\nwant %v",
+						trial, layout, step, tt, got, cur)
+				}
+			}
+		}
+	}
+}
+
+// mutateOnce picks a random level of the object and applies one of:
+// insert member, delete member, update atoms — to both the store and
+// the shadow tuple.
+func mutateOnce(rng *rand.Rand, m *Manager, tt *model.TableType, ref Ref, shadow model.Tuple) error {
+	// Walk to a random level.
+	var steps []Step
+	levelT := tt
+	levelTup := shadow
+	for {
+		tis := levelT.TableIndexes()
+		if len(tis) == 0 || rng.Intn(2) == 0 {
+			break
+		}
+		attr := tis[rng.Intn(len(tis))]
+		tbl := levelTup[attr].(*model.Table)
+		if tbl.Len() == 0 || rng.Intn(3) == 0 {
+			// Operate on this subtable itself.
+			sub := levelT.Attrs[attr].Type.Table
+			if tbl.Len() > 0 && rng.Intn(3) == 0 {
+				pos := rng.Intn(tbl.Len())
+				if err := m.DeleteMember(tt, ref, steps, attr, pos); err != nil {
+					return fmt.Errorf("delete member: %w", err)
+				}
+				tbl.Tuples = append(tbl.Tuples[:pos], tbl.Tuples[pos+1:]...)
+				return nil
+			}
+			member := genTuple(rng, sub, 2)
+			pos := -1
+			if tbl.Len() > 0 && rng.Intn(2) == 0 {
+				pos = rng.Intn(tbl.Len() + 1)
+			}
+			if err := m.InsertMember(tt, ref, steps, attr, pos, member.Clone()); err != nil {
+				return fmt.Errorf("insert member: %w", err)
+			}
+			if pos < 0 {
+				tbl.Append(member)
+			} else {
+				tbl.Tuples = append(tbl.Tuples[:pos], append([]model.Tuple{member}, tbl.Tuples[pos:]...)...)
+			}
+			return nil
+		}
+		pos := rng.Intn(tbl.Len())
+		steps = append(steps, Step{Attr: attr, Pos: pos})
+		levelT = levelT.Attrs[attr].Type.Table
+		levelTup = tbl.Tuples[pos]
+	}
+	// Update this level's atoms.
+	idx := levelT.AtomicIndexes()
+	vals := make([]model.Value, len(idx))
+	for i, ai := range idx {
+		switch levelT.Attrs[ai].Type.Kind {
+		case model.KindInt:
+			vals[i] = model.Int(rng.Int63n(5000))
+		case model.KindString:
+			vals[i] = model.Str(fmt.Sprintf("u%d", rng.Intn(500)))
+		case model.KindFloat:
+			vals[i] = model.Float(float64(rng.Intn(500)) / 8)
+		case model.KindBool:
+			vals[i] = model.Bool(rng.Intn(2) == 0)
+		}
+	}
+	if err := m.UpdateAtoms(tt, ref, vals, steps...); err != nil {
+		return fmt.Errorf("update atoms: %w", err)
+	}
+	for i, ai := range idx {
+		levelTup[ai] = vals[i]
+	}
+	return nil
+}
+
+// TestPropertyVersionedMutationsASOF replays random mutations on a
+// versioned store, snapshotting the shadow state at random instants,
+// and verifies every snapshot with ReadAsOf afterwards.
+func TestPropertyVersionedMutationsASOF(t *testing.T) {
+	rng := rand.New(rand.NewSource(424))
+	for trial := 0; trial < 6; trial++ {
+		tt := genType(rng, 2)
+		if len(tt.TableIndexes()) == 0 {
+			tt.Attrs = append(tt.Attrs, model.Attr{
+				Name: "SUB_X",
+				Type: model.TableOf(false, model.Attr{Name: "V", Type: model.AtomicType(model.KindInt)}),
+			})
+		}
+		st, ticks := newVersionedStore(t)
+		m := NewManager(st, SS3)
+		shadow := genTuple(rng, tt, 3)
+		ref, err := m.Insert(tt, shadow.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		type snap struct {
+			ts  int64
+			tup model.Tuple
+		}
+		var snaps []snap
+		for step := 0; step < 25; step++ {
+			if err := mutateOnce(rng, m, tt, ref, shadow); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			if rng.Intn(4) == 0 {
+				snaps = append(snaps, snap{ts: *ticks, tup: shadow.Clone()})
+			}
+		}
+		for i, s := range snaps {
+			got, err := m.ReadAsOf(tt, ref, s.ts)
+			if err != nil {
+				t.Fatalf("trial %d snapshot %d: %v", trial, i, err)
+			}
+			if !model.TupleEqual(got, s.tup) {
+				t.Fatalf("trial %d snapshot %d (ts %d) mismatch\n got %v\nwant %v",
+					trial, i, s.ts, got, s.tup)
+			}
+		}
+	}
+}

@@ -1,0 +1,691 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/page"
+)
+
+// levelHandle is the decoded structural information of one
+// (sub)object: its data subtuple pointer plus, depending on the
+// layout, C pointers to subtable MD subtuples (SS1/SS3) or inline
+// member pointer groups (SS2). self records where the node body
+// lives so mutations can rewrite it: NilMini for the root (whose body
+// lives in the root MD subtuple) and for SS3 members (whose entry is
+// embedded in the parent subtable's MD subtuple).
+type levelHandle struct {
+	d      page.MiniTID
+	subC   []page.MiniTID   // SS1, SS3: one per subtable
+	groups [][]page.MiniTID // SS2: member pointers per subtable
+	self   page.MiniTID
+	isRoot bool
+	// SS3 members: location of the embedded entry.
+	parentMD  page.MiniTID
+	parentPos int
+}
+
+// rootHandle decodes the root node body.
+func (m *Manager) rootHandle(tt *model.TableType, body []byte) (levelHandle, error) {
+	h, err := m.parseNode(tt, body)
+	if err != nil {
+		return levelHandle{}, err
+	}
+	h.self = page.NilMini
+	h.isRoot = true
+	h.parentMD = page.NilMini
+	return h, nil
+}
+
+// memberHandles returns the handles of all members of subtable gi
+// (index among table-valued attributes) of the object level h, in
+// stored order. For flat subtables the handles carry only the data
+// pointer.
+func (m *Manager) memberHandles(o *objCtx, sub *model.TableType, h levelHandle, gi int) ([]levelHandle, error) {
+	switch m.layout {
+	case SS1:
+		raw, err := o.read(h.subC[gi])
+		if err != nil {
+			return nil, err
+		}
+		r := &reader{b: raw}
+		n := r.count()
+		out := make([]levelHandle, 0, n)
+		for i := 0; i < n; i++ {
+			ptr := r.mini()
+			if sub.Flat() {
+				out = append(out, levelHandle{d: ptr, self: page.NilMini, parentMD: h.subC[gi], parentPos: i})
+				continue
+			}
+			nodeRaw, err := o.read(ptr)
+			if err != nil {
+				return nil, err
+			}
+			mh, err := m.parseNode(sub, nodeRaw)
+			if err != nil {
+				return nil, err
+			}
+			mh.self = ptr
+			mh.parentMD = h.subC[gi]
+			mh.parentPos = i
+			out = append(out, mh)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		return out, nil
+	case SS2:
+		g := h.groups[gi]
+		out := make([]levelHandle, 0, len(g))
+		for i, ptr := range g {
+			if sub.Flat() {
+				out = append(out, levelHandle{d: ptr, self: page.NilMini, parentMD: page.NilMini, parentPos: i})
+				continue
+			}
+			nodeRaw, err := o.read(ptr)
+			if err != nil {
+				return nil, err
+			}
+			mh, err := m.parseNode(sub, nodeRaw)
+			if err != nil {
+				return nil, err
+			}
+			mh.self = ptr
+			mh.parentMD = page.NilMini
+			mh.parentPos = i
+			out = append(out, mh)
+		}
+		return out, nil
+	default: // SS3
+		raw, err := o.read(h.subC[gi])
+		if err != nil {
+			return nil, err
+		}
+		n, sz := binary.Uvarint(raw)
+		if sz <= 0 {
+			return nil, fmt.Errorf("object: corrupt subtable MD")
+		}
+		body := raw[sz:]
+		es := entrySize(sub)
+		if sub.Flat() {
+			es = page.EncodedMiniTIDLen
+		}
+		if len(body) != int(n)*es {
+			return nil, fmt.Errorf("object: subtable MD has %d bytes, want %d entries × %d", len(body), n, es)
+		}
+		out := make([]levelHandle, 0, n)
+		for i := 0; i < int(n); i++ {
+			chunk := body[i*es : (i+1)*es]
+			if sub.Flat() {
+				d, err := page.DecodeMiniTID(chunk)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, levelHandle{d: d, self: page.NilMini, parentMD: h.subC[gi], parentPos: i})
+				continue
+			}
+			mh, err := m.parseNode(sub, chunk)
+			if err != nil {
+				return nil, err
+			}
+			mh.self = page.NilMini // embedded entry, no own MD subtuple
+			mh.parentMD = h.subC[gi]
+			mh.parentPos = i
+			out = append(out, mh)
+		}
+		return out, nil
+	}
+}
+
+// readAtoms fetches and decodes the data subtuple of a level.
+func (o *objCtx) readAtoms(d page.MiniTID) ([]model.Value, error) {
+	raw, err := o.read(d)
+	if err != nil {
+		return nil, err
+	}
+	return model.DecodeAtoms(raw)
+}
+
+// assemble builds a model.Tuple from atom values and subtable values
+// in schema order. Data subtuples written before an ALTER TABLE ADD
+// carry fewer atoms than the current schema; the missing (newest)
+// attributes read as null.
+func assemble(tt *model.TableType, atoms []model.Value, subs []*model.Table) (model.Tuple, error) {
+	want := len(tt.AtomicIndexes())
+	if len(atoms) > want {
+		return nil, fmt.Errorf("object: data subtuple has %d atoms, schema wants %d", len(atoms), want)
+	}
+	for len(atoms) < want {
+		atoms = append(atoms, model.Null{})
+	}
+	tup := make(model.Tuple, len(tt.Attrs))
+	ai, si := 0, 0
+	for i, a := range tt.Attrs {
+		if a.Type.Kind == model.KindTable {
+			tup[i] = subs[si]
+			si++
+		} else {
+			tup[i] = atoms[ai]
+			ai++
+		}
+	}
+	return tup, nil
+}
+
+// readLevelH materializes the full (sub)object under the handle.
+func (m *Manager) readLevelH(o *objCtx, tt *model.TableType, h levelHandle) (model.Tuple, error) {
+	atoms, err := o.readAtoms(h.d)
+	if err != nil {
+		return nil, err
+	}
+	tis := tt.TableIndexes()
+	subs := make([]*model.Table, len(tis))
+	for gi, ti := range tis {
+		sub := tt.Attrs[ti].Type.Table
+		hs, err := m.memberHandles(o, sub, h, gi)
+		if err != nil {
+			return nil, err
+		}
+		tbl := &model.Table{Ordered: sub.Ordered}
+		for _, mh := range hs {
+			var mt model.Tuple
+			if sub.Flat() {
+				matoms, err := o.readAtoms(mh.d)
+				if err != nil {
+					return nil, err
+				}
+				mt, err = assemble(sub, matoms, nil)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				mt, err = m.readLevelH(o, sub, mh)
+				if err != nil {
+					return nil, err
+				}
+			}
+			tbl.Append(mt)
+		}
+		subs[gi] = tbl
+	}
+	return assemble(tt, atoms, subs)
+}
+
+// Read materializes the whole complex object.
+func (m *Manager) Read(tt *model.TableType, ref Ref) (model.Tuple, error) {
+	return m.ReadAsOf(tt, ref, 0)
+}
+
+// ReadAsOf materializes the complex object as of the given instant
+// (0 means current state). The store must be versioned for non-zero
+// timestamps.
+func (m *Manager) ReadAsOf(tt *model.TableType, ref Ref, asof int64) (model.Tuple, error) {
+	o, body, err := m.loadCtx(ref, asof)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	return m.readLevelH(o, tt, h)
+}
+
+// Step addresses one navigation move: descend into the table-valued
+// attribute Attr (an index into the level's Attrs) and select the
+// member at position Pos. Pos == -1 addresses the subtable itself
+// (only valid as the final step).
+type Step struct {
+	Attr int
+	Pos  int
+}
+
+// locate descends to the handle addressed by steps (all with
+// Pos >= 0) and returns it with the type of its level. The descent
+// touches only MD subtuples — "navigation in a complex object can be
+// done on the structural information without having to access the
+// data at all" (§4.1) — except SS2/SS1 member-node reads, which are
+// themselves MD subtuples.
+func (m *Manager) locate(o *objCtx, tt *model.TableType, h levelHandle, steps []Step) (*model.TableType, levelHandle, error) {
+	cur, curT := h, tt
+	for _, st := range steps {
+		if st.Attr < 0 || st.Attr >= len(curT.Attrs) || curT.Attrs[st.Attr].Type.Kind != model.KindTable {
+			return nil, levelHandle{}, fmt.Errorf("%w: attr %d is not a subtable", ErrBadPath, st.Attr)
+		}
+		gi := 0
+		for _, ti := range curT.TableIndexes() {
+			if ti == st.Attr {
+				break
+			}
+			gi++
+		}
+		sub := curT.Attrs[st.Attr].Type.Table
+		hs, err := m.memberHandles(o, sub, cur, gi)
+		if err != nil {
+			return nil, levelHandle{}, err
+		}
+		if st.Pos < 0 || st.Pos >= len(hs) {
+			return nil, levelHandle{}, fmt.Errorf("%w: position %d of %d members", ErrBadPath, st.Pos, len(hs))
+		}
+		cur, curT = hs[st.Pos], sub
+	}
+	return curT, cur, nil
+}
+
+// ReadSubobject materializes the subobject addressed by steps without
+// reading the rest of the object.
+func (m *Manager) ReadSubobject(tt *model.TableType, ref Ref, steps ...Step) (model.Tuple, error) {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	lt, lh, err := m.locate(o, tt, h, steps)
+	if err != nil {
+		return nil, err
+	}
+	if lt.Flat() {
+		atoms, err := o.readAtoms(lh.d)
+		if err != nil {
+			return nil, err
+		}
+		return assemble(lt, atoms, nil)
+	}
+	return m.readLevelH(o, lt, lh)
+}
+
+// ReadSubtable materializes one subtable instance: steps address a
+// subobject (possibly none for the top level) and attr names the
+// table-valued attribute to read.
+func (m *Manager) ReadSubtable(tt *model.TableType, ref Ref, attr int, steps ...Step) (*model.Table, error) {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	lt, lh, err := m.locate(o, tt, h, steps)
+	if err != nil {
+		return nil, err
+	}
+	if attr < 0 || attr >= len(lt.Attrs) || lt.Attrs[attr].Type.Kind != model.KindTable {
+		return nil, fmt.Errorf("%w: attr %d is not a subtable", ErrBadPath, attr)
+	}
+	gi := 0
+	for _, ti := range lt.TableIndexes() {
+		if ti == attr {
+			break
+		}
+		gi++
+	}
+	sub := lt.Attrs[attr].Type.Table
+	hs, err := m.memberHandles(o, sub, lh, gi)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &model.Table{Ordered: sub.Ordered}
+	for _, mh := range hs {
+		var mt model.Tuple
+		if sub.Flat() {
+			atoms, err := o.readAtoms(mh.d)
+			if err != nil {
+				return nil, err
+			}
+			mt, err = assemble(sub, atoms, nil)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			mt, err = m.readLevelH(o, sub, mh)
+			if err != nil {
+				return nil, err
+			}
+		}
+		tbl.Append(mt)
+	}
+	return tbl, nil
+}
+
+// ReadAtomsAt returns only the atomic attribute values of the
+// (sub)object addressed by steps — a partial retrieval that does not
+// touch the subobject's subtables.
+func (m *Manager) ReadAtomsAt(tt *model.TableType, ref Ref, steps ...Step) ([]model.Value, error) {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	_, lh, err := m.locate(o, tt, h, steps)
+	if err != nil {
+		return nil, err
+	}
+	return o.readAtoms(lh.d)
+}
+
+// ReadDataPath reads the data subtuple at the end of a hierarchical
+// address path (the Mini TIDs of the data subtuples of successive
+// complex subobjects, as in Fig 7b) with a single subtuple access
+// after loading the root — the direct location of "a certain piece of
+// data" that §4.2 demands from index addresses.
+func (m *Manager) ReadDataPath(ref Ref, dpath []page.MiniTID) ([]model.Value, error) {
+	o, _, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(dpath) == 0 {
+		return nil, fmt.Errorf("object: empty data path")
+	}
+	return o.readAtoms(dpath[len(dpath)-1])
+}
+
+// EnumLevel walks all subobjects at the level reached by following
+// tablePath (attribute indexes of table-valued attributes, outermost
+// first; empty = the objects' top level) and calls fn with each
+// subobject's hierarchical data path (Fig 7b: data subtuple Mini TIDs
+// of the subobjects from nesting level 1 down to this one — for the
+// top level, just its own data subtuple) and its atomic values.
+// Used to build indexes with hierarchical addresses.
+func (m *Manager) EnumLevel(tt *model.TableType, ref Ref, tablePath []int, fn func(dpath []page.MiniTID, atoms []model.Value) error) error {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return err
+	}
+	if len(tablePath) == 0 {
+		atoms, err := o.readAtoms(h.d)
+		if err != nil {
+			return err
+		}
+		return fn([]page.MiniTID{h.d}, atoms)
+	}
+	return m.enumLevelRec(o, tt, h, tablePath, nil, fn)
+}
+
+func (m *Manager) enumLevelRec(o *objCtx, tt *model.TableType, h levelHandle, tablePath []int, prefix []page.MiniTID, fn func([]page.MiniTID, []model.Value) error) error {
+	attr := tablePath[0]
+	if attr < 0 || attr >= len(tt.Attrs) || tt.Attrs[attr].Type.Kind != model.KindTable {
+		return fmt.Errorf("%w: attr %d is not a subtable", ErrBadPath, attr)
+	}
+	gi := 0
+	for _, ti := range tt.TableIndexes() {
+		if ti == attr {
+			break
+		}
+		gi++
+	}
+	sub := tt.Attrs[attr].Type.Table
+	hs, err := m.memberHandles(o, sub, h, gi)
+	if err != nil {
+		return err
+	}
+	for _, mh := range hs {
+		path := append(append([]page.MiniTID(nil), prefix...), mh.d)
+		if len(tablePath) == 1 {
+			atoms, err := o.readAtoms(mh.d)
+			if err != nil {
+				return err
+			}
+			if err := fn(path, atoms); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.enumLevelRec(o, sub, mh, tablePath[1:], path, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats describes the physical composition of one complex object —
+// the quantities compared across SS1/SS2/SS3 in §4.1 and /DGW85/.
+type Stats struct {
+	Layout        Layout
+	MDSubtuples   int // including the root MD subtuple
+	MDBytes       int
+	DataSubtuples int
+	DataBytes     int
+	Pointers      int // D and C pointers in all MD subtuples
+	Pages         int // pages in the local address space (excluding gaps)
+	PageListLen   int // page-list positions including gaps
+	PageListGaps  int // gap positions left by emptied pages (§4.1)
+}
+
+// ObjectStats walks the object's Mini Directory and tallies its
+// physical composition.
+func (m *Manager) ObjectStats(tt *model.TableType, ref Ref) (Stats, error) {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return Stats{}, err
+	}
+	s := Stats{Layout: m.layout, MDSubtuples: 1}
+	raw, err := m.st.Read(ref)
+	if err != nil {
+		return Stats{}, err
+	}
+	s.MDBytes += len(raw)
+	s.PageListLen = len(o.pages)
+	for _, pg := range o.pages {
+		if pg != 0 {
+			s.Pages++
+		} else {
+			s.PageListGaps++
+		}
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := m.statsLevel(o, tt, h, &s); err != nil {
+		return Stats{}, err
+	}
+	return s, nil
+}
+
+func (m *Manager) statsLevel(o *objCtx, tt *model.TableType, h levelHandle, s *Stats) error {
+	raw, err := o.read(h.d)
+	if err != nil {
+		return err
+	}
+	s.DataSubtuples++
+	s.DataBytes += len(raw)
+	// This level's own pointers: one D pointer plus, per layout, one C
+	// pointer per subtable (SS1/SS3) or one pointer per member in each
+	// inline group (SS2).
+	s.Pointers++
+	tis := tt.TableIndexes()
+	for gi, ti := range tis {
+		sub := tt.Attrs[ti].Type.Table
+		switch m.layout {
+		case SS1, SS3:
+			s.Pointers++ // C pointer to the subtable MD
+			mdRaw, err := o.read(h.subC[gi])
+			if err != nil {
+				return err
+			}
+			s.MDSubtuples++
+			s.MDBytes += len(mdRaw)
+			if m.layout == SS1 || (m.layout == SS3 && sub.Flat()) {
+				// SS1: the subtable MD holds one pointer per member.
+				// SS3 with flat members: each entry is one D pointer.
+				r := &reader{b: mdRaw}
+				s.Pointers += r.count()
+			}
+			// SS3 with complex members: the entries carry the members'
+			// own D and C pointers, counted in the recursion.
+		case SS2:
+			s.Pointers += len(h.groups[gi])
+		}
+		hs, err := m.memberHandles(o, sub, h, gi)
+		if err != nil {
+			return err
+		}
+		for _, mh := range hs {
+			if sub.Flat() {
+				mraw, err := o.read(mh.d)
+				if err != nil {
+					return err
+				}
+				s.DataSubtuples++
+				s.DataBytes += len(mraw)
+				continue
+			}
+			if m.layout == SS1 || m.layout == SS2 {
+				// The complex member has its own MD subtuple.
+				nraw, err := o.read(mh.self)
+				if err != nil {
+					return err
+				}
+				s.MDSubtuples++
+				s.MDBytes += len(nraw)
+			}
+			if err := m.statsLevel(o, sub, mh, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ResolveDataMini translates a Mini TID of the object's local address
+// space into its segment TID — used to build indexes with data-
+// subtuple addresses (the first, insufficient strategy of §4.2).
+func (m *Manager) ResolveDataMini(ref Ref, mt page.MiniTID) (page.TID, error) {
+	o, _, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return page.TID{}, err
+	}
+	return o.resolve(mt)
+}
+
+// DataPathAt returns the hierarchical data path (the Mini TIDs of the
+// data subtuples of the complex subobjects from level 1 down to the
+// target) for the subobject addressed by steps; empty steps address
+// the object itself, whose path is its own data subtuple.
+func (m *Manager) DataPathAt(tt *model.TableType, ref Ref, steps ...Step) ([]page.MiniTID, error) {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(steps) == 0 {
+		return []page.MiniTID{h.d}, nil
+	}
+	var path []page.MiniTID
+	cur, curT := h, tt
+	for _, st := range steps {
+		curT, cur, err = m.locate(o, curT, cur, []Step{st})
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, cur.d)
+	}
+	return path, nil
+}
+
+// FindByDataPath locates the subobject whose hierarchical data path
+// is dpath and returns the navigation steps to it — the inverse of
+// DataPathAt, used to resolve tuple names and index addresses back to
+// subobjects.
+func (m *Manager) FindByDataPath(tt *model.TableType, ref Ref, dpath []page.MiniTID) ([]Step, error) {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(dpath) == 1 && dpath[0] == h.d {
+		return []Step{}, nil
+	}
+	var steps []Step
+	cur, curT := h, tt
+	for _, want := range dpath {
+		found := false
+		for gi, ti := range curT.TableIndexes() {
+			sub := curT.Attrs[ti].Type.Table
+			hs, err := m.memberHandles(o, sub, cur, gi)
+			if err != nil {
+				return nil, err
+			}
+			for pos, mh := range hs {
+				if mh.d == want {
+					steps = append(steps, Step{Attr: ti, Pos: pos})
+					cur, curT = mh, sub
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: data path component %v not found", ErrBadPath, want)
+		}
+	}
+	return steps, nil
+}
+
+// HistoryAt returns the version history (newest first) of the atomic
+// attribute values of the (sub)object addressed by steps — the
+// walk-through-time access of §5, surfaced at the object level but,
+// as in the paper, not at the language interface.
+func (m *Manager) HistoryAt(tt *model.TableType, ref Ref, steps ...Step) ([]AtomsVersion, error) {
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	_, lh, err := m.locate(o, tt, h, steps)
+	if err != nil {
+		return nil, err
+	}
+	tid, err := o.resolve(lh.d)
+	if err != nil {
+		return nil, err
+	}
+	raws, err := m.st.History(tid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AtomsVersion, 0, len(raws))
+	for _, v := range raws {
+		av := AtomsVersion{FromTS: v.FromTS, Deleted: v.Deleted}
+		if !v.Deleted {
+			av.Atoms, err = model.DecodeAtoms(v.Payload)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, av)
+	}
+	return out, nil
+}
+
+// AtomsVersion is one historical state of a (sub)object's atomic
+// attribute values.
+type AtomsVersion struct {
+	FromTS  int64
+	Atoms   []model.Value
+	Deleted bool
+}

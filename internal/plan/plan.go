@@ -1,0 +1,305 @@
+// Package plan selects access paths for NF² queries. Following §4.2
+// of the paper, it inspects the conjuncts of a query's WHERE clause
+// for predicates that an index can answer:
+//
+//   - direct restrictions x.A = literal on a top-level attribute;
+//   - EXISTS chains like EXISTS y IN x.PROJECTS EXISTS z IN
+//     y.MEMBERS: z.FUNCTION = 'Consultant', which an index on
+//     PROJECTS.MEMBERS.FUNCTION answers;
+//   - masked text predicates x.TITLE CONTAINS '*comput*', answered by
+//     a text index.
+//
+// Each usable conjunct restricts a top-level FROM variable to a set
+// of candidate complex objects (the distinct roots of the index
+// addresses); conjunctions intersect the sets. Data-TID indexes are
+// never chosen: as §4.2 shows, their addresses cannot locate the
+// containing complex object at all. The executor re-verifies the full
+// WHERE clause on the candidates, so planning only needs superset
+// correctness.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/page"
+	"repro/internal/sql"
+	"repro/internal/textindex"
+)
+
+// Choose implements exec.Planner.
+func Choose(sel *sql.Select, rt exec.Runtime) map[int]*exec.Candidates {
+	if sel.Where == nil {
+		return nil
+	}
+	out := make(map[int]*exec.Candidates)
+	for i, fi := range sel.From {
+		if fi.Source.Table == "" || fi.AsOf != nil {
+			continue // only uncorrelated current-state stored tables
+		}
+		var sets []rootSet
+		for _, conj := range conjuncts(sel.Where) {
+			if s, ok := tryConjunct(conj, fi.Var, fi.Source.Table, rt); ok {
+				sets = append(sets, s)
+			}
+		}
+		if len(sets) == 0 {
+			continue
+		}
+		refs := sets[0].refs
+		why := sets[0].why
+		for _, s := range sets[1:] {
+			refs = intersectRefs(refs, s.refs)
+			why += " ∩ " + s.why
+		}
+		out[i] = &exec.Candidates{Refs: refs, Why: why}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+type rootSet struct {
+	refs []page.TID
+	why  string
+}
+
+// conjuncts splits a predicate at top-level ANDs.
+func conjuncts(e sql.Expr) []sql.Expr {
+	if b, ok := e.(*sql.Binary); ok && b.Op == "AND" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []sql.Expr{e}
+}
+
+// tryConjunct recognizes an indexable predicate restricting variable
+// v over stored table tbl.
+func tryConjunct(e sql.Expr, v, tbl string, rt exec.Runtime) (rootSet, bool) {
+	switch x := e.(type) {
+	case *sql.Binary:
+		path, lit, flipped, ok := pathCmpLiteral(x)
+		if !ok || path.Var != v {
+			return rootSet{}, false
+		}
+		names, ok := nameSteps(path.Steps)
+		if !ok {
+			return rootSet{}, false
+		}
+		op := x.Op
+		if flipped {
+			op = flip(op)
+		}
+		if op == "=" {
+			return lookupIndex(rt, tbl, names, lit)
+		}
+		return lookupIndexRange(rt, tbl, names, op, lit)
+	case *sql.Quant:
+		if x.All {
+			return rootSet{}, false
+		}
+		names, lit, ok := existsChain(x, v)
+		if !ok {
+			return rootSet{}, false
+		}
+		return lookupIndex(rt, tbl, names, lit)
+	case *sql.Contains:
+		path, ok := x.Text.(*sql.PathExpr)
+		if !ok || path.Var != v {
+			return rootSet{}, false
+		}
+		names, ok := nameSteps(path.Steps)
+		if !ok {
+			return rootSet{}, false
+		}
+		return lookupTextIndex(rt, tbl, names, x.Mask)
+	}
+	return rootSet{}, false
+}
+
+// pathEqLiteral matches path = literal (either side).
+func pathEqLiteral(b *sql.Binary) (*sql.PathExpr, *sql.Literal, bool) {
+	if b.Op != "=" {
+		return nil, nil, false
+	}
+	p, l, _, ok := pathCmpLiteral(b)
+	return p, l, ok
+}
+
+// pathCmpLiteral matches path OP literal (either side) for the
+// comparison operators; flipped reports that the literal was on the
+// left, so the effective operator must be mirrored.
+func pathCmpLiteral(b *sql.Binary) (*sql.PathExpr, *sql.Literal, bool, bool) {
+	switch b.Op {
+	case "=", "<", "<=", ">", ">=":
+	default:
+		return nil, nil, false, false
+	}
+	if p, ok := b.L.(*sql.PathExpr); ok {
+		if l, ok := b.R.(*sql.Literal); ok {
+			return p, l, false, true
+		}
+	}
+	if p, ok := b.R.(*sql.PathExpr); ok {
+		if l, ok := b.L.(*sql.Literal); ok {
+			return p, l, true, true
+		}
+	}
+	return nil, nil, false, false
+}
+
+func flip(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+// lookupIndexRange answers range predicates with an inclusive B-tree
+// range scan. Exclusive bounds deliver a superset (the boundary key),
+// which is sound because the executor re-verifies the WHERE clause.
+func lookupIndexRange(rt exec.Runtime, tbl string, path []string, op string, lit *sql.Literal) (rootSet, bool) {
+	for _, ix := range rt.Indexes(tbl) {
+		if ix.Kind == index.DataTID || !samePath(ix.Path, path) {
+			continue
+		}
+		var lo, hi model.Value
+		switch op {
+		case "<", "<=":
+			hi = lit.Val
+		case ">", ">=":
+			lo = lit.Val
+		}
+		var addrs []index.Addr
+		if err := ix.LookupRange(lo, hi, func(as []index.Addr) bool {
+			addrs = append(addrs, as...)
+			return true
+		}); err != nil {
+			continue
+		}
+		return rootSet{
+			refs: index.DistinctRoots(addrs),
+			why:  fmt.Sprintf("index %s(%s) %s %v (range)", ix.Name, strings.Join(path, "."), op, lit.Val),
+		}, true
+	}
+	return rootSet{}, false
+}
+
+func nameSteps(steps []sql.PathStep) ([]string, bool) {
+	var names []string
+	for _, s := range steps {
+		if s.Name == "" {
+			return nil, false // [k] steps are not indexable
+		}
+		names = append(names, s.Name)
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	return names, true
+}
+
+// existsChain matches EXISTS v1 IN x.A [EXISTS v2 IN v1.B ...]:
+// vn.C = literal, returning the full attribute path A...B...C.
+func existsChain(q *sql.Quant, baseVar string) ([]string, *sql.Literal, bool) {
+	var names []string
+	curVar := baseVar
+	cur := q
+	for {
+		if cur.All || cur.Source.Path == nil || cur.Source.Path.Var != curVar {
+			return nil, nil, false
+		}
+		segs, ok := nameSteps(cur.Source.Path.Steps)
+		if !ok {
+			return nil, nil, false
+		}
+		names = append(names, segs...)
+		curVar = cur.Var
+		switch body := cur.Cond.(type) {
+		case *sql.Quant:
+			cur = body
+		case *sql.Binary:
+			path, lit, ok := pathEqLiteral(body)
+			if !ok || path.Var != curVar {
+				return nil, nil, false
+			}
+			segs, ok := nameSteps(path.Steps)
+			if !ok {
+				return nil, nil, false
+			}
+			return append(names, segs...), lit, true
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+func lookupIndex(rt exec.Runtime, tbl string, path []string, lit *sql.Literal) (rootSet, bool) {
+	for _, ix := range rt.Indexes(tbl) {
+		if ix.Kind == index.DataTID {
+			continue // cannot locate the containing complex object (§4.2)
+		}
+		if !samePath(ix.Path, path) {
+			continue
+		}
+		addrs, err := ix.Lookup(lit.Val)
+		if err != nil {
+			continue
+		}
+		return rootSet{
+			refs: index.DistinctRoots(addrs),
+			why:  fmt.Sprintf("index %s(%s)=%v", ix.Name, strings.Join(path, "."), lit.Val),
+		}, true
+	}
+	return rootSet{}, false
+}
+
+func lookupTextIndex(rt exec.Runtime, tbl string, path []string, mask string) (rootSet, bool) {
+	for _, ti := range rt.TextIndexes(tbl) {
+		if !samePath(ti.Path, path) {
+			continue
+		}
+		addrs := ti.Search(mask)
+		return rootSet{
+			refs: textindex.DistinctRoots(addrs),
+			why:  fmt.Sprintf("text index %s CONTAINS %q", ti.Name, mask),
+		}, true
+	}
+	return rootSet{}, false
+}
+
+func samePath(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func intersectRefs(a, b []page.TID) []page.TID {
+	set := make(map[page.TID]bool, len(b))
+	for _, r := range b {
+		set[r] = true
+	}
+	var out []page.TID
+	for _, r := range a {
+		if set[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package segment provides database segments: linearly addressed
+// arrays of fixed-size pages with a persistent backing store. A
+// segment is the unit within which TIDs are interpreted ("the page
+// number in a TID is interpreted relatively to the beginning of the
+// database segment", §4.1).
+//
+// Two backing stores are provided: a file store for durability and a
+// memory store for tests and benchmarks where only logical page
+// traffic (counted by the buffer pool) matters.
+package segment
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/page"
+)
+
+// ID identifies a segment within a database.
+type ID uint16
+
+// Store is the persistence interface of a segment: page 1 is the
+// first page (page 0 is never used, keeping the zero TID invalid).
+type Store interface {
+	// ReadPage fills buf (len page.Size) with the page's content.
+	ReadPage(no uint32, buf []byte) error
+	// WritePage persists buf as the page's content, extending the
+	// store if the page is beyond the current end.
+	WritePage(no uint32, buf []byte) error
+	// PageCount returns the highest allocated page number.
+	PageCount() uint32
+	// Allocate reserves the next page number.
+	Allocate() uint32
+	// Sync flushes to stable storage.
+	Sync() error
+	// Close releases resources.
+	Close() error
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu    sync.Mutex
+	pages [][]byte // index 0 unused
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{pages: make([][]byte, 1)} }
+
+// ReadPage implements Store.
+func (m *MemStore) ReadPage(no uint32, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if no == 0 || int(no) >= len(m.pages) {
+		return fmt.Errorf("segment: read of unallocated page %d", no)
+	}
+	if m.pages[no] == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, m.pages[no])
+	return nil
+}
+
+// WritePage implements Store.
+func (m *MemStore) WritePage(no uint32, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if no == 0 {
+		return fmt.Errorf("segment: write of page 0")
+	}
+	for int(no) >= len(m.pages) {
+		m.pages = append(m.pages, nil)
+	}
+	if m.pages[no] == nil {
+		m.pages[no] = make([]byte, page.Size)
+	}
+	copy(m.pages[no], buf)
+	return nil
+}
+
+// PageCount implements Store.
+func (m *MemStore) PageCount() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return uint32(len(m.pages) - 1)
+}
+
+// Allocate implements Store.
+func (m *MemStore) Allocate() uint32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages = append(m.pages, nil)
+	return uint32(len(m.pages) - 1)
+}
+
+// Sync implements Store.
+func (m *MemStore) Sync() error { return nil }
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// FileStore is a file-backed Store; page n lives at offset
+// (n-1)*page.Size.
+type FileStore struct {
+	mu    sync.Mutex
+	f     *os.File
+	count uint32
+}
+
+// OpenFileStore opens (or creates) the segment file at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("segment: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{f: f, count: uint32(st.Size() / page.Size)}, nil
+}
+
+// ReadPage implements Store.
+func (s *FileStore) ReadPage(no uint32, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if no == 0 || no > s.count {
+		return fmt.Errorf("segment: read of unallocated page %d", no)
+	}
+	n, err := s.f.ReadAt(buf, int64(no-1)*page.Size)
+	if err != nil && n != page.Size {
+		return fmt.Errorf("segment: read page %d: %w", no, err)
+	}
+	return nil
+}
+
+// WritePage implements Store.
+func (s *FileStore) WritePage(no uint32, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if no == 0 {
+		return fmt.Errorf("segment: write of page 0")
+	}
+	if no > s.count {
+		s.count = no
+	}
+	if _, err := s.f.WriteAt(buf, int64(no-1)*page.Size); err != nil {
+		return fmt.Errorf("segment: write page %d: %w", no, err)
+	}
+	return nil
+}
+
+// PageCount implements Store.
+func (s *FileStore) PageCount() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Allocate implements Store.
+func (s *FileStore) Allocate() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	// Materialize the page so later reads succeed.
+	zero := make([]byte, page.Size)
+	s.f.WriteAt(zero, int64(s.count-1)*page.Size)
+	return s.count
+}
+
+// Sync implements Store.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

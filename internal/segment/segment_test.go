@@ -1,0 +1,124 @@
+package segment
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func testStore(t *testing.T, st Store) {
+	t.Helper()
+	if st.PageCount() != 0 {
+		t.Fatalf("fresh store has %d pages", st.PageCount())
+	}
+	p1 := st.Allocate()
+	p2 := st.Allocate()
+	if p1 != 1 || p2 != 2 {
+		t.Fatalf("allocated %d, %d; want 1, 2", p1, p2)
+	}
+	buf := make([]byte, page.Size)
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	if err := st.WritePage(p2, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, page.Size)
+	if err := st.ReadPage(p2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, buf) {
+		t.Error("page content mismatch")
+	}
+	// Unwritten allocated page reads as zeros.
+	if err := st.ReadPage(p1, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Error("fresh page not zero")
+			break
+		}
+	}
+	// Errors.
+	if err := st.ReadPage(0, got); err == nil {
+		t.Error("read of page 0 succeeded")
+	}
+	if err := st.ReadPage(99, got); err == nil {
+		t.Error("read beyond end succeeded")
+	}
+	if err := st.WritePage(0, buf); err == nil {
+		t.Error("write of page 0 succeeded")
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStore(t *testing.T) {
+	st := NewMemStore()
+	defer st.Close()
+	testStore(t, st)
+}
+
+func TestFileStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenFileStore(filepath.Join(dir, "seg.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	testStore(t, st)
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.dat")
+	st, _ := OpenFileStore(path)
+	no := st.Allocate()
+	buf := make([]byte, page.Size)
+	copy(buf, "persisted content")
+	if err := st.WritePage(no, buf); err != nil {
+		t.Fatal(err)
+	}
+	st.Sync()
+	st.Close()
+
+	st2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.PageCount() != 1 {
+		t.Fatalf("reopened page count = %d", st2.PageCount())
+	}
+	got := make([]byte, page.Size)
+	if err := st2.ReadPage(no, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, []byte("persisted content")) {
+		t.Error("content lost across reopen")
+	}
+}
+
+func TestWriteBeyondEndExtends(t *testing.T) {
+	st := NewMemStore()
+	buf := make([]byte, page.Size)
+	buf[0] = 7
+	if err := st.WritePage(5, buf); err != nil {
+		t.Fatal(err)
+	}
+	if st.PageCount() != 5 {
+		t.Errorf("page count after write-beyond = %d", st.PageCount())
+	}
+	got := make([]byte, page.Size)
+	if err := st.ReadPage(5, got); err != nil || got[0] != 7 {
+		t.Errorf("read back: %v, %d", err, got[0])
+	}
+	// Pages 1-4 exist as zeros.
+	if err := st.ReadPage(3, got); err != nil {
+		t.Errorf("intermediate page unreadable: %v", err)
+	}
+}

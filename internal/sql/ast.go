@@ -1,0 +1,297 @@
+package sql
+
+import (
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Select is a (possibly nested) query block.
+type Select struct {
+	Distinct bool
+	Star     bool
+	Items    []SelectItem
+	From     []FromItem
+	Where    Expr // nil when absent
+	OrderBy  []OrderItem
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one entry of the SELECT clause: either an expression
+// (with optional alias) or a nested table constructor
+// NAME = (SELECT ...), which makes the result attribute table-valued.
+type SelectItem struct {
+	Name string // alias or constructor name; "" = derived from Expr
+	Expr Expr
+	Sub  *Select // non-nil for nested constructors
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// FromItem binds a range variable: var IN source [ASOF literal].
+type FromItem struct {
+	Var    string
+	Source TableRef
+	AsOf   Expr // nil when absent
+}
+
+// TableRef is a range source: a stored table by name or a
+// table-valued path rooted at an outer variable.
+type TableRef struct {
+	Table string
+	Path  *PathExpr
+}
+
+// Expr is any scalar or predicate expression.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val model.Value }
+
+// PathExpr navigates from a range variable through attributes and
+// list positions: x.PROJECTS, x.AUTHORS[1].NAME, y.PNO.
+type PathExpr struct {
+	Var   string
+	Steps []PathStep
+}
+
+// PathStep is one path component: an attribute name or a 1-based list
+// index ([1] selects the first member of an ordered subtable).
+type PathStep struct {
+	Name  string
+	Index int // > 0 for [k] steps
+}
+
+// Binary is a binary operation: comparisons (= <> < <= > >=), logic
+// (AND OR) and arithmetic (+ - * /).
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary is NOT or numeric negation.
+type Unary struct {
+	Op string
+	E  Expr
+}
+
+// Quant is a quantified predicate over a subtable:
+// EXISTS v IN path: cond   or   ALL v IN path: cond.
+type Quant struct {
+	All    bool
+	Var    string
+	Source TableRef
+	Cond   Expr
+}
+
+// Contains is the masked text-search predicate of §5:
+// expr CONTAINS '*comput*'.
+type Contains struct {
+	Text Expr
+	Mask string
+}
+
+// Count is the aggregate COUNT(path) over a table-valued expression.
+type Count struct{ Arg Expr }
+
+// TNameOf yields the tuple name (§4.3) of the object or subobject a
+// range variable is currently bound to, as an opaque token.
+type TNameOf struct{ Var string }
+
+func (*Literal) expr()  {}
+func (*PathExpr) expr() {}
+func (*Binary) expr()   {}
+func (*Unary) expr()    {}
+func (*Quant) expr()    {}
+func (*Contains) expr() {}
+func (*Count) expr()    {}
+func (*TNameOf) expr()  {}
+
+// ResultName derives the result attribute name of a select item:
+// alias if present, else the last path component, else "".
+func (it SelectItem) ResultName() string {
+	if it.Name != "" {
+		return it.Name
+	}
+	if p, ok := it.Expr.(*PathExpr); ok {
+		for i := len(p.Steps) - 1; i >= 0; i-- {
+			if p.Steps[i].Name != "" {
+				return p.Steps[i].Name
+			}
+		}
+		return p.Var
+	}
+	return ""
+}
+
+// String renders the path like x.PROJECTS[1].PNO.
+func (p *PathExpr) String() string {
+	var b strings.Builder
+	b.WriteString(p.Var)
+	for _, s := range p.Steps {
+		if s.Name != "" {
+			b.WriteByte('.')
+			b.WriteString(s.Name)
+		} else {
+			b.WriteString("[")
+			b.WriteString(itoa(s.Index))
+			b.WriteString("]")
+		}
+	}
+	return b.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}
+
+// --- DDL / DML statements --------------------------------------------
+
+// CreateTable defines a new (possibly nested) table.
+type CreateTable struct {
+	Name      string
+	Type      *model.TableType
+	Versioned bool
+	Layout    string // "", "SS1", "SS2", "SS3"
+}
+
+func (*CreateTable) stmt() {}
+
+// DropTable removes a table.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+// CreateIndex defines a value index (with an address strategy) or a
+// text index over an attribute path.
+type CreateIndex struct {
+	Name  string
+	Table string
+	Path  []string
+	Using string // "", "DATA", "ROOT", "HIERARCHICAL"
+	Text  bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// DropIndex removes an index.
+type DropIndex struct{ Name string }
+
+func (*DropIndex) stmt() {}
+
+// Insert adds literal tuples to a stored table, or — when Path is set
+// — inserts members into a subtable of selected objects:
+//
+//	INSERT INTO DEPARTMENTS VALUES (...), (...)
+//	INSERT INTO x.PROJECTS FROM x IN DEPARTMENTS WHERE x.DNO = 314
+//	    VALUES (99, 'NEW', {})
+type Insert struct {
+	Table string
+	Path  *PathExpr
+	From  []FromItem
+	Where Expr
+	Rows  []Expr // each row is a TupleLit
+}
+
+func (*Insert) stmt() {}
+
+// TupleLit is a literal tuple; nested TableLits build NF² values.
+type TupleLit struct{ Elems []Expr }
+
+func (*TupleLit) expr() {}
+
+// TableLit is a literal table value: {(..),(..)} or <(..),(..)>.
+type TableLit struct {
+	Ordered bool
+	Rows    []Expr // TupleLits
+}
+
+func (*TableLit) expr() {}
+
+// Delete removes tuples of a stored table, or — when Path is set —
+// members of a subtable:
+//
+//	DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 218
+//	DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 23
+type Delete struct {
+	Var   string
+	From  []FromItem
+	Where Expr
+}
+
+func (*Delete) stmt() {}
+
+// Update overwrites atomic attributes of selected objects or
+// subobjects:
+//
+//	UPDATE x IN DEPARTMENTS SET BUDGET = 100 WHERE x.DNO = 314
+//	UPDATE y FROM x IN DEPARTMENTS, y IN x.PROJECTS SET PNAME = '...'
+type Update struct {
+	Var   string
+	From  []FromItem
+	Set   []SetClause
+	Where Expr
+}
+
+func (*Update) stmt() {}
+
+// SetClause assigns an expression to an atomic attribute.
+type SetClause struct {
+	Attr string
+	Expr Expr
+}
+
+// ShowTables lists the catalog.
+type ShowTables struct{}
+
+func (*ShowTables) stmt() {}
+
+// Describe shows a table's schema.
+type Describe struct{ Name string }
+
+func (*Describe) stmt() {}
+
+// Explain reports the access paths the planner would choose for a
+// query, without running it.
+type Explain struct{ Sel *Select }
+
+func (*Explain) stmt() {}
+
+// AlterTableAdd appends a new atomic attribute at the end of the
+// level addressed by Path (the last component is the new attribute's
+// name; earlier components name subtables). Existing tuples read the
+// new attribute as null — the schema-evolution facility the paper
+// lists under future research ("handling of schema changes", §5).
+type AlterTableAdd struct {
+	Table string
+	Path  []string
+	Type  model.Type
+}
+
+func (*AlterTableAdd) stmt() {}

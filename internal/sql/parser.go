@@ -1,0 +1,988 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a script of semicolon-separated statements.
+func Parse(input string) ([]Statement, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.acceptSym(";") {
+		}
+		if p.peek().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptSym(";") && p.peek().Kind != TokEOF {
+			return nil, p.errorf("expected ';' or end of input, got %s", p.peek())
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(input string) (Statement, error) {
+	stmts, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) peek2() Token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errorf("expected %s, got %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) acceptSym(s string) bool {
+	if t := p.peek(); t.Kind == TokSymbol && t.Text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSym(s string) error {
+	if !p.acceptSym(s) {
+		return p.errorf("expected %q, got %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected identifier, got %s", t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, p.errorf("expected statement, got %s", t)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "EXPLAIN":
+		p.next()
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Sel: sel}, nil
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "DELETE":
+		return p.parseDelete()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "SHOW":
+		p.next()
+		if err := p.expectKw("TABLES"); err != nil {
+			return nil, err
+		}
+		return &ShowTables{}, nil
+	case "DESCRIBE":
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &Describe{Name: name}, nil
+	case "ALTER":
+		return p.parseAlter()
+	}
+	return nil, p.errorf("unexpected keyword %s", t.Text)
+}
+
+// --- SELECT -----------------------------------------------------------
+
+func (p *Parser) parseSelect() (*Select, error) {
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	sel.Distinct = p.acceptKw("DISTINCT")
+	if p.acceptSym("*") {
+		sel.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, item)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, fi)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKw("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	// Nested constructor: IDENT = ( SELECT ... )
+	if p.peek().Kind == TokIdent && p.peek2().Kind == TokSymbol && p.peek2().Text == "=" {
+		save := p.pos
+		name := p.next().Text
+		p.next() // '='
+		if p.acceptSym("(") {
+			if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+				sub, err := p.parseSelect()
+				if err != nil {
+					return SelectItem{}, err
+				}
+				if err := p.expectSym(")"); err != nil {
+					return SelectItem{}, err
+				}
+				return SelectItem{Name: name, Sub: sub}, nil
+			}
+		}
+		p.pos = save
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKw("AS") {
+		name, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Name = name
+	}
+	return item, nil
+}
+
+func (p *Parser) parseFromItem() (FromItem, error) {
+	v, err := p.expectIdent()
+	if err != nil {
+		return FromItem{}, err
+	}
+	if err := p.expectKw("IN"); err != nil {
+		return FromItem{}, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return FromItem{}, err
+	}
+	fi := FromItem{Var: v, Source: ref}
+	if p.acceptKw("ASOF") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return FromItem{}, err
+		}
+		fi.AsOf = e
+	}
+	return fi, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return TableRef{}, err
+	}
+	if p.peek().Kind == TokSymbol && (p.peek().Text == "." || p.peek().Text == "[") {
+		path := &PathExpr{Var: name}
+		if err := p.parsePathSteps(path); err != nil {
+			return TableRef{}, err
+		}
+		return TableRef{Path: path}, nil
+	}
+	return TableRef{Table: name}, nil
+}
+
+// --- expressions --------------------------------------------------------
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKw("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	// Quantifiers sit at comparison level so they chain naturally:
+	// EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS: pred
+	if t := p.peek(); t.Kind == TokKeyword && (t.Text == "EXISTS" || t.Text == "ALL") {
+		return p.parseQuant()
+	}
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			op := t.Text
+			if op == "!=" {
+				op = "<>"
+			}
+			p.next()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	if t.Kind == TokKeyword && t.Text == "CONTAINS" {
+		p.next()
+		m := p.peek()
+		if m.Kind != TokString {
+			return nil, p.errorf("CONTAINS requires a string mask, got %s", m)
+		}
+		p.next()
+		return &Contains{Text: l, Mask: m.Text}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) parseQuant() (Expr, error) {
+	all := p.peek().Text == "ALL"
+	p.next()
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("IN"); err != nil {
+		return nil, err
+	}
+	src, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	q := &Quant{All: all, Var: v, Source: src}
+	// Body: another quantifier directly, ':' expr, or '(' expr ')'.
+	switch {
+	case p.peek().Kind == TokKeyword && (p.peek().Text == "EXISTS" || p.peek().Text == "ALL"):
+		body, err := p.parseQuant()
+		if err != nil {
+			return nil, err
+		}
+		q.Cond = body
+	case p.acceptSym(":"):
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Cond = body
+	case p.acceptSym("("):
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		q.Cond = body
+	default:
+		return nil, p.errorf("expected ':', '(' or nested quantifier after %s %s IN ...", map[bool]string{true: "ALL", false: "EXISTS"}[all], v)
+	}
+	return q, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptSym("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %s", t.Text)
+		}
+		return &Literal{Val: model.Int(i)}, nil
+	case TokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %s", t.Text)
+		}
+		return &Literal{Val: model.Float(f)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Val: model.Str(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.next()
+			return &Literal{Val: model.Bool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: model.Bool(false)}, nil
+		case "NULL":
+			p.next()
+			return &Literal{Val: model.Null{}}, nil
+		case "COUNT":
+			p.next()
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &Count{Arg: arg}, nil
+		case "TNAME":
+			p.next()
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			v, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return &TNameOf{Var: v}, nil
+		}
+	case TokIdent:
+		name := p.next().Text
+		path := &PathExpr{Var: name}
+		if err := p.parsePathSteps(path); err != nil {
+			return nil, err
+		}
+		return path, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected expression, got %s", t)
+}
+
+func (p *Parser) parsePathSteps(path *PathExpr) error {
+	for {
+		switch {
+		case p.acceptSym("."):
+			name, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			path.Steps = append(path.Steps, PathStep{Name: name})
+		case p.peek().Kind == TokSymbol && p.peek().Text == "[":
+			p.next()
+			t := p.peek()
+			if t.Kind != TokInt {
+				return p.errorf("expected list index, got %s", t)
+			}
+			p.next()
+			i, err := strconv.Atoi(t.Text)
+			if err != nil || i < 1 {
+				return p.errorf("list index must be a positive integer, got %s", t.Text)
+			}
+			if err := p.expectSym("]"); err != nil {
+				return err
+			}
+			path.Steps = append(path.Steps, PathStep{Index: i})
+		default:
+			return nil
+		}
+	}
+}
+
+// --- DDL ---------------------------------------------------------------
+
+func (p *Parser) parseCreate() (Statement, error) {
+	p.next() // CREATE
+	switch {
+	case p.acceptKw("TABLE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		tt, err := p.parseTableTypeBody(false)
+		if err != nil {
+			return nil, err
+		}
+		ct := &CreateTable{Name: name, Type: tt}
+		for {
+			switch {
+			case p.acceptKw("VERSIONED"):
+				ct.Versioned = true
+			case p.acceptKw("LAYOUT"):
+				l, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				ct.Layout = l
+			default:
+				return ct, nil
+			}
+		}
+	case p.acceptKw("TEXT"):
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.parseCreateIndexTail(true)
+	case p.acceptKw("INDEX"):
+		return p.parseCreateIndexTail(false)
+	}
+	return nil, p.errorf("expected TABLE or INDEX after CREATE")
+}
+
+// parseTableTypeBody parses '(' attrdefs ')' where each attrdef is
+// NAME atomictype | NAME TABLE OF (...) | NAME LIST OF (...).
+func (p *Parser) parseTableTypeBody(ordered bool) (*model.TableType, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var attrs []model.Attr
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		var attr model.Attr
+		switch {
+		case t.Kind == TokKeyword && t.Text == "INT":
+			p.next()
+			attr = model.Attr{Name: name, Type: model.AtomicType(model.KindInt)}
+		case t.Kind == TokKeyword && t.Text == "FLOAT":
+			p.next()
+			attr = model.Attr{Name: name, Type: model.AtomicType(model.KindFloat)}
+		case t.Kind == TokKeyword && t.Text == "STRING":
+			p.next()
+			attr = model.Attr{Name: name, Type: model.AtomicType(model.KindString)}
+		case t.Kind == TokKeyword && t.Text == "BOOL":
+			p.next()
+			attr = model.Attr{Name: name, Type: model.AtomicType(model.KindBool)}
+		case t.Kind == TokKeyword && t.Text == "TIME":
+			p.next()
+			attr = model.Attr{Name: name, Type: model.AtomicType(model.KindTime)}
+		case t.Kind == TokKeyword && t.Text == "TABLE":
+			p.next()
+			if err := p.expectKw("OF"); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseTableTypeBody(false)
+			if err != nil {
+				return nil, err
+			}
+			attr = model.Attr{Name: name, Type: model.Type{Kind: model.KindTable, Table: sub}}
+		case t.Kind == TokKeyword && t.Text == "LIST":
+			p.next()
+			if err := p.expectKw("OF"); err != nil {
+				return nil, err
+			}
+			sub, err := p.parseTableTypeBody(true)
+			if err != nil {
+				return nil, err
+			}
+			attr = model.Attr{Name: name, Type: model.Type{Kind: model.KindTable, Table: sub}}
+		default:
+			return nil, p.errorf("expected attribute type, got %s", t)
+		}
+		attrs = append(attrs, attr)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return model.NewTableType(ordered, attrs...)
+}
+
+func (p *Parser) parseCreateIndexTail(text bool) (Statement, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var path []string
+	for {
+		comp, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, comp)
+		if !p.acceptSym(".") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: table, Path: path, Text: text}
+	if p.acceptKw("USING") {
+		u, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ci.Using = u
+	}
+	return ci, nil
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	p.next() // DROP
+	switch {
+	case p.acceptKw("TABLE"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.acceptKw("INDEX"):
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Name: name}, nil
+	}
+	return nil, p.errorf("expected TABLE or INDEX after DROP")
+}
+
+// --- DML ---------------------------------------------------------------
+
+func (p *Parser) parseInsert() (Statement, error) {
+	p.next() // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	ref, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{}
+	if ref.Path != nil {
+		ins.Path = ref.Path
+		if err := p.expectKw("FROM"); err != nil {
+			return nil, err
+		}
+		for {
+			fi, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			ins.From = append(ins.From, fi)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if p.acceptKw("WHERE") {
+			w, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ins.Where = w
+		}
+	} else {
+		ins.Table = ref.Table
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		row, err := p.parseTupleLit()
+		if err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *Parser) parseTupleLit() (Expr, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	tl := &TupleLit{}
+	if p.acceptSym(")") {
+		return tl, nil
+	}
+	for {
+		v, err := p.parseValueLit()
+		if err != nil {
+			return nil, err
+		}
+		tl.Elems = append(tl.Elems, v)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return tl, nil
+}
+
+// parseValueLit parses a literal value in INSERT rows: atoms or
+// nested table literals ({...} unordered, <...> ordered).
+func (p *Parser) parseValueLit() (Expr, error) {
+	t := p.peek()
+	// "<>" lexes as one token (the inequality operator); in value
+	// position it is the empty ordered table literal.
+	if t.Kind == TokSymbol && t.Text == "<>" {
+		p.next()
+		return &TableLit{Ordered: true}, nil
+	}
+	if t.Kind == TokSymbol && (t.Text == "{" || t.Text == "<") {
+		open := t.Text
+		close := "}"
+		ordered := false
+		if open == "<" {
+			close = ">"
+			ordered = true
+		}
+		p.next()
+		lit := &TableLit{Ordered: ordered}
+		if p.acceptSym(close) {
+			return lit, nil
+		}
+		for {
+			row, err := p.parseTupleLit()
+			if err != nil {
+				return nil, err
+			}
+			lit.Rows = append(lit.Rows, row)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+		if err := p.expectSym(close); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	}
+	return p.parseExpr()
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	p.next() // DELETE
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	del := &Delete{Var: v}
+	for {
+		fi, err := p.parseFromItem()
+		if err != nil {
+			return nil, err
+		}
+		del.From = append(del.From, fi)
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	p.next() // UPDATE
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	upd := &Update{Var: v}
+	switch {
+	case p.acceptKw("IN"):
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		upd.From = []FromItem{{Var: v, Source: ref}}
+	case p.acceptKw("FROM"):
+		for {
+			fi, err := p.parseFromItem()
+			if err != nil {
+				return nil, err
+			}
+			upd.From = append(upd.From, fi)
+			if !p.acceptSym(",") {
+				break
+			}
+		}
+	default:
+		return nil, p.errorf("expected IN or FROM after UPDATE %s", v)
+	}
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		attr, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, SetClause{Attr: attr, Expr: e})
+		if !p.acceptSym(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Where = w
+	}
+	return upd, nil
+}
+
+// parseAlter parses ALTER TABLE name ADD path TYPE.
+func (p *Parser) parseAlter() (Statement, error) {
+	p.next() // ALTER
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ADD"); err != nil {
+		return nil, err
+	}
+	var path []string
+	for {
+		comp, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, comp)
+		if !p.acceptSym(".") {
+			break
+		}
+	}
+	t := p.peek()
+	var typ model.Type
+	switch {
+	case t.Kind == TokKeyword && t.Text == "INT":
+		typ = model.AtomicType(model.KindInt)
+	case t.Kind == TokKeyword && t.Text == "FLOAT":
+		typ = model.AtomicType(model.KindFloat)
+	case t.Kind == TokKeyword && t.Text == "STRING":
+		typ = model.AtomicType(model.KindString)
+	case t.Kind == TokKeyword && t.Text == "BOOL":
+		typ = model.AtomicType(model.KindBool)
+	case t.Kind == TokKeyword && t.Text == "TIME":
+		typ = model.AtomicType(model.KindTime)
+	default:
+		return nil, p.errorf("ALTER TABLE ADD supports atomic types only, got %s", t)
+	}
+	p.next()
+	return &AlterTableAdd{Table: name, Path: path, Type: typ}, nil
+}

@@ -1,0 +1,461 @@
+package sql
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func mustSelect(t *testing.T, q string) *Select {
+	t.Helper()
+	st, err := ParseOne(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("parse %q: got %T", q, st)
+	}
+	return sel
+}
+
+// The paper's Example 1 (shorthand form).
+func TestParseExample1(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM x IN DEPARTMENTS`)
+	if !sel.Star || len(sel.From) != 1 || sel.From[0].Var != "x" || sel.From[0].Source.Table != "DEPARTMENTS" {
+		t.Errorf("unexpected AST: %+v", sel)
+	}
+	sel = mustSelect(t, `SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP FROM x IN DEPARTMENTS`)
+	if len(sel.Items) != 5 {
+		t.Errorf("items = %d", len(sel.Items))
+	}
+	if sel.Items[2].ResultName() != "PROJECTS" {
+		t.Errorf("item 2 name = %s", sel.Items[2].ResultName())
+	}
+}
+
+// Fig 2: explicit result structure with nested selects.
+func TestParseFig2(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT x.DNO, x.MGRNO,
+       PROJECTS = (SELECT y.PNO, y.PNAME,
+                          MEMBERS = (SELECT z.EMPNO, z.FUNCTION
+                                     FROM z IN y.MEMBERS)
+                   FROM y IN x.PROJECTS),
+       x.BUDGET,
+       EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+FROM x IN DEPARTMENTS`)
+	if len(sel.Items) != 5 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	proj := sel.Items[2]
+	if proj.Name != "PROJECTS" || proj.Sub == nil {
+		t.Fatalf("item 2 not a nested constructor: %+v", proj)
+	}
+	mem := proj.Sub.Items[2]
+	if mem.Name != "MEMBERS" || mem.Sub == nil {
+		t.Fatalf("nested MEMBERS constructor missing")
+	}
+	if src := proj.Sub.From[0].Source; src.Path == nil || src.Path.String() != "x.PROJECTS" {
+		t.Errorf("nested FROM source = %+v", src)
+	}
+}
+
+// Fig 3: nest — building Table 5 from Tables 1-4.
+func TestParseFig3(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT x.DNO, x.MGRNO,
+       PROJECTS = (SELECT y.PNO, y.PNAME,
+                          MEMBERS = (SELECT z.EMPNO, z.FUNCTION
+                                     FROM z IN MEMBERS_1NF
+                                     WHERE z.PNO = y.PNO AND z.DNO = y.DNO)
+                   FROM y IN PROJECTS_1NF
+                   WHERE y.DNO = x.DNO),
+       x.BUDGET,
+       EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP_1NF WHERE v.DNO = x.DNO)
+FROM x IN DEPARTMENTS_1NF`)
+	if sel.Items[2].Sub.Where == nil {
+		t.Error("nested WHERE lost")
+	}
+}
+
+// Example 4: unnest with projection.
+func TestParseExample4(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS`)
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %d", len(sel.From))
+	}
+	if sel.From[2].Source.Path.String() != "y.MEMBERS" {
+		t.Errorf("third source = %v", sel.From[2].Source.Path)
+	}
+}
+
+// Example 5: EXISTS.
+func TestParseExample5(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT x.DNO, x.MGRNO, x.BUDGET
+FROM x IN DEPARTMENTS
+WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'`)
+	q, ok := sel.Where.(*Quant)
+	if !ok || q.All || q.Var != "y" {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	cmp, ok := q.Cond.(*Binary)
+	if !ok || cmp.Op != "=" {
+		t.Fatalf("cond = %#v", q.Cond)
+	}
+}
+
+// Example 6: two chained ALL quantifiers.
+func TestParseExample6(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT x.DNO, x.MGRNO, x.BUDGET
+FROM x IN DEPARTMENTS
+WHERE ALL y IN x.PROJECTS ALL z IN y.MEMBERS: z.FUNCTION = 'Consultant'`)
+	outer, ok := sel.Where.(*Quant)
+	if !ok || !outer.All {
+		t.Fatalf("outer = %#v", sel.Where)
+	}
+	inner, ok := outer.Cond.(*Quant)
+	if !ok || !inner.All || inner.Var != "z" {
+		t.Fatalf("inner = %#v", outer.Cond)
+	}
+}
+
+// Example 8: list indexing on an ordered subtable.
+func TestParseExample8(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT x.AUTHORS, x.TITLE
+FROM x IN REPORTS
+WHERE x.AUTHORS[1].NAME = 'Jones'`)
+	cmp := sel.Where.(*Binary)
+	path := cmp.L.(*PathExpr)
+	if len(path.Steps) != 3 || path.Steps[1].Index != 1 || path.Steps[2].Name != "NAME" {
+		t.Errorf("path = %v", path)
+	}
+}
+
+// §5 text query: CONTAINS with a mask plus EXISTS over a list.
+func TestParseTextQuery(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT x.REPNO, x.AUTHORS, x.TITLE
+FROM x IN REPORTS
+WHERE x.TITLE CONTAINS '*comput*'
+  AND EXISTS y IN x.AUTHORS: y.NAME = 'Jones'`)
+	and := sel.Where.(*Binary)
+	if and.Op != "AND" {
+		t.Fatalf("op = %s", and.Op)
+	}
+	c := and.L.(*Contains)
+	if c.Mask != "*comput*" {
+		t.Errorf("mask = %s", c.Mask)
+	}
+}
+
+// §5 ASOF query.
+func TestParseASOF(t *testing.T) {
+	sel := mustSelect(t, `
+SELECT y.PNO, y.PNAME
+FROM x IN DEPARTMENTS ASOF '1984-01-15', y IN x.PROJECTS
+WHERE x.DNO = 314`)
+	if sel.From[0].AsOf == nil {
+		t.Fatal("ASOF lost")
+	}
+	lit := sel.From[0].AsOf.(*Literal)
+	if lit.Val.(model.Str) != "1984-01-15" {
+		t.Errorf("asof literal = %v", lit.Val)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := ParseOne(`
+CREATE TABLE DEPARTMENTS (
+  DNO INT,
+  MGRNO INT,
+  PROJECTS TABLE OF (
+    PNO INT,
+    PNAME STRING,
+    MEMBERS TABLE OF (EMPNO INT, FUNCTION STRING)
+  ),
+  BUDGET INT,
+  EQUIP TABLE OF (QU INT, TYPE STRING)
+) VERSIONED LAYOUT SS3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if ct.Name != "DEPARTMENTS" || !ct.Versioned || ct.Layout != "SS3" {
+		t.Errorf("header = %+v", ct)
+	}
+	if ct.Type.Depth() != 3 {
+		t.Errorf("depth = %d", ct.Type.Depth())
+	}
+	proj, _ := ct.Type.Attr("PROJECTS")
+	if proj.Type.Kind != model.KindTable || proj.Type.Table.Ordered {
+		t.Errorf("PROJECTS = %+v", proj)
+	}
+}
+
+func TestParseCreateTableWithList(t *testing.T) {
+	st, err := ParseOne(`
+CREATE TABLE REPORTS (
+  REPNO STRING,
+  AUTHORS LIST OF (NAME STRING),
+  TITLE STRING,
+  DESCRIPTORS TABLE OF (WORD STRING, WEIGHT FLOAT)
+)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	a, _ := ct.Type.Attr("AUTHORS")
+	if !a.Type.Table.Ordered {
+		t.Error("AUTHORS not ordered")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st, err := ParseOne(`CREATE INDEX fn ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION) USING HIERARCHICAL`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndex)
+	if len(ci.Path) != 3 || ci.Using != "HIERARCHICAL" || ci.Text {
+		t.Errorf("index = %+v", ci)
+	}
+	st, err = ParseOne(`CREATE TEXT INDEX ti ON REPORTS (TITLE)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.(*CreateIndex).Text {
+		t.Error("text flag lost")
+	}
+}
+
+func TestParseInsertNested(t *testing.T) {
+	st, err := ParseOne(`
+INSERT INTO DEPARTMENTS VALUES
+ (314, 56194, {(17, 'CGA', {(39582, 'Leader'), (56019, 'Consultant')})}, 320000, {(2, '3278')}),
+ (218, 71349, {}, 440000, {})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if len(ins.Rows) != 2 {
+		t.Fatalf("rows = %d", len(ins.Rows))
+	}
+	row := ins.Rows[0].(*TupleLit)
+	if len(row.Elems) != 5 {
+		t.Fatalf("row arity = %d", len(row.Elems))
+	}
+	projects := row.Elems[2].(*TableLit)
+	if projects.Ordered || len(projects.Rows) != 1 {
+		t.Fatalf("projects = %+v", projects)
+	}
+	members := projects.Rows[0].(*TupleLit).Elems[2].(*TableLit)
+	if len(members.Rows) != 2 {
+		t.Errorf("members = %d", len(members.Rows))
+	}
+}
+
+func TestParseInsertOrderedLiteral(t *testing.T) {
+	st, err := ParseOne(`INSERT INTO REPORTS VALUES ('0179', <('Jones')>, 'Concurrency', {('Recovery', 0.3)})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	authors := ins.Rows[0].(*TupleLit).Elems[1].(*TableLit)
+	if !authors.Ordered {
+		t.Error("authors literal not ordered")
+	}
+}
+
+func TestParseSubtableInsert(t *testing.T) {
+	st, err := ParseOne(`
+INSERT INTO y.MEMBERS FROM x IN DEPARTMENTS, y IN x.PROJECTS
+WHERE y.PNO = 17 VALUES (11111, 'Consultant')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := st.(*Insert)
+	if ins.Path == nil || ins.Path.String() != "y.MEMBERS" || len(ins.From) != 2 || ins.Where == nil {
+		t.Errorf("insert = %+v", ins)
+	}
+}
+
+func TestParseDeleteUpdate(t *testing.T) {
+	st, err := ParseOne(`DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 23`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del := st.(*Delete)
+	if del.Var != "y" || len(del.From) != 2 {
+		t.Errorf("delete = %+v", del)
+	}
+	st, err = ParseOne(`UPDATE x IN DEPARTMENTS SET BUDGET = 999, MGRNO = 1 WHERE x.DNO = 314`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd := st.(*Update)
+	if len(upd.Set) != 2 || upd.Set[0].Attr != "BUDGET" {
+		t.Errorf("update = %+v", upd)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := Parse(`
+-- the two 1NF tables
+CREATE TABLE A (X INT);
+CREATE TABLE B (Y INT);
+INSERT INTO A VALUES (1);
+SELECT * FROM a IN A;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 4 {
+		t.Errorf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT * FROM x DEPARTMENTS`,
+		`SELECT x. FROM x IN T`,
+		`SELECT * FROM x IN T WHERE EXISTS y IN x.E`,
+		`CREATE TABLE T (A INTT)`,
+		`CREATE TABLE T (A INT`,
+		`INSERT INTO T VALUES (1,`,
+		`SELECT * FROM x IN T WHERE x.A = 'unterminated`,
+		`SELECT * FROM x IN T WHERE x.AUTHORS[0] = 1`,
+		`DELETE FROM x IN T`,
+		`UPDATE x SET A = 1`,
+	}
+	for _, q := range bad {
+		if _, err := ParseOne(q); err == nil {
+			t.Errorf("accepted bad query %q", q)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustSelect(t, `SELECT a.X FROM a IN T WHERE a.X = 1 OR a.Y = 2 AND NOT a.Z = 3`)
+	or := sel.Where.(*Binary)
+	if or.Op != "OR" {
+		t.Fatalf("top op = %s", or.Op)
+	}
+	and := or.R.(*Binary)
+	if and.Op != "AND" {
+		t.Fatalf("right op = %s", and.Op)
+	}
+	if _, ok := and.R.(*Unary); !ok {
+		t.Fatalf("NOT lost: %#v", and.R)
+	}
+	// Arithmetic precedence.
+	sel = mustSelect(t, `SELECT a.X + a.Y * 2 FROM a IN T`)
+	add := sel.Items[0].Expr.(*Binary)
+	if add.Op != "+" {
+		t.Fatalf("top arith = %s", add.Op)
+	}
+	if mul := add.R.(*Binary); mul.Op != "*" {
+		t.Fatalf("mul = %s", mul.Op)
+	}
+}
+
+func TestParseOrderBy(t *testing.T) {
+	sel := mustSelect(t, `SELECT x.DNO FROM x IN DEPARTMENTS ORDER BY x.BUDGET DESC, x.DNO`)
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", sel.OrderBy)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	sel := mustSelect(t, `SELECT DISTINCT x.DNO, COUNT(x.PROJECTS) AS NPROJ FROM x IN DEPARTMENTS`)
+	if !sel.Distinct {
+		t.Error("distinct lost")
+	}
+	if _, ok := sel.Items[1].Expr.(*Count); !ok {
+		t.Error("count lost")
+	}
+	if sel.Items[1].Name != "NPROJ" {
+		t.Error("alias lost")
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := Lex(`'it''s'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("escaped string = %q", toks[0].Text)
+	}
+}
+
+func TestParseExplainAlterTName(t *testing.T) {
+	st, err := ParseOne(`EXPLAIN SELECT x.A FROM x IN T WHERE x.A = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*Explain); !ok {
+		t.Fatalf("got %T", st)
+	}
+	st, err = ParseOne(`ALTER TABLE T ADD SUB.NEWATTR FLOAT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alter := st.(*AlterTableAdd)
+	if alter.Table != "T" || len(alter.Path) != 2 || alter.Type.Kind != model.KindFloat {
+		t.Errorf("alter = %+v", alter)
+	}
+	sel := mustSelect(t, `SELECT TNAME(y) AS R FROM x IN T, y IN x.S`)
+	if _, ok := sel.Items[0].Expr.(*TNameOf); !ok {
+		t.Fatalf("got %T", sel.Items[0].Expr)
+	}
+	bad := []string{
+		`ALTER TABLE T ADD X TABLE OF (A INT)`,
+		`ALTER TABLE T ADD`,
+		`EXPLAIN INSERT INTO T VALUES (1)`,
+		`SELECT TNAME(x.A) FROM x IN T`,
+	}
+	for _, q := range bad {
+		if _, err := ParseOne(q); err == nil {
+			t.Errorf("accepted %q", q)
+		}
+	}
+}
+
+func TestParseEmptyOrderedLiteral(t *testing.T) {
+	st, err := ParseOne(`INSERT INTO T VALUES (1, <>, {})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := st.(*Insert).Rows[0].(*TupleLit)
+	if !row.Elems[1].(*TableLit).Ordered || row.Elems[2].(*TableLit).Ordered {
+		t.Error("empty literal ordering wrong")
+	}
+}
+
+// Property: the lexer and parser never panic on arbitrary input.
+func TestParserNeverPanics(t *testing.T) {
+	f := func(input string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				t.Logf("panic on input %q", input)
+				ok = false
+			}
+		}()
+		Parse(input)
+		Parse("SELECT " + input)
+		Parse("CREATE TABLE T (" + input + ")")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package subtuple
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/segment"
+	"repro/internal/wal"
+)
+
+// Recover replays the write-ahead log onto the segments registered in
+// the pool. Only records up to (and including) the last commit are
+// applied; a record is skipped when the target page's LSN shows it
+// was already applied before the crash. Afterwards all pages are
+// flushed so the log could be truncated by the caller.
+func Recover(log *wal.Log, pool *buffer.Pool) error {
+	// Pass 1: find the last commit LSN.
+	lastCommit := uint64(0)
+	haveCommit := false
+	err := log.Replay(func(r wal.Record) error {
+		if r.Op == wal.OpCommit {
+			lastCommit = r.LSN
+			haveCommit = true
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !haveCommit {
+		return nil // nothing durable to redo
+	}
+	// Pass 2: redo committed page operations.
+	err = log.Replay(func(r wal.Record) error {
+		if r.LSN > lastCommit {
+			return nil
+		}
+		switch r.Op {
+		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
+		default:
+			return nil
+		}
+		if err := ensurePage(pool, r.Seg, r.Page); err != nil {
+			return err
+		}
+		f, err := pool.Pin(buffer.PageKey{Seg: r.Seg, Page: r.Page})
+		if err != nil {
+			return err
+		}
+		defer pool.Unpin(f, true)
+		if !f.Page.Initialized() {
+			f.Page.Init()
+		}
+		if f.Page.LSN() >= r.LSN {
+			return nil // already applied before the crash
+		}
+		switch r.Op {
+		case wal.OpInsert:
+			if err := f.Page.InsertAt(r.Slot, r.Payload); err != nil {
+				return fmt.Errorf("subtuple: redo insert %v.%d.%d: %w", r.Seg, r.Page, r.Slot, err)
+			}
+		case wal.OpUpdate:
+			if err := f.Page.Update(r.Slot, r.Payload); err != nil {
+				return fmt.Errorf("subtuple: redo update %v.%d.%d: %w", r.Seg, r.Page, r.Slot, err)
+			}
+		case wal.OpDelete:
+			if err := f.Page.Delete(r.Slot); err != nil {
+				return fmt.Errorf("subtuple: redo delete %v.%d.%d: %w", r.Seg, r.Page, r.Slot, err)
+			}
+		}
+		f.Page.SetLSN(r.LSN)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return pool.FlushAll()
+}
+
+// ensurePage extends the segment until the page exists, formatting
+// fresh pages (allocations themselves are not logged; they are
+// implied by the first operation touching the page).
+func ensurePage(pool *buffer.Pool, seg segment.ID, pageNo uint32) error {
+	st := pool.Store(seg)
+	if st == nil {
+		return fmt.Errorf("subtuple: recovery for unregistered segment %d", seg)
+	}
+	for st.PageCount() < pageNo {
+		no := st.Allocate()
+		f, err := pool.PinNew(buffer.PageKey{Seg: seg, Page: no})
+		if err != nil {
+			return err
+		}
+		pool.Unpin(f, true)
+	}
+	return nil
+}

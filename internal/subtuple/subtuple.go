@@ -1,0 +1,741 @@
+// Package subtuple implements the AIM-II subtuple manager. A subtuple
+// is "the basic storage unit, like a tuple or a record in traditional
+// database systems" (§4.1): both data subtuples and MD subtuples of
+// complex objects are stored through this layer.
+//
+// The store provides stable record addresses (TIDs survive growth via
+// forwarding stubs), records larger than a page (overflow chains),
+// and the time-version support of §5: when a store is versioned,
+// updates and deletes keep the previous state reachable through a
+// version chain, and ReadAsOf resolves a record as of an instant in
+// the past — the machinery behind ASOF queries. This matches the
+// paper's note that walk-through-time support lives "at lower system
+// levels (subtuple manager)".
+package subtuple
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/segment"
+	"repro/internal/wal"
+)
+
+// Record flag bits (first byte of every stored record).
+const (
+	fFwd   = 0x01 // body is a 6-byte TID of the relocated record
+	fVer   = 0x02 // versioned: varint fromTS + 6-byte prev-version TID
+	fTomb  = 0x04 // tombstone of a deleted versioned record
+	fLong  = 0x08 // body continues in an overflow chunk chain
+	fChunk = 0x10 // this record is an overflow chunk
+	fOld   = 0x20 // this record is an old version (not current)
+	fMoved = 0x40 // this record is the target of a forwarding stub
+)
+
+// maxRecord bounds a single on-page record; larger bodies are split
+// into overflow chunks.
+const maxRecord = page.Size - 64
+
+// ErrNotFound reports a read through a TID that holds no record.
+var ErrNotFound = errors.New("subtuple: record not found")
+
+// ErrNotVersioned reports an ASOF read against an unversioned store.
+var ErrNotVersioned = errors.New("subtuple: store is not versioned")
+
+// Store manages subtuples within one segment.
+type Store struct {
+	pool      *buffer.Pool
+	seg       segment.ID
+	log       *wal.Log
+	versioned bool
+	clock     func() int64
+
+	mu         sync.Mutex
+	hint       uint32   // last page that accepted an insert
+	candidates []uint32 // pages known to have reclaimed space
+}
+
+// Config configures a Store.
+type Config struct {
+	Pool *buffer.Pool
+	Seg  segment.ID
+	Log  *wal.Log // optional write-ahead log
+	// Versioned keeps history on update/delete for ASOF reads.
+	Versioned bool
+	// Clock supplies version timestamps; required when Versioned.
+	Clock func() int64
+}
+
+// New creates a store over a registered segment.
+func New(cfg Config) *Store {
+	s := &Store{pool: cfg.Pool, seg: cfg.Seg, log: cfg.Log, versioned: cfg.Versioned, clock: cfg.Clock}
+	if s.versioned && s.clock == nil {
+		panic("subtuple: versioned store requires a clock")
+	}
+	return s
+}
+
+// Pool returns the buffer pool the store runs on.
+func (s *Store) Pool() *buffer.Pool { return s.pool }
+
+// Segment returns the segment id the store manages.
+func (s *Store) Segment() segment.ID { return s.seg }
+
+// Versioned reports whether the store keeps history.
+func (s *Store) Versioned() bool { return s.versioned }
+
+// now returns the version timestamp for the current operation.
+func (s *Store) now() int64 { return s.clock() }
+
+// --- low-level page operations, WAL-logged -------------------------
+
+func (s *Store) logAndApply(op wal.Op, pageNo uint32, apply func(p *page.Page) (uint16, error), payload []byte) (uint16, error) {
+	key := buffer.PageKey{Seg: s.seg, Page: pageNo}
+	f, err := s.pool.Pin(key)
+	if err != nil {
+		return 0, err
+	}
+	sl, err := apply(f.Page)
+	if err != nil {
+		s.pool.Unpin(f, false)
+		return 0, err
+	}
+	if s.log != nil {
+		rec := &wal.Record{Op: op, Seg: s.seg, Page: pageNo, Slot: sl, Payload: payload}
+		lsn, err := s.log.Append(rec)
+		if err != nil {
+			s.pool.Unpin(f, true)
+			return 0, err
+		}
+		f.Page.SetLSN(lsn)
+	}
+	s.pool.Unpin(f, true)
+	return sl, nil
+}
+
+func (s *Store) pageInsert(pageNo uint32, rec []byte) (uint16, error) {
+	return s.logAndApply(wal.OpInsert, pageNo, func(p *page.Page) (uint16, error) {
+		return p.Insert(rec)
+	}, rec)
+}
+
+func (s *Store) pageUpdate(t page.TID, rec []byte) error {
+	_, err := s.logAndApply(wal.OpUpdate, t.Page, func(p *page.Page) (uint16, error) {
+		return t.Slot, p.Update(t.Slot, rec)
+	}, rec)
+	return err
+}
+
+func (s *Store) pageDelete(t page.TID) error {
+	_, err := s.logAndApply(wal.OpDelete, t.Page, func(p *page.Page) (uint16, error) {
+		return t.Slot, p.Delete(t.Slot)
+	}, nil)
+	if err == nil {
+		s.noteFreed(t.Page)
+	}
+	return err
+}
+
+func (s *Store) readRaw(t page.TID) ([]byte, error) {
+	f, err := s.pool.Pin(buffer.PageKey{Seg: s.seg, Page: t.Page})
+	if err != nil {
+		return nil, err
+	}
+	defer s.pool.Unpin(f, false)
+	rec, err := f.Page.Read(t.Slot)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// --- free-space management -----------------------------------------
+
+func (s *Store) noteFreed(pageNo uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.candidates {
+		if c == pageNo {
+			return
+		}
+	}
+	if len(s.candidates) < 32 {
+		s.candidates = append(s.candidates, pageNo)
+	}
+}
+
+// AllocatePage reserves and formats a fresh page, returning its
+// number.
+func (s *Store) AllocatePage() (uint32, error) {
+	no, err := s.pool.Allocate(s.seg)
+	if err != nil {
+		return 0, err
+	}
+	f, err := s.pool.PinNew(buffer.PageKey{Seg: s.seg, Page: no})
+	if err != nil {
+		return 0, err
+	}
+	s.pool.Unpin(f, true)
+	return no, nil
+}
+
+// PageEmpty reports whether a page holds no live records.
+func (s *Store) PageEmpty(pageNo uint32) (bool, error) {
+	f, err := s.pool.Pin(buffer.PageKey{Seg: s.seg, Page: pageNo})
+	if err != nil {
+		return false, err
+	}
+	defer s.pool.Unpin(f, false)
+	return f.Page.Empty(), nil
+}
+
+// FreeOnPage returns the free byte count of a page (a logical page
+// access, like the paper's page-list scan).
+func (s *Store) FreeOnPage(pageNo uint32) (int, error) {
+	f, err := s.pool.Pin(buffer.PageKey{Seg: s.seg, Page: pageNo})
+	if err != nil {
+		return 0, err
+	}
+	defer s.pool.Unpin(f, false)
+	return f.Page.FreeSpace(), nil
+}
+
+// insertRawAnywhere places an encoded record, trying the insert hint
+// and reclaimed-space candidates before allocating a new page.
+func (s *Store) insertRawAnywhere(rec []byte) (page.TID, error) {
+	s.mu.Lock()
+	tries := make([]uint32, 0, 8)
+	if s.hint != 0 {
+		tries = append(tries, s.hint)
+	}
+	tries = append(tries, s.candidates...)
+	s.mu.Unlock()
+	for _, pg := range tries {
+		slot, err := s.pageInsert(pg, rec)
+		if err == nil {
+			s.mu.Lock()
+			s.hint = pg
+			s.mu.Unlock()
+			return page.TID{Page: pg, Slot: slot}, nil
+		}
+		if !errors.Is(err, page.ErrNoSpace) {
+			return page.TID{}, err
+		}
+	}
+	pg, err := s.AllocatePage()
+	if err != nil {
+		return page.TID{}, err
+	}
+	slot, err := s.pageInsert(pg, rec)
+	if err != nil {
+		return page.TID{}, err
+	}
+	s.mu.Lock()
+	s.hint = pg
+	s.mu.Unlock()
+	return page.TID{Page: pg, Slot: slot}, nil
+}
+
+// --- record encoding ------------------------------------------------
+
+// encodeBody wraps a payload with version header and, when too large,
+// spills it into an overflow chain. extraFlags is fOld for version
+// records.
+func (s *Store) encodeBody(payload []byte, versioned bool, fromTS int64, prev page.TID, extraFlags byte) ([]byte, error) {
+	hdr := []byte{extraFlags}
+	if versioned {
+		hdr[0] |= fVer
+		hdr = binary.AppendVarint(hdr, fromTS)
+		hdr = page.AppendTID(hdr, prev)
+	}
+	if len(hdr)+len(payload) <= maxRecord {
+		return append(hdr, payload...), nil
+	}
+	// Long record: spill the payload into chunks, newest-first so each
+	// chunk can point at the next.
+	chunkData := maxRecord - 1 - page.EncodedTIDLen
+	next := page.TID{}
+	for off := ((len(payload) - 1) / chunkData) * chunkData; off >= 0; off -= chunkData {
+		end := off + chunkData
+		if end > len(payload) {
+			end = len(payload)
+		}
+		chunk := []byte{fChunk}
+		chunk = page.AppendTID(chunk, next)
+		chunk = append(chunk, payload[off:end]...)
+		t, err := s.insertRawAnywhere(chunk)
+		if err != nil {
+			return nil, err
+		}
+		next = t
+	}
+	hdr[0] |= fLong
+	hdr = binary.AppendUvarint(hdr, uint64(len(payload)))
+	hdr = page.AppendTID(hdr, next)
+	return hdr, nil
+}
+
+// decoded is a parsed record.
+type decoded struct {
+	flags   byte
+	fromTS  int64
+	prev    page.TID
+	payload []byte // assembled (chunks resolved)
+}
+
+func (s *Store) decode(rec []byte) (*decoded, error) {
+	if len(rec) == 0 {
+		return nil, fmt.Errorf("subtuple: empty record")
+	}
+	d := &decoded{flags: rec[0]}
+	p := rec[1:]
+	if d.flags&fVer != 0 {
+		ts, n := binary.Varint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("subtuple: corrupt version header")
+		}
+		d.fromTS = ts
+		p = p[n:]
+		prev, err := page.DecodeTID(p)
+		if err != nil {
+			return nil, err
+		}
+		d.prev = prev
+		p = p[page.EncodedTIDLen:]
+	}
+	if d.flags&fLong != 0 {
+		total, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, fmt.Errorf("subtuple: corrupt long header")
+		}
+		p = p[n:]
+		first, err := page.DecodeTID(p)
+		if err != nil {
+			return nil, err
+		}
+		payload := make([]byte, 0, total)
+		cur := first
+		for !cur.Nil() {
+			raw, err := s.readRaw(cur)
+			if err != nil {
+				return nil, fmt.Errorf("subtuple: broken overflow chain: %w", err)
+			}
+			if raw[0]&fChunk == 0 {
+				return nil, fmt.Errorf("subtuple: overflow chain hit non-chunk record")
+			}
+			next, err := page.DecodeTID(raw[1:])
+			if err != nil {
+				return nil, err
+			}
+			payload = append(payload, raw[1+page.EncodedTIDLen:]...)
+			cur = next
+		}
+		if uint64(len(payload)) != total {
+			return nil, fmt.Errorf("subtuple: overflow chain length %d, want %d", len(payload), total)
+		}
+		d.payload = payload
+		return d, nil
+	}
+	d.payload = p
+	return d, nil
+}
+
+// freeOverflow releases the chunks of a long record.
+func (s *Store) freeOverflow(rec []byte) error {
+	if len(rec) == 0 || rec[0]&fLong == 0 {
+		return nil
+	}
+	p := rec[1:]
+	if rec[0]&fVer != 0 {
+		_, n := binary.Varint(p)
+		p = p[n+page.EncodedTIDLen:]
+	}
+	_, n := binary.Uvarint(p)
+	p = p[n:]
+	cur, err := page.DecodeTID(p)
+	if err != nil {
+		return err
+	}
+	for !cur.Nil() {
+		raw, err := s.readRaw(cur)
+		if err != nil {
+			return err
+		}
+		next, err := page.DecodeTID(raw[1:])
+		if err != nil {
+			return err
+		}
+		if err := s.pageDelete(cur); err != nil {
+			return err
+		}
+		cur = next
+	}
+	return nil
+}
+
+// resolve follows forwarding stubs from the anchor and returns the
+// physical location plus the raw record found there.
+func (s *Store) resolve(t page.TID) (page.TID, []byte, error) {
+	for hop := 0; ; hop++ {
+		raw, err := s.readRaw(t)
+		if err != nil {
+			return page.TID{}, nil, err
+		}
+		if raw[0]&fFwd == 0 {
+			return t, raw, nil
+		}
+		if hop > 8 {
+			return page.TID{}, nil, fmt.Errorf("subtuple: forwarding loop at %v", t)
+		}
+		t, err = page.DecodeTID(raw[1:])
+		if err != nil {
+			return page.TID{}, nil, err
+		}
+	}
+}
+
+// --- public record operations ---------------------------------------
+
+// Insert stores a new subtuple anywhere in the segment and returns
+// its stable TID.
+func (s *Store) Insert(data []byte) (page.TID, error) {
+	rec, err := s.encodeBody(data, s.versioned, s.tsOrZero(), page.TID{}, 0)
+	if err != nil {
+		return page.TID{}, err
+	}
+	return s.insertRawAnywhere(rec)
+}
+
+func (s *Store) tsOrZero() int64 {
+	if s.versioned {
+		return s.now()
+	}
+	return 0
+}
+
+// InsertOnPage stores a new subtuple on the given page, returning
+// page.ErrNoSpace when it does not fit — the primitive behind the
+// complex-object clustering strategy of §4.1 (try the object's own
+// pages first).
+func (s *Store) InsertOnPage(pageNo uint32, data []byte) (page.TID, error) {
+	rec, err := s.encodeBody(data, s.versioned, s.tsOrZero(), page.TID{}, 0)
+	if err != nil {
+		return page.TID{}, err
+	}
+	slot, err := s.pageInsert(pageNo, rec)
+	if err != nil {
+		return page.TID{}, err
+	}
+	return page.TID{Page: pageNo, Slot: slot}, nil
+}
+
+// Read returns the current payload of the subtuple.
+func (s *Store) Read(t page.TID) ([]byte, error) {
+	_, raw, err := s.resolve(t)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if d.flags&fTomb != 0 {
+		return nil, ErrNotFound
+	}
+	return d.payload, nil
+}
+
+// ReadAsOf returns the payload of the subtuple as of instant ts. The
+// boolean reports whether the subtuple existed at that time.
+func (s *Store) ReadAsOf(t page.TID, ts int64) ([]byte, bool, error) {
+	_, raw, err := s.resolve(t)
+	if err != nil {
+		return nil, false, err
+	}
+	d, err := s.decode(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	if d.flags&fVer == 0 {
+		if d.flags&fTomb != 0 {
+			return nil, false, nil
+		}
+		return d.payload, true, nil
+	}
+	for {
+		if d.fromTS <= ts {
+			if d.flags&fTomb != 0 {
+				return nil, false, nil
+			}
+			return d.payload, true, nil
+		}
+		if d.prev.Nil() {
+			return nil, false, nil // did not exist yet
+		}
+		raw, err := s.readRaw(d.prev)
+		if err != nil {
+			return nil, false, err
+		}
+		d, err = s.decode(raw)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Update replaces the subtuple's payload. The TID stays valid: if the
+// grown record no longer fits on its page it is relocated and a
+// forwarding stub is left behind. In a versioned store the previous
+// payload is preserved as an old version.
+func (s *Store) Update(t page.TID, data []byte) error {
+	loc, raw, err := s.resolve(t)
+	if err != nil {
+		return err
+	}
+	old, err := s.decode(raw)
+	if err != nil {
+		return err
+	}
+	if old.flags&fTomb != 0 {
+		return ErrNotFound
+	}
+	prev := page.TID{}
+	fromTS := int64(0)
+	if s.versioned {
+		// Preserve the old payload as an fOld version record.
+		oldRec, err := s.encodeBody(old.payload, true, old.fromTS, old.prev, fOld)
+		if err != nil {
+			return err
+		}
+		prev, err = s.insertRawAnywhere(oldRec)
+		if err != nil {
+			return err
+		}
+		fromTS = s.now()
+	}
+	if err := s.freeOverflow(raw); err != nil {
+		return err
+	}
+	moved := old.flags & fMoved
+	rec, err := s.encodeBody(data, s.versioned, fromTS, prev, moved)
+	if err != nil {
+		return err
+	}
+	err = s.pageUpdate(loc, rec)
+	if errors.Is(err, page.ErrNoSpace) {
+		// Relocate and leave (or retarget) a forwarding stub.
+		rec2, err2 := s.encodeBody(data, s.versioned, fromTS, prev, moved|fMoved)
+		if err2 != nil {
+			return err2
+		}
+		nt, err2 := s.insertRawAnywhere(rec2)
+		if err2 != nil {
+			return err2
+		}
+		stub := []byte{fFwd}
+		stub = page.AppendTID(stub, nt)
+		return s.pageUpdate(loc, stub)
+	}
+	return err
+}
+
+// Delete removes the subtuple. In a versioned store a tombstone keeps
+// the history reachable for ASOF reads; otherwise the record (and any
+// forwarding stub or overflow chain) is physically removed.
+func (s *Store) Delete(t page.TID) error {
+	loc, raw, err := s.resolve(t)
+	if err != nil {
+		return err
+	}
+	old, err := s.decode(raw)
+	if err != nil {
+		return err
+	}
+	if old.flags&fTomb != 0 {
+		return ErrNotFound
+	}
+	if s.versioned {
+		oldRec, err := s.encodeBody(old.payload, true, old.fromTS, old.prev, fOld)
+		if err != nil {
+			return err
+		}
+		prev, err := s.insertRawAnywhere(oldRec)
+		if err != nil {
+			return err
+		}
+		if err := s.freeOverflow(raw); err != nil {
+			return err
+		}
+		tomb := []byte{fVer | fTomb | (old.flags & fMoved)}
+		tomb = binary.AppendVarint(tomb, s.now())
+		tomb = page.AppendTID(tomb, prev)
+		return s.pageUpdate(loc, tomb)
+	}
+	if err := s.freeOverflow(raw); err != nil {
+		return err
+	}
+	if loc != t {
+		if err := s.pageDelete(t); err != nil { // the stub
+			return err
+		}
+	}
+	return s.pageDelete(loc)
+}
+
+// Exists reports whether the subtuple currently exists.
+func (s *Store) Exists(t page.TID) bool {
+	_, err := s.Read(t)
+	return err == nil
+}
+
+// Scan streams every current subtuple in the segment exactly once,
+// under its anchor TID for records that were never moved and under
+// the physical TID for moved ones (the anchor resolves to the same
+// record).
+func (s *Store) Scan(fn func(t page.TID, data []byte) error) error {
+	st := s.pool.Store(s.seg)
+	if st == nil {
+		return fmt.Errorf("subtuple: segment %d not registered", s.seg)
+	}
+	count := st.PageCount()
+	for pg := uint32(1); pg <= count; pg++ {
+		f, err := s.pool.Pin(buffer.PageKey{Seg: s.seg, Page: pg})
+		if err != nil {
+			return err
+		}
+		n := f.Page.NumSlots()
+		type item struct {
+			slot uint16
+			raw  []byte
+		}
+		var items []item
+		for sl := 0; sl < n; sl++ {
+			rec, err := f.Page.Read(uint16(sl))
+			if err != nil {
+				continue
+			}
+			if rec[0]&(fFwd|fChunk|fOld|fTomb) != 0 {
+				continue
+			}
+			cp := make([]byte, len(rec))
+			copy(cp, rec)
+			items = append(items, item{uint16(sl), cp})
+		}
+		s.pool.Unpin(f, false)
+		for _, it := range items {
+			d, err := s.decode(it.raw)
+			if err != nil {
+				return err
+			}
+			if err := fn(page.TID{Page: pg, Slot: it.slot}, d.payload); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Commit appends a commit record and forces the log to stable
+// storage. A no-op without a WAL.
+func (s *Store) Commit() error {
+	if s.log == nil {
+		return nil
+	}
+	if _, err := s.log.Append(&wal.Record{Op: wal.OpCommit}); err != nil {
+		return err
+	}
+	return s.log.Sync()
+}
+
+// ScanAsOf streams every subtuple that existed at instant ts with its
+// payload as of ts. Unlike Scan it visits tombstoned records (they may
+// have been alive at ts) and resolves each through its version chain.
+func (s *Store) ScanAsOf(ts int64, fn func(t page.TID, data []byte) error) error {
+	st := s.pool.Store(s.seg)
+	if st == nil {
+		return fmt.Errorf("subtuple: segment %d not registered", s.seg)
+	}
+	count := st.PageCount()
+	for pg := uint32(1); pg <= count; pg++ {
+		f, err := s.pool.Pin(buffer.PageKey{Seg: s.seg, Page: pg})
+		if err != nil {
+			return err
+		}
+		n := f.Page.NumSlots()
+		var slots []uint16
+		for sl := 0; sl < n; sl++ {
+			rec, err := f.Page.Read(uint16(sl))
+			if err != nil {
+				continue
+			}
+			if rec[0]&(fFwd|fChunk|fOld) != 0 {
+				continue
+			}
+			slots = append(slots, uint16(sl))
+		}
+		s.pool.Unpin(f, false)
+		for _, sl := range slots {
+			tid := page.TID{Page: pg, Slot: sl}
+			data, ok, err := s.ReadAsOf(tid, ts)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := fn(tid, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Version is one state in a subtuple's history.
+type Version struct {
+	FromTS  int64
+	Payload []byte
+	Deleted bool // tombstone: the subtuple did not exist from FromTS on
+}
+
+// History returns the subtuple's versions, newest first — the
+// "walk-through-time" access the paper supports at the subtuple
+// manager level (§5) without exposing it at the language interface.
+func (s *Store) History(t page.TID) ([]Version, error) {
+	_, raw, err := s.resolve(t)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if d.flags&fVer == 0 {
+		return []Version{{Payload: d.payload}}, nil
+	}
+	var out []Version
+	for {
+		v := Version{FromTS: d.fromTS, Deleted: d.flags&fTomb != 0}
+		if !v.Deleted {
+			v.Payload = d.payload
+		}
+		out = append(out, v)
+		if d.prev.Nil() {
+			return out, nil
+		}
+		raw, err := s.readRaw(d.prev)
+		if err != nil {
+			return nil, err
+		}
+		d, err = s.decode(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
+}

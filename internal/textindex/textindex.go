@@ -1,0 +1,294 @@
+// Package textindex implements the word-fragment text index of the
+// AIM-II prototype (§5, based on Schek's reference-string indexing
+// /Sch78/ and the graph-structured word-fragment index /KW81/). It
+// supports masked search operations like
+//
+//	SELECT ... WHERE x.TITLE CONTAINS '*comput*'
+//
+// A text attribute's words are decomposed into overlapping fragments
+// (trigrams over the word extended with boundary markers). A masked
+// pattern is answered by intersecting the fragment posting sets of
+// the literal parts of the mask — yielding a small candidate word
+// set — then verifying each candidate against the mask and taking the
+// union of the surviving words' document postings.
+package textindex
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/index"
+	"repro/internal/page"
+)
+
+// boundary marks word start/end in fragments, so anchored mask parts
+// (prefix/suffix) can use anchored fragments.
+const boundary = '\x01'
+
+// Index is a word-fragment text index over one string attribute of a
+// table.
+type Index struct {
+	Name  string
+	Table string
+	Path  []string // attribute path, as for value indexes
+
+	// postings: word -> addresses of the (sub)objects whose attribute
+	// value contains the word.
+	postings map[string][]index.Addr
+	// fragments: trigram -> set of words containing it.
+	fragments map[string]map[string]struct{}
+}
+
+// New creates an empty text index.
+func New(name, table string, path []string) *Index {
+	return &Index{
+		Name:      name,
+		Table:     table,
+		Path:      path,
+		postings:  make(map[string][]index.Addr),
+		fragments: make(map[string]map[string]struct{}),
+	}
+}
+
+// Words returns the vocabulary size.
+func (ix *Index) Words() int { return len(ix.postings) }
+
+// Fragments returns the number of distinct fragments.
+func (ix *Index) Fragments() int { return len(ix.fragments) }
+
+// Tokenize splits a text into lowercase words (letter/digit runs).
+func Tokenize(text string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return words
+}
+
+// fragmentsOf returns the trigrams of the word extended with boundary
+// markers: "pc" -> ␂pc, pc␃ (as trigrams over \x01pc\x01).
+func fragmentsOf(word string) []string {
+	ext := string(boundary) + word + string(boundary)
+	runes := []rune(ext)
+	if len(runes) < 3 {
+		return []string{ext}
+	}
+	frags := make([]string, 0, len(runes)-2)
+	for i := 0; i+3 <= len(runes); i++ {
+		frags = append(frags, string(runes[i:i+3]))
+	}
+	return frags
+}
+
+// Add indexes the text under the given address.
+func (ix *Index) Add(text string, addr index.Addr) {
+	seen := map[string]bool{}
+	for _, w := range Tokenize(text) {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		if _, known := ix.postings[w]; !known {
+			for _, f := range fragmentsOf(w) {
+				set := ix.fragments[f]
+				if set == nil {
+					set = make(map[string]struct{})
+					ix.fragments[f] = set
+				}
+				set[w] = struct{}{}
+			}
+		}
+		ix.postings[w] = append(ix.postings[w], addr)
+	}
+}
+
+// Remove withdraws the text's contribution under the address.
+func (ix *Index) Remove(text string, addr index.Addr) {
+	seen := map[string]bool{}
+	for _, w := range Tokenize(text) {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		post := ix.postings[w]
+		for i, a := range post {
+			if a.Equal(addr) {
+				post = append(post[:i], post[i+1:]...)
+				break
+			}
+		}
+		if len(post) == 0 {
+			delete(ix.postings, w)
+			for _, f := range fragmentsOf(w) {
+				if set := ix.fragments[f]; set != nil {
+					delete(set, w)
+					if len(set) == 0 {
+						delete(ix.fragments, f)
+					}
+				}
+			}
+		} else {
+			ix.postings[w] = post
+		}
+	}
+}
+
+// MatchMask reports whether the word matches the mask, where '*'
+// matches any (possibly empty) run and '?' any single character.
+// Masks are matched case-insensitively against lowercase words.
+func MatchMask(mask, word string) bool {
+	return matchRunes([]rune(strings.ToLower(mask)), []rune(word))
+}
+
+func matchRunes(mask, word []rune) bool {
+	if len(mask) == 0 {
+		return len(word) == 0
+	}
+	switch mask[0] {
+	case '*':
+		for i := 0; i <= len(word); i++ {
+			if matchRunes(mask[1:], word[i:]) {
+				return true
+			}
+		}
+		return false
+	case '?':
+		return len(word) > 0 && matchRunes(mask[1:], word[1:])
+	default:
+		return len(word) > 0 && word[0] == mask[0] && matchRunes(mask[1:], word[1:])
+	}
+}
+
+// CandidateWords returns the vocabulary words that survive fragment
+// filtering for the mask (before verification). Exposed so the
+// experiments can report the filter's selectivity.
+func (ix *Index) CandidateWords(mask string) []string {
+	mask = strings.ToLower(mask)
+	// Split the mask at wildcards into literal runs; anchor the first
+	// and last runs when the mask does not start/end with '*'.
+	type run struct {
+		text           string
+		atStart, atEnd bool
+	}
+	var runs []run
+	var cur strings.Builder
+	start := true
+	flush := func(end bool) {
+		if cur.Len() > 0 {
+			runs = append(runs, run{text: cur.String(), atStart: start, atEnd: end})
+			cur.Reset()
+		}
+		start = false
+	}
+	for _, r := range mask {
+		if r == '*' || r == '?' {
+			flush(false)
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	flush(!strings.HasSuffix(mask, "*") && !strings.HasSuffix(mask, "?"))
+
+	var candidate map[string]struct{}
+	intersect := func(set map[string]struct{}) {
+		if candidate == nil {
+			candidate = make(map[string]struct{}, len(set))
+			for w := range set {
+				candidate[w] = struct{}{}
+			}
+			return
+		}
+		for w := range candidate {
+			if _, ok := set[w]; !ok {
+				delete(candidate, w)
+			}
+		}
+	}
+	usable := false
+	for _, r := range runs {
+		ext := r.text
+		if r.atStart {
+			ext = string(boundary) + ext
+		}
+		if r.atEnd {
+			ext = ext + string(boundary)
+		}
+		rs := []rune(ext)
+		for i := 0; i+3 <= len(rs); i++ {
+			set := ix.fragments[string(rs[i:i+3])]
+			if set == nil {
+				return nil // a required fragment is absent: no matches
+			}
+			intersect(set)
+			usable = true
+		}
+	}
+	if !usable {
+		// Mask too unselective for fragments (e.g. "*a*"): fall back
+		// to the full vocabulary.
+		candidate = make(map[string]struct{}, len(ix.postings))
+		for w := range ix.postings {
+			candidate[w] = struct{}{}
+		}
+	}
+	words := make([]string, 0, len(candidate))
+	for w := range candidate {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	return words
+}
+
+// Search returns the distinct addresses whose indexed text contains a
+// word matching the mask. A mask without wildcards is an exact word
+// search.
+func (ix *Index) Search(mask string) []index.Addr {
+	var out []index.Addr
+	seen := map[string]bool{}
+	addrKey := func(a index.Addr) string {
+		k := a.TID.String()
+		for _, m := range a.Path {
+			k += "/" + m.String()
+		}
+		return k
+	}
+	for _, w := range ix.CandidateWords(mask) {
+		if !MatchMask(mask, w) {
+			continue
+		}
+		for _, a := range ix.postings[w] {
+			if k := addrKey(a); !seen[k] {
+				seen[k] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+// Contains is the evaluator's fallback when no text index exists: it
+// reports whether any word of the text matches the mask.
+func Contains(text, mask string) bool {
+	for _, w := range Tokenize(text) {
+		if MatchMask(mask, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// DistinctRoots deduplicates search results to object roots.
+func DistinctRoots(addrs []index.Addr) []page.TID { return index.DistinctRoots(addrs) }

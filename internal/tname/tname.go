@@ -1,0 +1,180 @@
+// Package tname implements tuple names (§4.3 of the paper): system
+// generated keys that identify complex objects, complex and flat
+// subobjects, and subtables, for data sharing between hierarchies and
+// for handing stable references out to application programs.
+//
+// T-names reuse the hierarchical address machinery of the indexes
+// (§4.2): the t-name of a complex object is the TID of its root MD
+// subtuple (U in Fig 8); the t-name of a subobject is the root TID
+// plus the Mini TIDs of the data subtuples down to the subobject's
+// own data subtuple (V = V1·V2 for project 17, T = T1·T2·T3 for the
+// flat '56019 Consultant' member). Subtables get "special" t-names
+// that address the subtable rather than a data subtuple (W, X in
+// Fig 8) — legal as t-names but not as index addresses, the "minor
+// difference between t-names and i-addresses" the paper points out.
+package tname
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+)
+
+// Name is a tuple name.
+type Name struct {
+	// Root is the TID of the complex object's root MD subtuple; the
+	// first component of every t-name is a full TID (§4.2).
+	Root page.TID
+	// Path holds the Mini TIDs of the data subtuples of the complex
+	// subobjects from nesting level 1 down to the named subobject.
+	// Empty for the whole object.
+	Path []page.MiniTID
+	// Subtable, when >= 0, names the subtable at that attribute index
+	// of the subobject addressed by Path (the special t-name form).
+	Subtable int
+}
+
+// IsObject reports whether the name addresses a whole complex object.
+func (n Name) IsObject() bool { return len(n.Path) == 0 && n.Subtable < 0 }
+
+// IsSubtable reports whether the name addresses a subtable.
+func (n Name) IsSubtable() bool { return n.Subtable >= 0 }
+
+// String renders the t-name like the paper's U, V=V1·V2 examples.
+func (n Name) String() string {
+	s := n.Root.String()
+	for _, m := range n.Path {
+		s += "·" + m.String()
+	}
+	if n.Subtable >= 0 {
+		s += fmt.Sprintf("·subtable(%d)", n.Subtable)
+	}
+	return s
+}
+
+// Encode serializes the t-name into an opaque token that can be
+// communicated to application programs for later direct access.
+func (n Name) Encode() string {
+	b := page.AppendTID(nil, n.Root)
+	b = binary.AppendVarint(b, int64(n.Subtable))
+	b = binary.AppendUvarint(b, uint64(len(n.Path)))
+	for _, m := range n.Path {
+		b = page.AppendMiniTID(b, m)
+	}
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// Decode parses a token produced by Encode.
+func Decode(token string) (Name, error) {
+	b, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return Name{}, fmt.Errorf("tname: bad token: %w", err)
+	}
+	root, err := page.DecodeTID(b)
+	if err != nil {
+		return Name{}, err
+	}
+	b = b[page.EncodedTIDLen:]
+	sub, sz := binary.Varint(b)
+	if sz <= 0 {
+		return Name{}, fmt.Errorf("tname: bad token")
+	}
+	b = b[sz:]
+	np, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return Name{}, fmt.Errorf("tname: bad token")
+	}
+	b = b[sz:]
+	n := Name{Root: root, Subtable: int(sub)}
+	for i := uint64(0); i < np; i++ {
+		m, err := page.DecodeMiniTID(b)
+		if err != nil {
+			return Name{}, err
+		}
+		n.Path = append(n.Path, m)
+		b = b[page.EncodedMiniTIDLen:]
+	}
+	return n, nil
+}
+
+// Registry mints and resolves t-names against one complex-object
+// manager and table type.
+type Registry struct {
+	m  *object.Manager
+	tt *model.TableType
+}
+
+// NewRegistry creates a t-name registry for a stored NF² table.
+func NewRegistry(m *object.Manager, tt *model.TableType) *Registry {
+	return &Registry{m: m, tt: tt}
+}
+
+// ObjectName returns the t-name of the whole complex object (U in
+// Fig 8): simply the address of its root MD subtuple.
+func ObjectName(ref object.Ref) Name { return Name{Root: ref, Subtable: -1} }
+
+// SubobjectName returns the t-name of the (complex or flat) subobject
+// addressed by the navigation steps. For a complex subobject the data
+// subtuple containing its first-level atomic attribute values
+// represents it (V in Fig 8); for a flat subobject the t-name looks
+// exactly like an index address for one of its attribute values (T).
+func (r *Registry) SubobjectName(ref object.Ref, steps ...object.Step) (Name, error) {
+	if len(steps) == 0 {
+		return ObjectName(ref), nil
+	}
+	dpath, err := r.m.DataPathAt(r.tt, ref, steps...)
+	if err != nil {
+		return Name{}, err
+	}
+	return Name{Root: ref, Path: dpath, Subtable: -1}, nil
+}
+
+// SubtableName returns the special t-name of a subtable: the owning
+// subobject's path plus the subtable's attribute index (W and X in
+// Fig 8).
+func (r *Registry) SubtableName(ref object.Ref, attr int, steps ...object.Step) (Name, error) {
+	var dpath []page.MiniTID
+	if len(steps) > 0 {
+		var err error
+		dpath, err = r.m.DataPathAt(r.tt, ref, steps...)
+		if err != nil {
+			return Name{}, err
+		}
+	}
+	return Name{Root: ref, Path: dpath, Subtable: attr}, nil
+}
+
+// ResolveSubtable dereferences a subtable t-name to its table value.
+func (r *Registry) ResolveSubtable(n Name) (*model.Table, error) {
+	if !n.IsSubtable() {
+		return nil, fmt.Errorf("tname: %s does not name a subtable", n)
+	}
+	var steps []object.Step
+	if len(n.Path) > 0 {
+		var err error
+		steps, err = r.m.FindByDataPath(r.tt, n.Root, n.Path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r.m.ReadSubtable(r.tt, n.Root, n.Subtable, steps...)
+}
+
+// ResolveTuple dereferences an object/subobject t-name to its tuple.
+func (r *Registry) ResolveTuple(n Name) (model.Tuple, error) {
+	if n.IsSubtable() {
+		return nil, fmt.Errorf("tname: %s names a subtable, not a tuple", n)
+	}
+	if n.IsObject() {
+		return r.m.Read(r.tt, n.Root)
+	}
+	steps, err := r.m.FindByDataPath(r.tt, n.Root, n.Path)
+	if err != nil {
+		return nil, err
+	}
+	return r.m.ReadSubobject(r.tt, n.Root, steps...)
+}

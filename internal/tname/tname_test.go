@@ -1,0 +1,179 @@
+package tname
+
+import (
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/segment"
+	"repro/internal/subtuple"
+	"repro/internal/testdata"
+)
+
+func setup(t *testing.T, layout object.Layout) (*Registry, object.Ref) {
+	t.Helper()
+	pool := buffer.NewPool(256)
+	pool.Register(1, segment.NewMemStore())
+	st := subtuple.New(subtuple.Config{Pool: pool, Seg: 1})
+	m := object.NewManager(st, layout)
+	tt := testdata.DepartmentsType()
+	ref, err := m.Insert(tt, testdata.Departments().Tuples[0]) // dept 314
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRegistry(m, tt), ref
+}
+
+// TestFig8Names mints the five t-names of Fig 8: U (department 314),
+// V (project 17), T (the '56019 Consultant' member), W (the PROJECTS
+// subtable) and X (the MEMBERS subtable of project 17).
+func TestFig8Names(t *testing.T) {
+	for _, layout := range []object.Layout{object.SS1, object.SS2, object.SS3} {
+		t.Run(layout.String(), func(t *testing.T) {
+			reg, ref := setup(t, layout)
+
+			u := ObjectName(ref)
+			if !u.IsObject() || u.IsSubtable() {
+				t.Fatalf("U = %v", u)
+			}
+			dept, err := reg.ResolveTuple(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dept[0].(model.Int) != 314 {
+				t.Errorf("U resolves to %v", dept[0])
+			}
+
+			v, err := reg.SubobjectName(ref, object.Step{Attr: 2, Pos: 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(v.Path) != 1 { // V = V1·V2: root TID + project data subtuple
+				t.Errorf("V path = %d components, want 1", len(v.Path))
+			}
+			proj, err := reg.ResolveTuple(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if proj[0].(model.Int) != 17 {
+				t.Errorf("V resolves to project %v", proj[0])
+			}
+
+			tn, err := reg.SubobjectName(ref, object.Step{Attr: 2, Pos: 0}, object.Step{Attr: 2, Pos: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tn.Path) != 2 { // T = T1·T2·T3
+				t.Errorf("T path = %d components, want 2", len(tn.Path))
+			}
+			member, err := reg.ResolveTuple(tn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if member[0].(model.Int) != 56019 || member[1].(model.Str) != "Consultant" {
+				t.Errorf("T resolves to %v", member)
+			}
+
+			w, err := reg.SubtableName(ref, 2) // PROJECTS
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !w.IsSubtable() {
+				t.Fatal("W is not a subtable name")
+			}
+			projects, err := reg.ResolveSubtable(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if projects.Len() != 2 {
+				t.Errorf("W resolves to %d projects", projects.Len())
+			}
+
+			x, err := reg.SubtableName(ref, 2, object.Step{Attr: 2, Pos: 0}) // MEMBERS of project 17
+			if err != nil {
+				t.Fatal(err)
+			}
+			members, err := reg.ResolveSubtable(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if members.Len() != 3 {
+				t.Errorf("X resolves to %d members", members.Len())
+			}
+		})
+	}
+}
+
+// T-names survive serialization and can be handed to application
+// programs (§4.3: "communicate references to database objects to
+// application programs for later direct access").
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	reg, ref := setup(t, object.SS3)
+	names := []Name{ObjectName(ref)}
+	v, _ := reg.SubobjectName(ref, object.Step{Attr: 2, Pos: 1})
+	names = append(names, v)
+	w, _ := reg.SubtableName(ref, 4)
+	names = append(names, w)
+	for _, n := range names {
+		token := n.Encode()
+		got, err := Decode(token)
+		if err != nil {
+			t.Fatalf("decode %q: %v", token, err)
+		}
+		if got.Root != n.Root || got.Subtable != n.Subtable || len(got.Path) != len(n.Path) {
+			t.Errorf("round trip: got %v, want %v", got, n)
+		}
+		for i := range n.Path {
+			if got.Path[i] != n.Path[i] {
+				t.Errorf("path component %d mismatch", i)
+			}
+		}
+	}
+	if _, err := Decode("not base64!!"); err == nil {
+		t.Error("garbage token accepted")
+	}
+}
+
+// T-names stay valid across updates to unrelated parts of the object
+// (subtuple addresses are stable).
+func TestNamesStableAcrossMutation(t *testing.T) {
+	pool := buffer.NewPool(256)
+	pool.Register(1, segment.NewMemStore())
+	st := subtuple.New(subtuple.Config{Pool: pool, Seg: 1})
+	m := object.NewManager(st, object.SS3)
+	tt := testdata.DepartmentsType()
+	ref, _ := m.Insert(tt, testdata.Departments().Tuples[0])
+	reg := NewRegistry(m, tt)
+	tn, err := reg.SubobjectName(ref, object.Step{Attr: 2, Pos: 0}, object.Step{Attr: 2, Pos: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: add equipment and a new project.
+	if err := m.InsertMember(tt, ref, nil, 4, -1, model.Tuple{model.Int(9), model.Str("3290")}); err != nil {
+		t.Fatal(err)
+	}
+	newProj := model.Tuple{model.Int(99), model.Str("NEW"), model.NewRelation()}
+	if err := m.InsertMember(tt, ref, nil, 2, -1, newProj); err != nil {
+		t.Fatal(err)
+	}
+	member, err := reg.ResolveTuple(tn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if member[0].(model.Int) != 56019 {
+		t.Errorf("t-name drifted to %v", member)
+	}
+}
+
+func TestSubtableNameRejectsTupleResolve(t *testing.T) {
+	reg, ref := setup(t, object.SS3)
+	w, _ := reg.SubtableName(ref, 2)
+	if _, err := reg.ResolveTuple(w); err == nil {
+		t.Error("subtable t-name resolved as tuple")
+	}
+	u := ObjectName(ref)
+	if _, err := reg.ResolveSubtable(u); err == nil {
+		t.Error("object t-name resolved as subtable")
+	}
+}

@@ -1,0 +1,243 @@
+// Package wal implements a write-ahead log with record-level redo
+// logging. Every subtuple operation (insert, update, delete) is
+// logged before it is applied to a page; dirty pages may only be
+// written back after the log records that dirtied them are on stable
+// storage (enforced through the buffer pool's flush hook). Recovery
+// replays the log in order onto the pages, applying a record only
+// when the page's LSN shows it has not been applied yet, and stops at
+// the last commit record.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/segment"
+)
+
+// Op is the kind of a log record.
+type Op byte
+
+// Log record kinds. Slot-level physical redo operations plus
+// transaction control records.
+const (
+	OpInsert Op = iota + 1
+	OpUpdate
+	OpDelete
+	OpCommit
+	OpCheckpoint
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "INSERT"
+	case OpUpdate:
+		return "UPDATE"
+	case OpDelete:
+		return "DELETE"
+	case OpCommit:
+		return "COMMIT"
+	case OpCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("Op(%d)", byte(o))
+	}
+}
+
+// Record is one log entry. For page operations Seg/Page/Slot address
+// the affected slot and Payload carries the full record image (empty
+// for deletes).
+type Record struct {
+	LSN     uint64 // byte offset of the record in the log file
+	Op      Op
+	Seg     segment.ID
+	Page    uint32
+	Slot    uint16
+	Payload []byte
+}
+
+// Log is an append-only write-ahead log backed by one file.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	nextLSN uint64 // == current file size including buffered bytes
+	flushed uint64 // LSN boundary known to be on stable storage
+}
+
+// Open opens (or creates) the log file at path and positions appends
+// after the last complete record.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{f: f}
+	// Find the end of the last complete record by scanning.
+	end := uint64(0)
+	err = l.replayFrom(0, func(r Record) error {
+		end = (r.LSN - 1) + uint64(recordSize(&r))
+		return nil
+	})
+	if err != nil && !errors.Is(err, errTorn) {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(int64(end)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(end), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.nextLSN = end
+	l.flushed = end
+	l.w = bufio.NewWriter(f)
+	return l, nil
+}
+
+// header: totalLen uint32 | crc uint32; body: op 1 | seg 2 | page 4 |
+// slot 2 | payloadLen uint32 | payload.
+const recHeader = 8
+
+func recordSize(r *Record) int { return recHeader + 13 + len(r.Payload) }
+
+// Append writes the record to the log buffer and returns its LSN. The
+// record is durable only after Sync.
+func (l *Log) Append(r *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	body := make([]byte, 0, 13+len(r.Payload))
+	body = append(body, byte(r.Op))
+	body = binary.LittleEndian.AppendUint16(body, uint16(r.Seg))
+	body = binary.LittleEndian.AppendUint32(body, r.Page)
+	body = binary.LittleEndian.AppendUint16(body, r.Slot)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(r.Payload)))
+	body = append(body, r.Payload...)
+
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := l.w.Write(body); err != nil {
+		return 0, err
+	}
+	// LSNs are 1-based (file offset + 1) so that a page LSN of zero
+	// always means "nothing applied yet".
+	r.LSN = l.nextLSN + 1
+	l.nextLSN += uint64(recHeader + len(body))
+	return r.LSN, nil
+}
+
+// Sync forces all appended records to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.flushed = l.nextLSN
+	return nil
+}
+
+// SyncedThrough returns the LSN boundary known durable; used by the
+// buffer pool flush hook to enforce the write-ahead rule.
+func (l *Log) SyncedThrough() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// EnsureDurable syncs the log if lsn is not yet durable.
+func (l *Log) EnsureDurable(lsn uint64) error {
+	l.mu.Lock()
+	needed := lsn >= l.flushed
+	l.mu.Unlock()
+	if needed {
+		return l.Sync()
+	}
+	return nil
+}
+
+var errTorn = errors.New("wal: torn record at end of log")
+
+// Replay streams every complete record in LSN order.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	if err := l.w.Flush(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	err := l.replayFrom(0, fn)
+	if errors.Is(err, errTorn) {
+		return nil
+	}
+	return err
+}
+
+func (l *Log) replayFrom(off uint64, fn func(Record) error) error {
+	r := io.NewSectionReader(l.f, int64(off), 1<<62)
+	br := bufio.NewReader(r)
+	pos := off
+	for {
+		var hdr [recHeader]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return errTorn
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n < 13 || n > 1<<26 {
+			return errTorn
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			return errTorn
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return errTorn
+		}
+		rec := Record{
+			LSN:  pos + 1,
+			Op:   Op(body[0]),
+			Seg:  segment.ID(binary.LittleEndian.Uint16(body[1:])),
+			Page: binary.LittleEndian.Uint32(body[3:]),
+			Slot: binary.LittleEndian.Uint16(body[7:]),
+		}
+		plen := binary.LittleEndian.Uint32(body[9:])
+		if int(plen) != len(body)-13 {
+			return errTorn
+		}
+		rec.Payload = body[13:]
+		if err := fn(rec); err != nil {
+			return err
+		}
+		pos += uint64(recHeader + n)
+	}
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	return l.f.Close()
+}
