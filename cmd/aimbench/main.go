@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -28,22 +29,18 @@ func main() {
 	flag.Parse()
 
 	if *run != "" {
-		rep, err := core.Run(strings.ToUpper(*run))
-		if err != nil {
+		if err := runOne(*run, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "aimbench:", err)
 			os.Exit(1)
 		}
-		printReport(rep)
 		return
 	}
 	if !*experimentsOnly {
 		for _, id := range core.AllIDs() {
-			rep, err := core.Run(id)
-			if err != nil {
+			if err := runOne(id, os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "aimbench: %s: %v\n", id, err)
 				os.Exit(1)
 			}
-			printReport(rep)
 		}
 	}
 	if err := runExperiments(*scale); err != nil {
@@ -52,9 +49,19 @@ func main() {
 	}
 }
 
-func printReport(rep core.Report) {
-	fmt.Printf("\n================ %s — %s ================\n\n", rep.ID, rep.Title)
-	fmt.Println(rep.Text)
+// runOne regenerates a single paper artifact and writes its report.
+func runOne(id string, out io.Writer) error {
+	rep, err := core.Run(strings.ToUpper(id))
+	if err != nil {
+		return err
+	}
+	printReport(out, rep)
+	return nil
+}
+
+func printReport(out io.Writer, rep core.Report) {
+	fmt.Fprintf(out, "\n================ %s — %s ================\n\n", rep.ID, rep.Title)
+	fmt.Fprintln(out, rep.Text)
 }
 
 func runExperiments(scale int) error {

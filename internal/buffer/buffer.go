@@ -7,6 +7,7 @@ package buffer
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -109,9 +110,22 @@ func (p *Pool) Allocate(id segment.ID) (uint32, error) {
 	return st.Allocate(), nil
 }
 
+// ErrCorrupt reports a page image that failed checksum verification
+// when read from its backing store — the signature of a torn write at
+// a crash. Recovery reformats such pages and rebuilds them from the
+// log.
+var ErrCorrupt = errors.New("buffer: page checksum mismatch (torn write)")
+
 // Pin fetches the page into a frame and pins it. Every Pin must be
 // matched by an Unpin.
-func (p *Pool) Pin(key PageKey) (*Frame, error) {
+func (p *Pool) Pin(key PageKey) (*Frame, error) { return p.pin(key, true) }
+
+// PinNoVerify is Pin without checksum verification on the physical
+// read. Only crash recovery uses it: a torn page must still be loaded
+// so it can be reformatted and rebuilt from the log.
+func (p *Pool) PinNoVerify(key PageKey) (*Frame, error) { return p.pin(key, false) }
+
+func (p *Pool) pin(key PageKey, verify bool) (*Frame, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stats.Fetches++
@@ -136,6 +150,10 @@ func (p *Pool) Pin(key PageKey) (*Frame, error) {
 	if err := st.ReadPage(key.Page, f.buf); err != nil {
 		p.releaseFrameLocked(f)
 		return nil, err
+	}
+	if verify && !f.Page.ChecksumOK() {
+		p.releaseFrameLocked(f)
+		return nil, fmt.Errorf("%w: %v.%d", ErrCorrupt, key.Seg, key.Page)
 	}
 	f.Key = key
 	f.pins = 1
@@ -219,6 +237,7 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 	if st == nil {
 		return fmt.Errorf("buffer: segment %d not registered", f.Key.Seg)
 	}
+	f.Page.Seal()
 	p.stats.Writes++
 	if err := st.WritePage(f.Key.Page, f.buf); err != nil {
 		return err

@@ -103,12 +103,21 @@ func Open(st *subtuple.Store) (*Catalog, error) {
 		c.self = self
 		return c, nil
 	}
-	// Bootstrap: the catalog record becomes the very first subtuple.
+	// Bootstrap: the catalog record becomes the very first subtuple,
+	// at the conventional TID (1,0). When crash recovery wiped an
+	// uncommitted meta segment, page 1 already exists (empty) and the
+	// record must be placed there explicitly — a plain Insert would
+	// allocate a fresh page.
 	raw, err := c.encode()
 	if err != nil {
 		return nil, err
 	}
-	tid, err := st.Insert(raw)
+	var tid page.TID
+	if st.PageCount() >= 1 {
+		tid, err = st.InsertOnPage(1, raw)
+	} else {
+		tid, err = st.Insert(raw)
+	}
 	if err != nil {
 		return nil, err
 	}

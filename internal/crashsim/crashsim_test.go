@@ -1,0 +1,200 @@
+package crashsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/page"
+)
+
+// TestCrashMatrix sweeps seeded crash points across the whole
+// workload: for each workload seed it measures the total number of
+// mutating I/O operations, then crashes runs at budgets striding that
+// range, recovering and verifying every invariant after each crash. A
+// subset of iterations also crashes the recovery itself and recovers
+// again.
+func TestCrashMatrix(t *testing.T) {
+	iterations := 200
+	if testing.Short() {
+		iterations = 25
+	}
+	var total int64
+	wseed := int64(-1)
+	for i := 0; i < iterations; i++ {
+		ws := int64(1 + i/8) // fresh workload every 8 crash points
+		if ws != wseed {
+			wseed = ws
+			var err error
+			total, err = TotalOps(wseed)
+			if err != nil {
+				t.Fatalf("workload %d probe: %v", wseed, err)
+			}
+			if total < 20 {
+				t.Fatalf("workload %d issues only %d mutating ops; harness miswired", wseed, total)
+			}
+		}
+		budget := 1 + (int64(i)*2654435761)%total
+		recBudget := int64(-1)
+		if i%9 == 3 {
+			recBudget = 1 + int64(i)%23 // also crash the recovery run
+		}
+		if err := RunCrash(wseed, budget, recBudget); err != nil {
+			t.Fatalf("workload %d budget %d/%d recBudget %d: %v", wseed, budget, total, recBudget, err)
+		}
+	}
+}
+
+// TestCleanRun exercises the no-crash path: run everything, close,
+// settle, recover, and the state must equal the full replay.
+func TestCleanRun(t *testing.T) {
+	if err := RunCrash(12, -1, -1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjector pins the budget semantics: ops before the budget
+// succeed, the budget-th op fires the crash, and everything after is
+// dead.
+func TestInjector(t *testing.T) {
+	in := NewInjector(7, 3)
+	for i := 0; i < 2; i++ {
+		crashNow, err := in.step()
+		if crashNow || err != nil {
+			t.Fatalf("op %d: crashNow=%v err=%v, want clean", i+1, crashNow, err)
+		}
+	}
+	crashNow, err := in.step()
+	if !crashNow || err != nil {
+		t.Fatalf("op 3: crashNow=%v err=%v, want crash", crashNow, err)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector not crashed after firing")
+	}
+	if _, err := in.step(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("op 4: err=%v, want ErrCrashed", err)
+	}
+}
+
+// TestFaultStoreCrash verifies that the crashing write applies only a
+// sector prefix and that all subsequent I/O on the session fails.
+func TestFaultStoreCrash(t *testing.T) {
+	d := NewDisk()
+	s := d.Open(42, 2)
+	st, err := s.OpenStore(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	no := st.Allocate()
+	ones := bytes.Repeat([]byte{0xAA}, page.Size)
+	if err := st.WritePage(no, ones); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	twos := bytes.Repeat([]byte{0xBB}, page.Size)
+	if err := st.WritePage(no, twos); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("second write: err=%v, want ErrCrashed", err)
+	}
+	if err := st.ReadPage(no, make([]byte, page.Size)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash: err=%v, want ErrCrashed", err)
+	}
+	if err := st.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: err=%v, want ErrCrashed", err)
+	}
+	// The torn image mixes whole sectors of old and new content.
+	s2 := d.Open(43, -1)
+	st2, _ := s2.OpenStore(5)
+	got := make([]byte, page.Size)
+	if st2.PageCount() >= no {
+		if err := st2.ReadPage(no, got); err != nil {
+			t.Fatal(err)
+		}
+		for off := 0; off < page.Size; off += sectorSize {
+			sec := got[off : off+sectorSize]
+			if !bytes.Equal(sec, ones[:sectorSize]) && !bytes.Equal(sec, twos[:sectorSize]) &&
+				!bytes.Equal(sec, make([]byte, sectorSize)) {
+				t.Fatalf("sector at %d is neither old, new, nor zero", off)
+			}
+		}
+	}
+}
+
+// TestSettleDeterminism: identical seeds and operations must settle to
+// identical durable state, or crash points would not be reproducible.
+func TestSettleDeterminism(t *testing.T) {
+	build := func() *Disk {
+		d := NewDisk()
+		s := d.Open(99, 7)
+		st, _ := s.OpenStore(3)
+		f, _ := s.OpenWALFile()
+		for i := 0; i < 10; i++ {
+			no := st.Allocate()
+			buf := bytes.Repeat([]byte{byte(i + 1)}, page.Size)
+			if err := st.WritePage(no, buf); err != nil {
+				break
+			}
+			if i%3 == 0 {
+				if _, err := f.Write([]byte(fmt.Sprintf("record-%d", i))); err != nil {
+					break
+				}
+			}
+			if i%4 == 0 {
+				if err := f.Sync(); err != nil {
+					break
+				}
+			}
+		}
+		d.Open(100, -1) // settle
+		return d
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a.wal, b.wal) {
+		t.Fatalf("durable WAL differs between identical runs")
+	}
+	if len(a.segs) != len(b.segs) {
+		t.Fatalf("segment sets differ")
+	}
+	for id, ia := range a.segs {
+		ib := b.segs[id]
+		if ib == nil || ia.count != ib.count || len(ia.pages) != len(ib.pages) {
+			t.Fatalf("segment %d images differ", id)
+		}
+		for no, pa := range ia.pages {
+			if !bytes.Equal(pa, ib.pages[no]) {
+				t.Fatalf("segment %d page %d differs", id, no)
+			}
+		}
+	}
+}
+
+// TestWALPrefixSettlement: the durable log after a crash is always a
+// prefix of what was written, and never shorter than the synced
+// boundary.
+func TestWALPrefixSettlement(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		d := NewDisk()
+		s := d.Open(seed, 5)
+		f, _ := s.OpenWALFile()
+		var written []byte
+		var synced int
+		for i := 0; ; i++ {
+			chunk := bytes.Repeat([]byte{byte(i + 1)}, 64)
+			n, err := f.Write(chunk)
+			written = append(written, chunk[:n]...)
+			if err != nil {
+				break
+			}
+			if err := f.Sync(); err != nil {
+				break
+			}
+			synced = len(written)
+		}
+		d.Open(seed+1000, -1) // settle
+		if d.WALSize() < synced {
+			t.Fatalf("seed %d: durable log %d shorter than synced boundary %d", seed, d.WALSize(), synced)
+		}
+		if !bytes.Equal(d.wal, written[:d.WALSize()]) {
+			t.Fatalf("seed %d: durable log is not a prefix of the written bytes", seed)
+		}
+	}
+}

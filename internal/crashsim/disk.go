@@ -1,0 +1,408 @@
+package crashsim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/segment"
+	"repro/internal/wal"
+)
+
+// sectorSize is the granularity at which a torn write mixes old and
+// new content, modelling a disk that persists individual sectors of a
+// page atomically but not the page as a whole.
+const sectorSize = 512
+
+// segImage is the durable image of one segment: the pages that ever
+// reached stable storage plus the allocated extent.
+type segImage struct {
+	count uint32
+	pages map[uint32][]byte
+}
+
+// Disk models stable storage across simulated reboots: the durable
+// page images of every segment and the durable prefix of the log
+// file. A Disk outlives the sessions that run on it; opening a new
+// session first settles the unsynced writes of the previous one.
+type Disk struct {
+	mu   sync.Mutex
+	segs map[segment.ID]*segImage
+	wal  []byte
+	sess *Session
+}
+
+// NewDisk returns an empty disk.
+func NewDisk() *Disk {
+	return &Disk{segs: make(map[segment.ID]*segImage)}
+}
+
+// Session is one process lifetime on the disk: it sees the durable
+// state plus its own unsynced writes, counts mutating I/O against the
+// injector's budget, and dies at the crash point. What its unsynced
+// writes leave on the disk is decided when the NEXT session opens
+// (settle), exactly like an operating system losing its page cache.
+type Session struct {
+	d   *Disk
+	inj *Injector
+
+	mu     sync.Mutex
+	stores map[segment.ID]*faultStore
+	pend   map[segment.ID]map[uint32][]byte // unsynced page writes
+	counts map[segment.ID]uint32            // visible segment extents
+	wal    []byte                           // full visible log content
+	synced int                              // durable log prefix length
+}
+
+// Open settles the previous session (if any) using outcomes drawn
+// from seed and starts a new session that crashes after budget
+// mutating I/O operations (budget < 0: never).
+func (d *Disk) Open(seed, budget int64) *Session {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.settleLocked(rand.New(rand.NewSource(seed*7919 + 13)))
+	s := &Session{
+		d:      d,
+		inj:    NewInjector(seed, budget),
+		stores: make(map[segment.ID]*faultStore),
+		pend:   make(map[segment.ID]map[uint32][]byte),
+		counts: make(map[segment.ID]uint32),
+		wal:    append([]byte(nil), d.wal...),
+	}
+	s.synced = len(s.wal)
+	d.sess = s
+	return s
+}
+
+// settleLocked resolves the unsynced writes of the previous session.
+// After a clean exit everything is promoted (a graceful shutdown
+// flushes the page cache); after a crash each pending page write
+// independently survives, vanishes, or tears at sector granularity,
+// and the unsynced log tail survives as a seeded prefix.
+func (d *Disk) settleLocked(rng *rand.Rand) {
+	s := d.sess
+	if s == nil {
+		return
+	}
+	d.sess = nil
+	crashed := s.inj.Crashed()
+
+	ids := make([]segment.ID, 0, len(s.pend))
+	for id := range s.pend {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		img := d.segLocked(id)
+		nos := make([]uint32, 0, len(s.pend[id]))
+		for no := range s.pend[id] {
+			nos = append(nos, no)
+		}
+		sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+		for _, no := range nos {
+			buf := s.pend[id][no]
+			if !crashed {
+				img.put(no, buf)
+				continue
+			}
+			switch rng.Intn(3) {
+			case 0: // the write reached the platter before power loss
+				img.put(no, buf)
+			case 1: // the write never left the cache
+			case 2: // torn: some sectors new, some old
+				old := img.pages[no]
+				mixed := make([]byte, page.Size)
+				if old != nil {
+					copy(mixed, old)
+				}
+				for off := 0; off < page.Size; off += sectorSize {
+					if rng.Intn(2) == 1 {
+						copy(mixed[off:off+sectorSize], buf[off:off+sectorSize])
+					}
+				}
+				img.put(no, mixed)
+			}
+		}
+	}
+
+	keep := len(s.wal)
+	if crashed {
+		keep = s.synced + rng.Intn(len(s.wal)-s.synced+1)
+	}
+	d.wal = append([]byte(nil), s.wal[:keep]...)
+}
+
+func (d *Disk) segLocked(id segment.ID) *segImage {
+	img := d.segs[id]
+	if img == nil {
+		img = &segImage{pages: make(map[uint32][]byte)}
+		d.segs[id] = img
+	}
+	return img
+}
+
+func (img *segImage) put(no uint32, buf []byte) {
+	img.pages[no] = append([]byte(nil), buf...)
+	if no > img.count {
+		img.count = no
+	}
+}
+
+// WALSize returns the durable log length; directed tests use it to
+// observe settlement outcomes.
+func (d *Disk) WALSize() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.wal)
+}
+
+// Crashed reports whether this session has hit its crash point.
+func (s *Session) Crashed() bool { return s.inj.Crashed() }
+
+// Ops returns the mutating I/O operations counted so far; probe runs
+// use it to size the crash matrix.
+func (s *Session) Ops() int64 { return s.inj.Ops() }
+
+// OpenStore returns the fault-injecting store of a segment; it is the
+// engine.Options.OpenStore hook.
+func (s *Session) OpenStore(id segment.ID) (segment.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs := s.stores[id]
+	if fs == nil {
+		fs = &faultStore{s: s, id: id}
+		s.stores[id] = fs
+	}
+	return fs, nil
+}
+
+// OpenWALFile returns the fault-injecting log file; it is the
+// engine.Options.OpenWALFile hook.
+func (s *Session) OpenWALFile() (wal.File, error) {
+	return &faultFile{s: s}, nil
+}
+
+// countOf returns the visible extent of a segment, initializing it
+// from the durable image on first use.
+func (s *Session) countOf(id segment.ID) uint32 {
+	if c, ok := s.counts[id]; ok {
+		return c
+	}
+	s.d.mu.Lock()
+	c := uint32(0)
+	if img := s.d.segs[id]; img != nil {
+		c = img.count
+	}
+	s.d.mu.Unlock()
+	s.counts[id] = c
+	return c
+}
+
+// faultStore implements segment.Store over the session's view of one
+// segment. WritePage and Sync are failpoints.
+type faultStore struct {
+	s  *Session
+	id segment.ID
+}
+
+func (fs *faultStore) ReadPage(no uint32, buf []byte) error {
+	if fs.s.inj.Crashed() {
+		return ErrCrashed
+	}
+	s := fs.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if no == 0 || no > s.countOf(fs.id) {
+		return fmt.Errorf("crashsim: read of unallocated page %d.%d", fs.id, no)
+	}
+	if p := s.pend[fs.id][no]; p != nil {
+		copy(buf, p)
+		return nil
+	}
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	if img := s.d.segs[fs.id]; img != nil && img.pages[no] != nil {
+		copy(buf, img.pages[no])
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+func (fs *faultStore) WritePage(no uint32, buf []byte) error {
+	crashNow, err := fs.s.inj.step()
+	if err != nil {
+		return err
+	}
+	s := fs.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if no == 0 {
+		return fmt.Errorf("crashsim: write of page 0")
+	}
+	if no > s.countOf(fs.id) {
+		s.counts[fs.id] = no
+	}
+	if s.pend[fs.id] == nil {
+		s.pend[fs.id] = make(map[uint32][]byte)
+	}
+	if !crashNow {
+		s.pend[fs.id][no] = append([]byte(nil), buf...)
+		return nil
+	}
+	// The crashing write applies a sector prefix over the previously
+	// visible content, then the process dies.
+	old := make([]byte, page.Size)
+	if p := s.pend[fs.id][no]; p != nil {
+		copy(old, p)
+	} else {
+		s.d.mu.Lock()
+		if img := s.d.segs[fs.id]; img != nil && img.pages[no] != nil {
+			copy(old, img.pages[no])
+		}
+		s.d.mu.Unlock()
+	}
+	k := fs.s.inj.intn(page.Size/sectorSize+1) * sectorSize
+	copy(old[:k], buf[:k])
+	s.pend[fs.id][no] = old
+	return ErrCrashed
+}
+
+func (fs *faultStore) PageCount() uint32 {
+	fs.s.mu.Lock()
+	defer fs.s.mu.Unlock()
+	return fs.s.countOf(fs.id)
+}
+
+func (fs *faultStore) Allocate() uint32 {
+	// Allocation only moves the in-memory extent (segment.Store has no
+	// error path here); a dead session's allocations are harmless
+	// because every subsequent write fails.
+	fs.s.mu.Lock()
+	defer fs.s.mu.Unlock()
+	c := fs.s.countOf(fs.id) + 1
+	fs.s.counts[fs.id] = c
+	return c
+}
+
+func (fs *faultStore) Sync() error {
+	crashNow, err := fs.s.inj.step()
+	if err != nil {
+		return err
+	}
+	if crashNow {
+		// Power fails before the flush; settlement decides the fate of
+		// every pending write.
+		return ErrCrashed
+	}
+	s := fs.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.d.mu.Lock()
+	defer s.d.mu.Unlock()
+	img := s.d.segLocked(fs.id)
+	for no, buf := range s.pend[fs.id] {
+		img.put(no, buf)
+	}
+	delete(s.pend, fs.id)
+	return nil
+}
+
+func (fs *faultStore) Close() error { return nil }
+
+// faultFile implements wal.File over the session's view of the log.
+// Write and Sync are failpoints.
+type faultFile struct {
+	s *Session
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	crashNow, err := f.s.inj.step()
+	if err != nil {
+		return 0, err
+	}
+	s := f.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if crashNow {
+		k := f.s.inj.intn(len(p) + 1)
+		s.wal = append(s.wal, p[:k]...)
+		return k, ErrCrashed
+	}
+	s.wal = append(s.wal, p...)
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	crashNow, err := f.s.inj.step()
+	if err != nil {
+		return err
+	}
+	if crashNow {
+		return ErrCrashed
+	}
+	s := f.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.synced = len(s.wal)
+	return nil
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.s.inj.Crashed() {
+		return 0, ErrCrashed
+	}
+	s := f.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if off >= int64(len(s.wal)) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.wal[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Seek only repositions the append cursor conceptually; the session
+// always appends at the end of the visible log, which is where the
+// engine seeks to after scanning for the last complete record.
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if f.s.inj.Crashed() {
+		return 0, ErrCrashed
+	}
+	f.s.mu.Lock()
+	defer f.s.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		return offset, nil
+	case io.SeekEnd:
+		return int64(len(f.s.wal)) + offset, nil
+	default:
+		return 0, fmt.Errorf("crashsim: unsupported seek whence %d", whence)
+	}
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if f.s.inj.Crashed() {
+		return ErrCrashed
+	}
+	s := f.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size < int64(len(s.wal)) {
+		s.wal = s.wal[:size]
+	}
+	if s.synced > int(size) {
+		s.synced = int(size)
+	}
+	return nil
+}
+
+func (f *faultFile) Close() error { return nil }

@@ -40,6 +40,15 @@ type Options struct {
 	// Clock supplies version timestamps for versioned tables; default
 	// is wall-clock nanoseconds. Tests use logical clocks.
 	Clock func() int64
+	// OpenStore, when set, supplies the backing store of a segment
+	// instead of the default file (Dir set) or memory store. Used by
+	// the crash-simulation harness to inject faults and by alternative
+	// storage backends.
+	OpenStore func(id segment.ID) (segment.Store, error)
+	// OpenWALFile, when set, supplies the backing file of the
+	// write-ahead log instead of the default file under Dir. When set,
+	// the WAL is enabled even for databases without a directory.
+	OpenWALFile func() (wal.File, error)
 }
 
 // DB is one database instance.
@@ -89,8 +98,18 @@ func Open(opts Options) (*DB, error) {
 		textIdx:     make(map[string][]*textindex.Index),
 		textByName:  make(map[string]*textindex.Index),
 	}
-	if opts.Dir != "" && !opts.DisableWAL {
-		log, err := wal.Open(filepath.Join(opts.Dir, "wal.log"))
+	if (opts.Dir != "" || opts.OpenWALFile != nil) && !opts.DisableWAL {
+		var log *wal.Log
+		var err error
+		if opts.OpenWALFile != nil {
+			f, ferr := opts.OpenWALFile()
+			if ferr != nil {
+				return nil, ferr
+			}
+			log, err = wal.OpenFile(f)
+		} else {
+			log, err = wal.Open(filepath.Join(opts.Dir, "wal.log"))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -152,9 +171,16 @@ func (db *DB) registerSegment(id segment.ID, versioned bool) error {
 		return nil
 	}
 	var st segment.Store
-	if db.opts.Dir == "" {
+	switch {
+	case db.opts.OpenStore != nil:
+		var err error
+		st, err = db.opts.OpenStore(id)
+		if err != nil {
+			return err
+		}
+	case db.opts.Dir == "":
 		st = segment.NewMemStore()
-	} else {
+	default:
 		var err error
 		st, err = segment.OpenFileStore(filepath.Join(db.opts.Dir, fmt.Sprintf("seg_%d.dat", id)))
 		if err != nil {
@@ -206,6 +232,10 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // Pool exposes the buffer pool (for statistics in experiments).
 func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Log exposes the write-ahead log (nil when logging is disabled);
+// used by the crash-simulation invariant checker.
+func (db *DB) Log() *wal.Log { return db.log }
 
 // Manager returns the complex-object manager of an NF² table.
 func (db *DB) Manager(table string) (*object.Manager, bool) {

@@ -17,13 +17,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // Size is the size of every database page in bytes.
 const Size = 4096
 
 // Header layout (bytes): LSN 8 | nslots 2 | freeStart 2 | freeEnd 2 |
-// flags 2. The slot directory grows forward from the header, record
+// checksum 2. The slot directory grows forward from the header, record
 // bodies grow backward from the end of the page.
 const (
 	headerSize = 16
@@ -33,7 +34,7 @@ const (
 	offNumSlots  = 8
 	offFreeStart = 10
 	offFreeEnd   = 12
-	offFlags     = 14
+	offChecksum  = 14
 )
 
 // slot length value marking a dead (deleted) slot available for reuse.
@@ -382,3 +383,41 @@ func (p *Page) Compact() {
 // page (a freshly allocated, never-written page reads back as all
 // zeros and must be Init'ed before use).
 func (p *Page) Initialized() bool { return p.u16(offFreeEnd) != 0 }
+
+// --- checksums (torn-write detection) --------------------------------
+//
+// The spare header field carries a 16-bit fold of the CRC-32 of the
+// whole page. The buffer pool seals a page immediately before writing
+// it back and verifies on every physical read, so a torn page write
+// (half old image, half new) surfaces as a clean error instead of
+// silent corruption — and crash recovery can rebuild the page from the
+// log. A stored checksum of zero means "unsealed" (a freshly allocated
+// page or one materialized as zeros) and is accepted.
+
+// checksumOf folds the page CRC to 16 bits, never returning the
+// reserved "unsealed" value 0.
+func (p *Page) checksumOf() uint16 {
+	crc := crc32.NewIEEE()
+	crc.Write(p.b[:offChecksum])
+	crc.Write([]byte{0, 0})
+	crc.Write(p.b[offChecksum+2:])
+	sum := crc.Sum32()
+	c := uint16(sum) ^ uint16(sum>>16)
+	if c == 0 {
+		c = 0xFFFF
+	}
+	return c
+}
+
+// Seal stamps the page checksum; call just before the image leaves the
+// buffer pool for the backing store.
+func (p *Page) Seal() { p.setU16(offChecksum, p.checksumOf()) }
+
+// ChecksumOK verifies a page image read from the backing store.
+func (p *Page) ChecksumOK() bool {
+	stored := p.u16(offChecksum)
+	if stored == 0 {
+		return true // unsealed: never went through a sealed write-back
+	}
+	return stored == p.checksumOf()
+}

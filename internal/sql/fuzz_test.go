@@ -1,0 +1,42 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParser feeds arbitrary input to the statement parser. The
+// parser must reject malformed input with an error, never panic, and
+// always terminate.
+func FuzzParser(f *testing.F) {
+	seeds := []string{
+		"",
+		";",
+		"SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.EQUIP: y.TYPE = '3278'",
+		`CREATE TABLE DEPT (DNO INT, BUDGET INT,
+		   PROJECTS TABLE OF (PNO INT, MEMBERS TABLE OF (MNO INT, ROLE STRING)),
+		   EQUIP LIST OF (QU INT, ETYPE STRING)) VERSIONED LAYOUT SS2`,
+		"INSERT INTO DEPT VALUES (314, 320000, {(17, {(39582, 'Leader')})}, <(2, '3278'), (1, '3279')>)",
+		"INSERT INTO x.PROJECTS FROM x IN DEPT WHERE x.DNO = 314 VALUES (18, {})",
+		"DELETE p FROM x IN DEPT, p IN x.PROJECTS WHERE p.PNO = 17",
+		"UPDATE x IN DEPT SET BUDGET = BUDGET + 1 WHERE x.DNO = 314",
+		"SELECT h.ID FROM h IN HIST ASOF 42",
+		"CREATE INDEX DEPT_PNO ON DEPT (PROJECTS.PNO) USING HIERARCHICAL",
+		"SELECT e.EQUIP[1].QU FROM e IN DEPT",
+		"SELECT x FROM x IN T WHERE ALL y IN x.S: y.A >= 0.5 AND y.B <> 'x'",
+		"DROP TABLE DEPT; DROP INDEX DEPT_PNO",
+		"SELECT (SELECT m.MNO FROM m IN p.MEMBERS) FROM x IN DEPT, p IN x.PROJECTS",
+		"INSERT INTO T VALUES (1, 'a''b', -2.5e3, TRUE, NULL)",
+		"SELECT\x00;\"'{<(((",
+		strings.Repeat("(", 1000),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := Parse(input)
+		if err != nil && len(stmts) > 0 {
+			t.Errorf("Parse returned both statements and an error: %v", err)
+		}
+	})
+}

@@ -9,28 +9,72 @@ import (
 )
 
 // Recover replays the write-ahead log onto the segments registered in
-// the pool. Only records up to (and including) the last commit are
-// applied; a record is skipped when the target page's LSN shows it
-// was already applied before the crash. Afterwards all pages are
-// flushed so the log could be truncated by the caller.
+// the pool. The log is complete — it is never truncated except at the
+// torn tail, so it holds the full history of every page since its
+// allocation. Recovery exploits that in three passes:
+//
+//  1. scan the log for the last commit LSN and the set of touched
+//     pages;
+//  2. wipe every touched page whose stored image cannot be trusted:
+//     a failed checksum (torn page write at the crash) or a page LSN
+//     beyond the last commit (an uncommitted change stolen to disk by
+//     buffer eviction — the redo-only scheme has no undo, so the page
+//     is instead rebuilt from scratch);
+//  3. redo all committed page operations in log order, skipping
+//     records the page LSN proves were already applied.
+//
+// Afterwards all pages are flushed so the result is durable.
 func Recover(log *wal.Log, pool *buffer.Pool) error {
-	// Pass 1: find the last commit LSN.
+	// Pass 1: last commit LSN and touched pages, in first-use order.
 	lastCommit := uint64(0)
-	haveCommit := false
+	commitEnd := uint64(0) // byte offset just past the last commit record
+	var touched []buffer.PageKey
+	seen := make(map[buffer.PageKey]bool)
 	err := log.Replay(func(r wal.Record) error {
-		if r.Op == wal.OpCommit {
+		switch r.Op {
+		case wal.OpCommit:
 			lastCommit = r.LSN
-			haveCommit = true
+			commitEnd = (r.LSN - 1) + uint64(r.Size())
+		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
+			k := buffer.PageKey{Seg: r.Seg, Page: r.Page}
+			if !seen[k] {
+				seen[k] = true
+				touched = append(touched, k)
+			}
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
-	if !haveCommit {
-		return nil // nothing durable to redo
+	// Drop the uncommitted tail from the log. Leaving those records in
+	// place would be a latent bug: the next statement's commit record
+	// lands after them, so a later recovery would replay them as
+	// committed, resurrecting the crashed statement's partial effects.
+	if err := log.TruncateTail(commitEnd); err != nil {
+		return err
 	}
-	// Pass 2: redo committed page operations.
+	if len(touched) == 0 {
+		return nil // empty or control-only log: nothing to redo or undo
+	}
+
+	// Pass 2: discard untrustworthy page images. A wiped page is
+	// rebuilt below from the full log.
+	for _, k := range touched {
+		if err := ensurePage(pool, k.Seg, k.Page); err != nil {
+			return err
+		}
+		f, err := pool.PinNoVerify(k)
+		if err != nil {
+			return err
+		}
+		if !f.Page.Initialized() || !f.Page.ChecksumOK() || f.Page.LSN() > lastCommit {
+			f.Page.Init()
+		}
+		pool.Unpin(f, true)
+	}
+
+	// Pass 3: redo committed page operations.
 	err = log.Replay(func(r wal.Record) error {
 		if r.LSN > lastCommit {
 			return nil
@@ -40,17 +84,11 @@ func Recover(log *wal.Log, pool *buffer.Pool) error {
 		default:
 			return nil
 		}
-		if err := ensurePage(pool, r.Seg, r.Page); err != nil {
-			return err
-		}
 		f, err := pool.Pin(buffer.PageKey{Seg: r.Seg, Page: r.Page})
 		if err != nil {
 			return err
 		}
 		defer pool.Unpin(f, true)
-		if !f.Page.Initialized() {
-			f.Page.Init()
-		}
 		if f.Page.LSN() >= r.LSN {
 			return nil // already applied before the crash
 		}

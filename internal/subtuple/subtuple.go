@@ -588,6 +588,15 @@ func (s *Store) Delete(t page.TID) error {
 	return s.pageDelete(loc)
 }
 
+// PageCount returns the number of allocated pages in the segment.
+func (s *Store) PageCount() uint32 {
+	st := s.pool.Store(s.seg)
+	if st == nil {
+		return 0
+	}
+	return st.PageCount()
+}
+
 // Exists reports whether the subtuple currently exists.
 func (s *Store) Exists(t page.TID) bool {
 	_, err := s.Read(t)

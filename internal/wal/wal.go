@@ -63,10 +63,22 @@ type Record struct {
 	Payload []byte
 }
 
+// File is the backing storage of a log: an append-position writer
+// with random-access reads. *os.File implements it; crash-simulation
+// harnesses substitute fault-injecting implementations.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
 // Log is an append-only write-ahead log backed by one file.
 type Log struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       File
 	w       *bufio.Writer
 	nextLSN uint64 // == current file size including buffered bytes
 	flushed uint64 // LSN boundary known to be on stable storage
@@ -79,10 +91,16 @@ func Open(path string) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
+	return OpenFile(f)
+}
+
+// OpenFile opens a log over an already-open backing file and positions
+// appends after the last complete record (truncating a torn tail).
+func OpenFile(f File) (*Log, error) {
 	l := &Log{f: f}
 	// Find the end of the last complete record by scanning.
 	end := uint64(0)
-	err = l.replayFrom(0, func(r Record) error {
+	err := l.replayFrom(0, func(r Record) error {
 		end = (r.LSN - 1) + uint64(recordSize(&r))
 		return nil
 	})
@@ -108,7 +126,10 @@ func Open(path string) (*Log, error) {
 // slot 2 | payloadLen uint32 | payload.
 const recHeader = 8
 
-func recordSize(r *Record) int { return recHeader + 13 + len(r.Payload) }
+// Size returns the record's on-disk length including the header.
+func (r *Record) Size() int { return recHeader + 13 + len(r.Payload) }
+
+func recordSize(r *Record) int { return r.Size() }
 
 // Append writes the record to the log buffer and returns its LSN. The
 // record is durable only after Sync.
@@ -161,6 +182,14 @@ func (l *Log) SyncedThrough() uint64 {
 	return l.flushed
 }
 
+// End returns the log's append position (one past the LSN of the last
+// appended record); every valid page LSN is strictly below End()+1.
+func (l *Log) End() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
 // EnsureDurable syncs the log if lsn is not yet durable.
 func (l *Log) EnsureDurable(lsn uint64) error {
 	l.mu.Lock()
@@ -169,6 +198,34 @@ func (l *Log) EnsureDurable(lsn uint64) error {
 	if needed {
 		return l.Sync()
 	}
+	return nil
+}
+
+// TruncateTail discards every record at or beyond the byte offset
+// off. Recovery uses it to drop the records of statements that never
+// committed: if they stayed in the log, a commit record appended by
+// a later statement would retroactively "commit" them, resurrecting
+// the aborted effects on the next recovery.
+func (l *Log) TruncateTail(off uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if off >= l.nextLSN {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if err := l.f.Truncate(int64(off)); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(int64(off), io.SeekStart); err != nil {
+		return err
+	}
+	l.nextLSN = off
+	if l.flushed > off {
+		l.flushed = off
+	}
+	l.w.Reset(l.f)
 	return nil
 }
 
@@ -206,8 +263,10 @@ func (l *Log) replayFrom(off uint64, fn func(Record) error) error {
 		if n < 13 || n > 1<<26 {
 			return errTorn
 		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(br, body); err != nil {
+		// Read the body incrementally so a corrupt length claim cannot
+		// force a huge up-front allocation.
+		body, err := readExact(br, int(n))
+		if err != nil {
 			return errTorn
 		}
 		if crc32.ChecksumIEEE(body) != crc {
@@ -230,6 +289,22 @@ func (l *Log) replayFrom(off uint64, fn func(Record) error) error {
 		}
 		pos += uint64(recHeader + n)
 	}
+}
+
+// readExact reads exactly n bytes, growing the buffer as bytes
+// actually arrive (bounded by the real data, not the claimed length).
+func readExact(r io.Reader, n int) ([]byte, error) {
+	const chunk = 64 << 10
+	buf := make([]byte, 0, min(n, chunk))
+	for len(buf) < n {
+		step := min(n-len(buf), chunk)
+		start := len(buf)
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // Close flushes and closes the log file.
