@@ -39,6 +39,8 @@
 package aim
 
 import (
+	"context"
+
 	"repro/internal/buffer"
 	"repro/internal/engine"
 	"repro/internal/model"
@@ -141,8 +143,21 @@ func (db *DB) Close() error { return db.eng.Close() }
 // statements, committing after each.
 func (db *DB) Exec(script string) ([]Result, error) { return db.eng.Exec(script) }
 
+// ExecContext is Exec with cancellation: a canceled or expired
+// context fails the current statement promptly (long scans check it
+// once per tuple binding), and a failed mutating statement is rolled
+// back to the previous statement boundary like any other error.
+func (db *DB) ExecContext(ctx context.Context, script string) ([]Result, error) {
+	return db.eng.ExecContext(ctx, script)
+}
+
 // Query runs one SELECT and returns the result table and its schema.
 func (db *DB) Query(q string) (*Table, *TableType, error) { return db.eng.Query(q) }
+
+// QueryContext is Query with cancellation.
+func (db *DB) QueryContext(ctx context.Context, q string) (*Table, *TableType, error) {
+	return db.eng.QueryContext(ctx, q)
+}
 
 // Now returns the database clock's current timestamp, usable in ASOF
 // clauses.

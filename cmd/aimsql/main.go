@@ -3,31 +3,41 @@
 //
 // Usage:
 //
-//	aimsql [-db DIR] [-f SCRIPT] [-demo]
+//	aimsql [-db DIR] [-f SCRIPT] [-demo] [-timeout DUR]
 //
 // Without -db the database is in-memory and vanishes on exit. With
 // -f the script file is executed and the shell exits; otherwise
 // statements are read from stdin, terminated by semicolons. -demo
-// preloads the paper's office fixtures (Tables 1-8).
+// preloads the paper's office fixtures (Tables 1-8). -timeout bounds
+// each statement's execution; a statement past its deadline fails
+// (and, if mutating, rolls back) without killing the session.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/sql"
 )
+
+// stmtTimeout bounds each statement's execution (0 = unlimited); set
+// by the -timeout flag.
+var stmtTimeout time.Duration
 
 func main() {
 	dir := flag.String("db", "", "database directory (empty = in-memory)")
 	script := flag.String("f", "", "execute this script file and exit")
 	demo := flag.Bool("demo", false, "preload the paper's office fixtures")
+	flag.DurationVar(&stmtTimeout, "timeout", 0, "per-statement timeout (0 = none)")
 	flag.Parse()
 
 	var db *aim.DB
@@ -73,12 +83,57 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runScript(db *aim.DB, script string) error {
-	results, err := db.Exec(script)
-	for _, r := range results {
-		printResult(r)
+// execCtx returns the context for one statement, honoring -timeout.
+func execCtx() (context.Context, context.CancelFunc) {
+	if stmtTimeout > 0 {
+		return context.WithTimeout(context.Background(), stmtTimeout)
 	}
-	return err
+	return context.Background(), func() {}
+}
+
+// runScript executes a script one statement at a time (each under its
+// own timeout), printing results as they arrive and stopping at the
+// first error. Script mode (-f) uses it: a failure exits nonzero.
+func runScript(db *aim.DB, script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		ctx, cancel := execCtx()
+		results, err := db.ExecContext(ctx, st.Text)
+		cancel()
+		for _, r := range results {
+			printResult(r)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runChunk executes one REPL input chunk statement by statement: an
+// error (including a timeout) is printed and the remaining statements
+// still run — a failed statement has been rolled back, so the session
+// is safe to continue.
+func runChunk(db *aim.DB, chunk string) {
+	stmts, err := sql.ParseScript(chunk)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	for _, st := range stmts {
+		ctx, cancel := execCtx()
+		results, err := db.ExecContext(ctx, st.Text)
+		cancel()
+		for _, r := range results {
+			printResult(r)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
 }
 
 func printResult(r aim.Result) {
@@ -122,9 +177,7 @@ func repl(db *aim.DB, in io.Reader) {
 		stmt := buf.String()
 		buf.Reset()
 		prompt = "nf2> "
-		if err := runScript(db, stmt); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-		}
+		runChunk(db, stmt)
 	}
 }
 

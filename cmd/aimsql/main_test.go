@@ -1,10 +1,12 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/core"
@@ -158,4 +160,59 @@ func TestREPLEOF(t *testing.T) {
 	captureStdout(t, func() {
 		repl(db, strings.NewReader("SELECT 1\n")) // no semicolon, then EOF
 	})
+}
+
+// TestTimeoutFailsStatement: with -timeout set, a statement that runs
+// past its deadline fails cleanly; the database stays usable.
+func TestTimeoutFailsStatement(t *testing.T) {
+	db, _ := aim.OpenMemory()
+	defer db.Close()
+	var setup strings.Builder
+	setup.WriteString(`CREATE TABLE BIG (ID INT)`)
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&setup, ";INSERT INTO BIG VALUES (%d)", i)
+	}
+	var err error
+	captureStdout(t, func() { err = runScript(db, setup.String()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmtTimeout = time.Millisecond
+	defer func() { stmtTimeout = 0 }()
+	captureStdout(t, func() {
+		err = runScript(db, `SELECT x.ID FROM x IN BIG, y IN BIG WHERE x.ID = y.ID;`)
+	})
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	stmtTimeout = 0
+	out := captureStdout(t, func() {
+		err = runScript(db, `SELECT x.ID FROM x IN BIG WHERE x.ID = 7;`)
+	})
+	if err != nil {
+		t.Fatalf("database unusable after timeout: %v", err)
+	}
+	if !strings.Contains(out, "(1 tuple(s))") {
+		t.Errorf("post-timeout query output:\n%s", out)
+	}
+}
+
+// TestREPLContinuesPastMidChunkError: a chunk with a failing
+// statement in the middle still executes the statements after it —
+// per-statement execution, not whole-chunk abort.
+func TestREPLContinuesPastMidChunkError(t *testing.T) {
+	db, _ := aim.OpenMemory()
+	defer db.Close()
+	input := strings.NewReader(`CREATE TABLE C (A INT); SELECT * FROM x IN MISSING; INSERT INTO C VALUES (9);
+SELECT c.A FROM c IN C;
+\q
+`)
+	out := captureStdout(t, func() {
+		repl(db, input)
+	})
+	for _, want := range []string{"table C created", "1 tuple(s) inserted", "(1 tuple(s))"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("repl output missing %q:\n%s", want, out)
+		}
+	}
 }

@@ -192,6 +192,13 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	}
 	f.pins--
 	if f.pins < 0 {
+		// Deliberately a panic, not an error: an unbalanced unpin is a
+		// programming bug in a caller's pin/unpin pairing, never a
+		// runtime condition a statement could recover from — and by the
+		// time it fires the frame accounting is already wrong. The
+		// engine's statement-abort path recovers such panics, fails the
+		// statement, and rebuilds the pool, so a bug here degrades to a
+		// failed statement instead of a dead process.
 		panic("buffer: unpin of unpinned frame")
 	}
 	if f.pins == 0 {
@@ -215,6 +222,11 @@ func (p *Pool) freeFrameLocked() (*Frame, error) {
 	victim.lru = nil
 	if victim.dirty {
 		if err := p.writeBackLocked(victim); err != nil {
+			// Put the victim back on the LRU: it is still a valid
+			// buffered page. Leaving it off the list while it stays in
+			// p.frames would make it unevictable forever, shrinking the
+			// pool by one frame per failed write-back.
+			victim.lru = p.lru.PushBack(victim)
 			return nil, err
 		}
 	}
@@ -266,11 +278,30 @@ func (p *Pool) FlushAll() error {
 	return nil
 }
 
-// InvalidateAll drops every frame without writing back. Only for
-// crash simulation in recovery tests.
+// InvalidateAll drops every frame without writing back, including
+// pinned ones (their pin counts are abandoned). Crash-simulation
+// tests use it to model losing the page cache; the engine's
+// statement-abort path uses it to discard an aborted statement's
+// buffered effects — and any pins leaked by a recovered panic —
+// before rebuilding the committed state from the log.
 func (p *Pool) InvalidateAll() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.frames = make(map[PageKey]*Frame)
 	p.lru.Init()
+}
+
+// PinnedCount returns the number of currently pinned frames; tests
+// use it to verify that error and cancellation paths release every
+// page.
+func (p *Pool) PinnedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, f := range p.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
 }

@@ -162,6 +162,12 @@ func (d *Disk) WALSize() int {
 // Crashed reports whether this session has hit its crash point.
 func (s *Session) Crashed() bool { return s.inj.Crashed() }
 
+// Kill crashes the session immediately: all later I/O fails with
+// ErrCrashed and the next Open settles the unsynced writes with
+// seeded survive/vanish/tear outcomes, exactly as for a budgeted
+// crash.
+func (s *Session) Kill() { s.inj.Kill() }
+
 // Ops returns the mutating I/O operations counted so far; probe runs
 // use it to size the crash matrix.
 func (s *Session) Ops() int64 { return s.inj.Ops() }

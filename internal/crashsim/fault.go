@@ -77,6 +77,17 @@ func (in *Injector) intn(n int) int {
 	return in.rng.Intn(n)
 }
 
+// Kill fires the crash point immediately: every subsequent I/O
+// operation of the session fails with ErrCrashed. The soft-chaos
+// harness uses it to cut power at an arbitrary moment after live
+// fault containment has been verified, composing with the crash
+// recovery checks.
+func (in *Injector) Kill() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashed = true
+}
+
 // Crashed reports whether the crash point has fired.
 func (in *Injector) Crashed() bool {
 	in.mu.Lock()

@@ -247,6 +247,12 @@ func replayEngine(stmts []string, clock func() int64) (*engine.DB, error) {
 	return ref, nil
 }
 
+// CompareState reports a human-readable difference between two
+// engines' logical states ("" when equal); the soft-chaos harness
+// (internal/faultsim) reuses it to compare a live engine against its
+// oracle after an aborted statement.
+func CompareState(got, want *engine.DB) string { return compareState(got, want) }
+
 // compareState reports a human-readable difference between the two
 // engines' logical states ("" when equal): same table set, and every
 // table equal as a (multi)set of deeply-compared tuples.

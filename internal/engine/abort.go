@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/subtuple"
+)
+
+// PanicError is a panic recovered at the statement boundary and
+// surfaced as an error, tagged with the statement that triggered it.
+// The engine converts executor/storage panics into PanicErrors so an
+// internal invariant violation fails one statement instead of the
+// process.
+type PanicError struct {
+	// Stmt is the statement's source text (or its Go type when the
+	// source is unavailable).
+	Stmt string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack at the panic site.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: panic executing %q: %v", e.Stmt, e.Value)
+}
+
+// rollbackStmt restores the committed state on the live engine after
+// a failed statement, reusing the crash-recovery machinery without a
+// reopen:
+//
+//  1. discard the unflushed WAL tail (which also clears any sticky
+//     error a failed flush left in the buffered writer);
+//  2. drop every buffered frame — the statement's uncommitted dirty
+//     pages and any pins leaked by a recovered panic;
+//  3. run log recovery on the live pool: truncate the log at the last
+//     commit, wipe untrusted page images (including uncommitted pages
+//     stolen to disk by eviction), redo committed operations;
+//  4. reload the catalog and rebuild the in-memory runtime structures
+//     (managers, flat stores, memory-resident indexes).
+//
+// Because every successful statement ends with a synced commit
+// record, everything after the last commit belongs to the failed
+// statement and nothing before it can be lost.
+//
+// Without a WAL the rollback is best-effort: buffered page effects of
+// the failed statement cannot be undone, but the runtime structures
+// are still reloaded so the session stays internally consistent.
+// Callers must hold stmtMu exclusively.
+func (db *DB) rollbackStmt() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log != nil {
+		if err := db.log.DiscardUnflushed(); err != nil {
+			return fmt.Errorf("engine: discard WAL buffer: %w", err)
+		}
+		db.pool.InvalidateAll()
+		if err := subtuple.Recover(db.log, db.pool); err != nil {
+			return fmt.Errorf("engine: replay to last commit: %w", err)
+		}
+	}
+	return db.reloadRuntime()
+}
+
+// abortOn handles a failed mutating statement under the exclusive
+// statement lock: it rolls the engine back to the last commit and, if
+// even that fails, poisons the database so later statements fail fast
+// instead of running on corrupt state.
+func (db *DB) abortOn(stmtErr error) error {
+	if rbErr := db.rollbackStmt(); rbErr != nil {
+		db.fatalErr = fmt.Errorf("engine: statement rollback failed, database needs reopen: %v (statement error: %w)", rbErr, stmtErr)
+		return db.fatalErr
+	}
+	return stmtErr
+}
+
+// recoverPanic converts a recovered panic into a PanicError; install
+// it with defer around statement execution.
+func recoverPanic(text string, err *error) {
+	if p := recover(); p != nil {
+		*err = &PanicError{Stmt: text, Value: p, Stack: debug.Stack()}
+	}
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openBig(t *testing.T, rows int) *DB {
+	t.Helper()
+	db, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString(`CREATE TABLE BIG (ID INT, NAME STRING)`)
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, ";INSERT INTO BIG VALUES (%d, 'R%d')", i, i)
+	}
+	if _, err := db.Exec(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestQueryContextPreCanceled: an already-canceled context fails the
+// statement before it binds a single tuple, with no pages left
+// pinned.
+func TestQueryContextPreCanceled(t *testing.T) {
+	db := openBig(t, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := db.QueryContext(ctx, `SELECT x.ID FROM x IN BIG`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := db.Pool().PinnedCount(); got != 0 {
+		t.Fatalf("%d pages left pinned after canceled query", got)
+	}
+}
+
+// TestQueryContextDeadlineMidScan: a short deadline interrupts a
+// cross-join scan promptly — the iterator checks the context once per
+// tuple binding — and leaves every page unpinned, with the engine
+// fully usable afterwards.
+func TestQueryContextDeadlineMidScan(t *testing.T) {
+	db := openBig(t, 600)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// 600x600 bindings: far more work than a millisecond.
+	_, _, err := db.QueryContext(ctx, `SELECT x.ID FROM x IN BIG, y IN BIG WHERE x.ID = y.ID`)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v (after %v)", err, elapsed)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation not prompt: query ran %v past a 1ms deadline", elapsed)
+	}
+	if got := db.Pool().PinnedCount(); got != 0 {
+		t.Fatalf("%d pages left pinned after deadline-exceeded query", got)
+	}
+	// The same query without a deadline still works.
+	tbl, _, err := db.Query(`SELECT x.ID FROM x IN BIG, y IN BIG WHERE x.ID = y.ID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 600 {
+		t.Fatalf("%d join rows, want 600", tbl.Len())
+	}
+}
+
+// TestExecContextCanceledDML: cancellation fails a mutating statement
+// like any other error — it is rolled back, and the database keeps
+// serving statements.
+func TestExecContextCanceledDML(t *testing.T) {
+	db := openBig(t, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.ExecContext(ctx, `DELETE x FROM x IN BIG WHERE x.ID >= 0`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	tbl, _, err := db.Query(`SELECT x.ID FROM x IN BIG`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 50 {
+		t.Fatalf("canceled DELETE removed rows: %d left, want 50", tbl.Len())
+	}
+	if got := db.Pool().PinnedCount(); got != 0 {
+		t.Fatalf("%d pages left pinned", got)
+	}
+}

@@ -49,6 +49,10 @@ type Options struct {
 	// write-ahead log instead of the default file under Dir. When set,
 	// the WAL is enabled even for databases without a directory.
 	OpenWALFile func() (wal.File, error)
+	// Retry bounds the automatic retries of transient store and log
+	// faults (errors implementing segment.TransientError). The zero
+	// value means segment.DefaultRetry; Tries: 1 disables retries.
+	Retry segment.RetryPolicy
 }
 
 // DB is one database instance.
@@ -74,6 +78,13 @@ type DB struct {
 	textByName  map[string]*textindex.Index
 
 	exec *exec.Executor
+
+	// fatalErr poisons the database after a failed statement rollback:
+	// the live state can no longer be trusted, so every subsequent
+	// statement returns this error until the database is reopened.
+	// Guarded by stmtMu (written under the exclusive lock, read under
+	// either).
+	fatalErr error
 }
 
 // Open creates or reopens a database.
@@ -87,6 +98,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.Clock == nil {
 		opts.Clock = func() int64 { return time.Now().UnixNano() }
 	}
+	if opts.Retry.Tries == 0 {
+		opts.Retry = segment.DefaultRetry
+	}
 	db := &DB{
 		opts:        opts,
 		pool:        buffer.NewPool(opts.PoolPages),
@@ -99,17 +113,17 @@ func Open(opts Options) (*DB, error) {
 		textByName:  make(map[string]*textindex.Index),
 	}
 	if (opts.Dir != "" || opts.OpenWALFile != nil) && !opts.DisableWAL {
-		var log *wal.Log
+		var f wal.File
 		var err error
 		if opts.OpenWALFile != nil {
-			f, ferr := opts.OpenWALFile()
-			if ferr != nil {
-				return nil, ferr
-			}
-			log, err = wal.OpenFile(f)
+			f, err = opts.OpenWALFile()
 		} else {
-			log, err = wal.Open(filepath.Join(opts.Dir, "wal.log"))
+			f, err = wal.OpenPathFile(filepath.Join(opts.Dir, "wal.log"))
 		}
+		if err != nil {
+			return nil, err
+		}
+		log, err := wal.OpenFile(wal.WithRetry(f, opts.Retry))
 		if err != nil {
 			return nil, err
 		}
@@ -142,26 +156,45 @@ func Open(opts Options) (*DB, error) {
 			return nil, fmt.Errorf("engine: recovery failed: %w", err)
 		}
 	}
+	if err := db.reloadRuntime(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// reloadRuntime (re)builds every in-memory runtime structure from the
+// persistent state: the catalog, per-table managers and flat stores,
+// and the memory-resident indexes. Open uses it to wire up a fresh
+// database; statement abort uses it to discard the in-memory effects
+// of a failed statement after the pages have been rolled back to the
+// last commit.
+func (db *DB) reloadRuntime() error {
+	db.mgrs = make(map[string]*object.Manager)
+	db.flats = make(map[string]*flat.Store)
+	db.indexes = make(map[string][]*index.Index)
+	db.indexByName = make(map[string]*index.Index)
+	db.textIdx = make(map[string][]*textindex.Index)
+	db.textByName = make(map[string]*textindex.Index)
 	cat, err := catalog.Open(db.stores[catalog.MetaSegment])
 	if err != nil {
-		return nil, err
+		return err
 	}
 	db.cat = cat
 	// Wire up every cataloged table and rebuild its indexes.
 	for _, t := range cat.Tables() {
 		if err := db.attachTable(t); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	for _, t := range cat.Tables() {
 		for _, def := range cat.Indexes(t.Name) {
 			if err := db.buildIndex(def); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
 	db.exec = &exec.Executor{RT: (*runtime)(db), Plan: plan.Choose}
-	return db, nil
+	return nil
 }
 
 // registerSegment opens the backing store for a segment and creates
@@ -187,6 +220,9 @@ func (db *DB) registerSegment(id segment.ID, versioned bool) error {
 			return err
 		}
 	}
+	// Transient faults from the backing store are absorbed by bounded
+	// retries before they can fail a statement.
+	st = segment.WithRetry(st, db.opts.Retry)
 	db.pool.Register(id, st)
 	db.stores[id] = subtuple.New(subtuple.Config{
 		Pool:      db.pool,

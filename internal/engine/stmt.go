@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -26,20 +28,25 @@ type Result struct {
 // committing after each one (the prototype is a single-user system
 // with statement-level transactions).
 func (db *DB) Exec(script string) ([]Result, error) {
-	stmts, err := sql.Parse(script)
+	return db.ExecContext(context.Background(), script)
+}
+
+// ExecContext is Exec with cancellation: long scans check the context
+// once per tuple binding, so cancellation and deadlines fail the
+// current statement promptly (and, for mutating statements, roll it
+// back like any other statement failure).
+func (db *DB) ExecContext(ctx context.Context, script string) ([]Result, error) {
+	stmts, err := sql.ParseScript(script)
 	if err != nil {
 		return nil, err
 	}
 	var results []Result
 	for _, st := range stmts {
-		res, err := db.ExecStmt(st)
+		res, err := db.execOne(ctx, st.Statement, st.Text)
 		if err != nil {
 			return results, err
 		}
 		results = append(results, res)
-		if err := db.Commit(); err != nil {
-			return results, err
-		}
 	}
 	return results, nil
 }
@@ -48,6 +55,11 @@ func (db *DB) Exec(script string) ([]Result, error) {
 // Queries may run concurrently with each other; mutating statements
 // are serialized by ExecStmt.
 func (db *DB) Query(q string) (*model.Table, *model.TableType, error) {
+	return db.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query with cancellation.
+func (db *DB) QueryContext(ctx context.Context, q string) (*model.Table, *model.TableType, error) {
 	st, err := sql.ParseOne(q)
 	if err != nil {
 		return nil, nil, err
@@ -56,9 +68,11 @@ func (db *DB) Query(q string) (*model.Table, *model.TableType, error) {
 	if !ok {
 		return nil, nil, fmt.Errorf("engine: Query requires a SELECT, got %T", st)
 	}
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	return db.exec.Query(sel)
+	res, err := db.execOne(ctx, sel, strings.TrimSpace(q))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Table, res.Type, nil
 }
 
 // MustQuery is Query for tests and examples; it panics on error.
@@ -70,24 +84,72 @@ func (db *DB) MustQuery(q string) (*model.Table, *model.TableType) {
 	return tbl, tt
 }
 
-// ExecStmt runs one parsed statement. Read-only statements share the
-// statement lock; everything else takes it exclusively.
+// ExecStmt runs (and commits) one parsed statement.
 func (db *DB) ExecStmt(st sql.Statement) (Result, error) {
-	switch st.(type) {
-	case *sql.Select, *sql.Explain, *sql.ShowTables, *sql.Describe:
-		db.stmtMu.RLock()
-		defer db.stmtMu.RUnlock()
-	default:
-		db.stmtMu.Lock()
-		defer db.stmtMu.Unlock()
-	}
-	return db.execStmtLocked(st)
+	return db.execOne(context.Background(), st, fmt.Sprintf("%T", st))
 }
 
-func (db *DB) execStmtLocked(st sql.Statement) (Result, error) {
+// execOne runs one statement with full fault containment: read-only
+// statements share the statement lock; mutating statements take it
+// exclusively, commit on success, and roll back to the pre-statement
+// state on any error or recovered panic — the next statement sees
+// only committed data, without a reopen.
+func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Result, error) {
+	readOnly := false
+	switch st.(type) {
+	case *sql.Select, *sql.Explain, *sql.ShowTables, *sql.Describe:
+		readOnly = true
+	}
+	if readOnly {
+		db.stmtMu.RLock()
+		if err := db.fatalErr; err != nil {
+			db.stmtMu.RUnlock()
+			return Result{}, err
+		}
+		res, err := db.runStmt(ctx, st, text)
+		db.stmtMu.RUnlock()
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// A recovered panic may have leaked pins or left partial
+			// in-memory state even though the statement read nothing;
+			// heal under the exclusive lock.
+			db.stmtMu.Lock()
+			err = db.abortOn(err)
+			db.stmtMu.Unlock()
+		}
+		return res, err
+	}
+	db.stmtMu.Lock()
+	defer db.stmtMu.Unlock()
+	if err := db.fatalErr; err != nil {
+		return Result{}, err
+	}
+	res, err := db.runStmt(ctx, st, text)
+	if err == nil {
+		// A failed commit aborts the statement like any other error:
+		// its records never became durable, so the rollback discards
+		// them and the engine returns to the pre-statement state.
+		if cerr := db.Commit(); cerr != nil {
+			err = fmt.Errorf("engine: commit: %w", cerr)
+		}
+	}
+	if err != nil {
+		return Result{}, db.abortOn(err)
+	}
+	return res, nil
+}
+
+// runStmt executes one statement, converting panics into errors
+// tagged with the statement text.
+func (db *DB) runStmt(ctx context.Context, st sql.Statement, text string) (res Result, err error) {
+	defer recoverPanic(text, &err)
+	return db.execStmtLocked(ctx, st)
+}
+
+func (db *DB) execStmtLocked(ctx context.Context, st sql.Statement) (Result, error) {
 	switch st := st.(type) {
 	case *sql.Select:
-		tbl, tt, err := db.exec.Query(st)
+		tbl, tt, err := db.exec.Query(ctx, st)
 		if err != nil {
 			return Result{}, err
 		}
@@ -131,19 +193,19 @@ func (db *DB) execStmtLocked(st sql.Statement) (Result, error) {
 		}
 		return Result{Message: fmt.Sprintf("index %s dropped", st.Name)}, nil
 	case *sql.Insert:
-		n, err := db.exec.ExecInsert(st)
+		n, err := db.exec.ExecInsert(ctx, st)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) inserted", n)}, nil
 	case *sql.Delete:
-		n, err := db.exec.ExecDelete(st)
+		n, err := db.exec.ExecDelete(ctx, st)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) deleted", n)}, nil
 	case *sql.Update:
-		n, err := db.exec.ExecUpdate(st)
+		n, err := db.exec.ExecUpdate(ctx, st)
 		if err != nil {
 			return Result{}, err
 		}

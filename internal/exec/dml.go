@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -88,7 +89,10 @@ func (e *Executor) coerceTuple(x sql.Expr, tt *model.TableType, en *env) (model.
 
 // ExecInsert runs an INSERT statement, returning the number of
 // inserted tuples/members.
-func (e *Executor) ExecInsert(ins *sql.Insert) (int, error) {
+func (e *Executor) ExecInsert(ctx context.Context, ins *sql.Insert) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if ins.Table != "" {
 		t, ok := e.RT.Table(ins.Table)
 		if !ok {
@@ -117,7 +121,7 @@ func (e *Executor) ExecInsert(ins *sql.Insert) (int, error) {
 	}
 	var targets []target
 	scope := newEnv(nil)
-	err := e.forEach(ins.From, 0, scope, nil, func() error {
+	err := e.forEach(ctx, ins.From, 0, scope, nil, func() error {
 		if ins.Where != nil {
 			ok, err := e.evalCond(ins.Where, scope)
 			if err != nil {
@@ -180,7 +184,10 @@ func dedupeTargets[T any](ts []T) []T {
 // objects when the variable ranges over a stored table, subtable
 // members when it ranges over a subtable (deleting "arbitrary parts
 // of complex objects", §4.1).
-func (e *Executor) ExecDelete(del *sql.Delete) (int, error) {
+func (e *Executor) ExecDelete(ctx context.Context, del *sql.Delete) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type victim struct {
 		tbl   *catalog.Table
 		ref   page.TID
@@ -188,7 +195,7 @@ func (e *Executor) ExecDelete(del *sql.Delete) (int, error) {
 	}
 	var victims []victim
 	scope := newEnv(nil)
-	err := e.forEach(del.From, 0, scope, nil, func() error {
+	err := e.forEach(ctx, del.From, 0, scope, nil, func() error {
 		if del.Where != nil {
 			ok, err := e.evalCond(del.Where, scope)
 			if err != nil {
@@ -247,7 +254,10 @@ func (e *Executor) ExecDelete(del *sql.Delete) (int, error) {
 
 // ExecUpdate runs an UPDATE statement against the atomic attributes
 // of the target variable's level.
-func (e *Executor) ExecUpdate(upd *sql.Update) (int, error) {
+func (e *Executor) ExecUpdate(ctx context.Context, upd *sql.Update) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type change struct {
 		tbl   *catalog.Table
 		ref   page.TID
@@ -256,7 +266,7 @@ func (e *Executor) ExecUpdate(upd *sql.Update) (int, error) {
 	}
 	var changes []change
 	scope := newEnv(nil)
-	err := e.forEach(upd.From, 0, scope, nil, func() error {
+	err := e.forEach(ctx, upd.From, 0, scope, nil, func() error {
 		if upd.Where != nil {
 			ok, err := e.evalCond(upd.Where, scope)
 			if err != nil {

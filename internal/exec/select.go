@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,15 +15,20 @@ import (
 )
 
 // Query evaluates a top-level select and returns the result table
-// with its inferred schema.
-func (e *Executor) Query(sel *sql.Select) (*model.Table, *model.TableType, error) {
-	return e.selectIn(sel, newEnv(nil), true)
+// with its inferred schema. The context is checked once per range
+// variable binding, so cancellation and deadlines interrupt long
+// scans promptly.
+func (e *Executor) Query(ctx context.Context, sel *sql.Select) (*model.Table, *model.TableType, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.selectIn(ctx, sel, newEnv(nil), true)
 }
 
 // selectIn evaluates a select block in an outer environment.
 // planning enables index access paths (only sensible for blocks over
 // stored tables).
-func (e *Executor) selectIn(sel *sql.Select, outer *env, planning bool) (*model.Table, *model.TableType, error) {
+func (e *Executor) selectIn(ctx context.Context, sel *sql.Select, outer *env, planning bool) (*model.Table, *model.TableType, error) {
 	resultType, err := e.inferSelect(sel, typeEnvFrom(outer))
 	if err != nil {
 		return nil, nil, err
@@ -45,7 +51,7 @@ func (e *Executor) selectIn(sel *sql.Select, outer *env, planning bool) (*model.
 	}
 	var rows []keyed
 	scope := newEnv(outer)
-	err = e.forEach(sel.From, 0, scope, cands, func() error {
+	err = e.forEach(ctx, sel.From, 0, scope, cands, func() error {
 		if sel.Where != nil {
 			ok, err := e.evalCond(sel.Where, scope)
 			if err != nil {
@@ -55,7 +61,7 @@ func (e *Executor) selectIn(sel *sql.Select, outer *env, planning bool) (*model.
 				return nil
 			}
 		}
-		tup, err := e.buildResult(sel, resultType, scope)
+		tup, err := e.buildResult(ctx, sel, resultType, scope)
 		if err != nil {
 			return err
 		}
@@ -115,8 +121,14 @@ func (e *Executor) selectIn(sel *sql.Select, outer *env, planning bool) (*model.
 
 // forEach performs the nested-loop binding of range variables: "a
 // good mental model ... is to associate them with a loop which runs
-// over all tuples of the relation they are bound to" (§3).
-func (e *Executor) forEach(items []sql.FromItem, i int, scope *env, cands map[int]*Candidates, body func() error) error {
+// over all tuples of the relation they are bound to" (§3). The
+// context is checked on every entry — once per tuple binding — so a
+// cancelled scan stops within one tuple's worth of work, with no
+// pages left pinned (scan callbacks run with their page unpinned).
+func (e *Executor) forEach(ctx context.Context, items []sql.FromItem, i int, scope *env, cands map[int]*Candidates, body func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if i == len(items) {
 		return body()
 	}
@@ -143,7 +155,7 @@ func (e *Executor) forEach(items []sql.FromItem, i int, scope *env, cands map[in
 		}
 		visit := func(ref page.TID, tup model.Tuple) error {
 			scope.bind(it.Var, &binding{tt: t.Type, tup: tup, tbl: t, ref: ref, asof: asof})
-			return e.forEach(items, i+1, scope, cands, body)
+			return e.forEach(ctx, items, i+1, scope, cands, body)
 		}
 		if c := cands[i]; c != nil {
 			for _, ref := range c.Refs {
@@ -179,7 +191,7 @@ func (e *Executor) forEach(items []sql.FromItem, i int, scope *env, cands map[in
 			b.asof = prov.asof
 		}
 		scope.bind(it.Var, b)
-		if err := e.forEach(items, i+1, scope, cands, body); err != nil {
+		if err := e.forEach(ctx, items, i+1, scope, cands, body); err != nil {
 			return err
 		}
 	}
@@ -264,7 +276,7 @@ func (e *Executor) evalFromPath(p *sql.PathExpr, scope *env) (*model.Table, *mod
 }
 
 // buildResult constructs one result tuple for the current bindings.
-func (e *Executor) buildResult(sel *sql.Select, rt *model.TableType, scope *env) (model.Tuple, error) {
+func (e *Executor) buildResult(ctx context.Context, sel *sql.Select, rt *model.TableType, scope *env) (model.Tuple, error) {
 	if sel.Star {
 		b, _ := scope.lookup(sel.From[0].Var)
 		return b.tup.Clone(), nil
@@ -272,7 +284,7 @@ func (e *Executor) buildResult(sel *sql.Select, rt *model.TableType, scope *env)
 	tup := make(model.Tuple, len(sel.Items))
 	for i, item := range sel.Items {
 		if item.Sub != nil {
-			sub, _, err := e.selectIn(item.Sub, scope, false)
+			sub, _, err := e.selectIn(ctx, item.Sub, scope, false)
 			if err != nil {
 				return nil, err
 			}

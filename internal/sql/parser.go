@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"repro/internal/model"
 )
@@ -13,25 +14,48 @@ type Parser struct {
 	pos  int
 }
 
+// Stmt is one parsed statement together with its source text; the
+// engine uses the text to tag statement errors (notably recovered
+// panics) with what was being executed.
+type Stmt struct {
+	Statement
+	Text string
+}
+
 // Parse parses a script of semicolon-separated statements.
 func Parse(input string) ([]Statement, error) {
+	ss, err := ParseScript(input)
+	if err != nil {
+		return nil, err
+	}
+	stmts := make([]Statement, len(ss))
+	for i, s := range ss {
+		stmts[i] = s.Statement
+	}
+	return stmts, nil
+}
+
+// ParseScript parses a script keeping each statement's source text.
+func ParseScript(input string) ([]Stmt, error) {
 	toks, err := Lex(input)
 	if err != nil {
 		return nil, err
 	}
 	p := &Parser{toks: toks}
-	var stmts []Statement
+	var stmts []Stmt
 	for {
 		for p.acceptSym(";") {
 		}
 		if p.peek().Kind == TokEOF {
 			return stmts, nil
 		}
+		start := p.peek().Pos
 		s, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		stmts = append(stmts, s)
+		end := p.peek().Pos // the ';' or EOF token after the statement
+		stmts = append(stmts, Stmt{Statement: s, Text: strings.TrimSpace(input[start:end])})
 		if !p.acceptSym(";") && p.peek().Kind != TokEOF {
 			return nil, p.errorf("expected ';' or end of input, got %s", p.peek())
 		}

@@ -74,6 +74,11 @@ type Config struct {
 func New(cfg Config) *Store {
 	s := &Store{pool: cfg.Pool, seg: cfg.Seg, log: cfg.Log, versioned: cfg.Versioned, clock: cfg.Clock}
 	if s.versioned && s.clock == nil {
+		// Deliberately a panic, not an error: this is a construction-time
+		// misconfiguration by the embedding code (the engine always
+		// supplies a clock), not a condition that can arise from user
+		// statements or runtime faults — there is no caller that could
+		// meaningfully handle it as an error.
 		panic("subtuple: versioned store requires a clock")
 	}
 	return s

@@ -1,0 +1,66 @@
+package wal
+
+import (
+	"repro/internal/segment"
+)
+
+// retryFile wraps a File, retrying transient faults (see
+// segment.TransientError) on every operation. Write and ReadAt resume
+// partial transfers so a fault in the middle of a record cannot
+// duplicate bytes already accepted by the backing file.
+type retryFile struct {
+	f File
+	p segment.RetryPolicy
+}
+
+// WithRetry wraps f so transient faults are retried per the policy. A
+// policy with Tries <= 1 returns f unchanged.
+func WithRetry(f File, p segment.RetryPolicy) File {
+	if p.Tries <= 1 {
+		return f
+	}
+	return &retryFile{f: f, p: p}
+}
+
+func (r *retryFile) Write(p []byte) (int, error) {
+	written := 0
+	err := r.p.Do(func() error {
+		n, werr := r.f.Write(p[written:])
+		written += n
+		return werr
+	})
+	return written, err
+}
+
+func (r *retryFile) ReadAt(p []byte, off int64) (int, error) {
+	read := 0
+	err := r.p.Do(func() error {
+		if read == len(p) {
+			return nil
+		}
+		n, rerr := r.f.ReadAt(p[read:], off+int64(read))
+		read += n
+		return rerr
+	})
+	return read, err
+}
+
+func (r *retryFile) Seek(offset int64, whence int) (int64, error) {
+	var pos int64
+	err := r.p.Do(func() error {
+		var serr error
+		pos, serr = r.f.Seek(offset, whence)
+		return serr
+	})
+	return pos, err
+}
+
+func (r *retryFile) Truncate(size int64) error {
+	return r.p.Do(func() error { return r.f.Truncate(size) })
+}
+
+func (r *retryFile) Sync() error {
+	return r.p.Do(func() error { return r.f.Sync() })
+}
+
+func (r *retryFile) Close() error { return r.f.Close() }

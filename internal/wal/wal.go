@@ -87,11 +87,23 @@ type Log struct {
 // Open opens (or creates) the log file at path and positions appends
 // after the last complete record.
 func Open(path string) (*Log, error) {
+	f, err := OpenPathFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenFile(f)
+}
+
+// OpenPathFile opens (or creates) the backing file at path without
+// building a Log over it; callers that want to interpose a wrapper
+// (retry, fault injection) between the file and the Log use it with
+// OpenFile.
+func OpenPathFile(path string) (File, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	return OpenFile(f)
+	return f, nil
 }
 
 // OpenFile opens a log over an already-open backing file and positions
@@ -229,6 +241,30 @@ func (l *Log) TruncateTail(off uint64) error {
 	return nil
 }
 
+// DiscardUnflushed cuts the log back to the last boundary a Sync
+// acknowledged: it drops the append buffer (partial or complete
+// records that never reached the file, plus any sticky write error a
+// failed flush left in the buffered writer) and truncates the file
+// over everything written but never fsync-acknowledged. Statement
+// abort uses it: every successful statement ends with an acknowledged
+// commit sync, so everything past the flushed boundary belongs to the
+// failed statement — crucially including a complete commit record
+// whose own fsync failed, which must not count as committed once the
+// statement has reported failure.
+func (l *Log) DiscardUnflushed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.w.Reset(l.f)
+	if err := l.f.Truncate(int64(l.flushed)); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(int64(l.flushed), io.SeekStart); err != nil {
+		return err
+	}
+	l.nextLSN = l.flushed
+	return nil
+}
+
 var errTorn = errors.New("wal: torn record at end of log")
 
 // Replay streams every complete record in LSN order.
@@ -256,7 +292,13 @@ func (l *Log) replayFrom(off uint64, fn func(Record) error) error {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
-			return errTorn
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return errTorn
+			}
+			// A real I/O error must not masquerade as a torn tail:
+			// recovery truncates at the torn point, and doing that on a
+			// transient read failure would cut off committed records.
+			return fmt.Errorf("wal: read log at offset %d: %w", pos, err)
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:])
 		crc := binary.LittleEndian.Uint32(hdr[4:])
@@ -267,7 +309,10 @@ func (l *Log) replayFrom(off uint64, fn func(Record) error) error {
 		// force a huge up-front allocation.
 		body, err := readExact(br, int(n))
 		if err != nil {
-			return errTorn
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return errTorn
+			}
+			return fmt.Errorf("wal: read log at offset %d: %w", pos, err)
 		}
 		if crc32.ChecksumIEEE(body) != crc {
 			return errTorn
