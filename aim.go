@@ -151,12 +151,64 @@ func (db *DB) ExecContext(ctx context.Context, script string) ([]Result, error) 
 	return db.eng.ExecContext(ctx, script)
 }
 
-// Query runs one SELECT and returns the result table and its schema.
+// Query runs one SELECT and returns the result table and its schema,
+// fully materialized. It is a convenience wrapper over the streaming
+// path (QueryRows): the engine reads objects pruned to the query's
+// attribute paths either way.
 func (db *DB) Query(q string) (*Table, *TableType, error) { return db.eng.Query(q) }
 
 // QueryContext is Query with cancellation.
 func (db *DB) QueryContext(ctx context.Context, q string) (*Table, *TableType, error) {
 	return db.eng.QueryContext(ctx, q)
+}
+
+// Rows is a streaming query cursor: result tuples are produced one
+// Next at a time, and only the attribute paths the query actually
+// references are fetched from storage. Iterate with Next, read the
+// current tuple with Tuple or Scan, and Close when done (Close is
+// idempotent; a cursor abandoned without Close holds no buffer pages
+// and blocks no writers):
+//
+//	rows, _ := db.QueryRows(`SELECT x.DNO FROM x IN DEPARTMENTS`)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var dno int
+//	    rows.Scan(&dno)
+//	}
+//	err := rows.Err()
+type Rows = engine.Rows
+
+// QueryRows runs one SELECT and returns a streaming cursor over its
+// result.
+func (db *DB) QueryRows(q string) (*Rows, error) { return db.eng.QueryRows(q) }
+
+// QueryRowsContext is QueryRows with cancellation: the context is
+// checked once per Next call, so an abandoned iteration stops within
+// one tuple's worth of work.
+func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
+	return db.eng.QueryRowsContext(ctx, q)
+}
+
+// StmtStats are the physical access counters of one statement: buffer
+// pool activity and subtuples decoded (see Stats).
+type StmtStats = engine.StmtStats
+
+// Stats bundles the cumulative buffer-pool counters with the counters
+// of the most recently completed statement. For queries consumed
+// through a Rows cursor the statement completes — and LastStatement
+// is recorded — at Close.
+type Stats struct {
+	// Buffer is the cumulative buffer pool activity since Open (or the
+	// last ResetBufferStats).
+	Buffer buffer.Stats
+	// LastStatement is the access counters of the most recently
+	// completed statement.
+	LastStatement StmtStats
+}
+
+// Stats returns the database access statistics.
+func (db *DB) Stats() Stats {
+	return Stats{Buffer: db.eng.Pool().Stats(), LastStatement: db.eng.LastStmtStats()}
 }
 
 // Now returns the database clock's current timestamp, usable in ASOF

@@ -206,3 +206,46 @@ func TestDocExample(t *testing.T) {
 		t.Fatalf("doc example: %v, %v", rows, err)
 	}
 }
+
+// The streaming cursor of the README example: QueryRows + Scan +
+// Stats, matching the materialized result.
+func TestPublicQueryRows(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+	want, _, err := db.Query(`SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS ORDER BY x.DNO`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.QueryRows(`SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS ORDER BY x.DNO`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	i := 0
+	for rows.Next() {
+		var dno, budget int
+		if err := rows.Scan(&dno, &budget); err != nil {
+			t.Fatal(err)
+		}
+		if aim.Int(dno) != want.Tuples[i][0] || aim.Int(budget) != want.Tuples[i][1] {
+			t.Errorf("row %d = (%d, %d), want %v", i, dno, budget, want.Tuples[i])
+		}
+		i++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != want.Len() {
+		t.Fatalf("streamed %d rows, want %d", i, want.Len())
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.LastStatement.Rows != want.Len() || s.LastStatement.Fetches == 0 {
+		t.Errorf("Stats().LastStatement = %+v", s.LastStatement)
+	}
+	if s.Buffer.Fetches == 0 {
+		t.Error("Stats().Buffer empty")
+	}
+}

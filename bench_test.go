@@ -441,7 +441,7 @@ func BenchmarkASOF(b *testing.B) {
 // --- §3 Examples 5-6: quantifier evaluation -----------------------------------
 
 func BenchmarkExistsVsAll(b *testing.B) {
-	db, err := engineWithGen(b)
+	db, err := engineWithGen(b, object.SS3)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -466,9 +466,9 @@ WHERE ALL y IN x.PROJECTS ALL z IN y.MEMBERS: z.FUNCTION = 'Leader'`); err != ni
 	})
 }
 
-func engineWithGen(b *testing.B) (*engine.DB, error) {
+func engineWithGen(b *testing.B, layout object.Layout) (*engine.DB, error) {
 	b.Helper()
-	db, err := engine.Open(engine.Options{})
+	db, err := engine.Open(engine.Options{DefaultLayout: layout})
 	if err != nil {
 		return nil, err
 	}
@@ -481,6 +481,63 @@ func engineWithGen(b *testing.B) (*engine.DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// --- projection pushdown: pruned vs full-object reads -------------------------
+
+// BenchmarkProjectionPushdown measures a single-attribute projection
+// over wide generated departments (8 projects × 15 members each)
+// under each storage structure, executed two ways: Full fetches every
+// subtuple of every object (the pre-cursor behavior, via
+// Executor.FullPaths), Pruned fetches only the data subtuples the
+// projection needs. pages/op is the number of page pin requests per
+// query; the benchmark fails if pruning does not touch strictly fewer
+// pages than full retrieval.
+func BenchmarkProjectionPushdown(b *testing.B) {
+	const q = `SELECT x.DNO FROM x IN DEPARTMENTS`
+	for _, layout := range []object.Layout{object.SS1, object.SS2, object.SS3} {
+		b.Run(layout.String(), func(b *testing.B) {
+			db, err := engineWithGen(b, layout)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			measure := func(full bool) engine.StmtStats {
+				db.Executor().FullPaths = full
+				tbl, _, err := db.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tbl.Len() != benchCfg.Departments {
+					b.Fatalf("rows = %d, want %d", tbl.Len(), benchCfg.Departments)
+				}
+				return db.LastStmtStats()
+			}
+			fullStats := measure(true)
+			prunedStats := measure(false)
+			if prunedStats.Fetches >= fullStats.Fetches {
+				b.Fatalf("%s: pruned execution touched %d pages, full %d — pushdown saved nothing",
+					layout, prunedStats.Fetches, fullStats.Fetches)
+			}
+			for _, mode := range []struct {
+				name  string
+				full  bool
+				stats engine.StmtStats
+			}{{"Full", true, fullStats}, {"Pruned", false, prunedStats}} {
+				b.Run(mode.name, func(b *testing.B) {
+					db.Executor().FullPaths = mode.full
+					for i := 0; i < b.N; i++ {
+						if _, _, err := db.Query(q); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(mode.stats.Fetches), "pages/op")
+					b.ReportMetric(float64(mode.stats.Decoded), "subtuples/op")
+				})
+			}
+			db.Executor().FullPaths = false
+		})
+	}
 }
 
 // --- micro: subtuple store and B-tree -----------------------------------------

@@ -100,13 +100,7 @@ func runScript(db *aim.DB, script string) error {
 		return err
 	}
 	for _, st := range stmts {
-		ctx, cancel := execCtx()
-		results, err := db.ExecContext(ctx, st.Text)
-		cancel()
-		for _, r := range results {
-			printResult(r)
-		}
-		if err != nil {
+		if err := execStmt(db, st); err != nil {
 			return err
 		}
 	}
@@ -124,16 +118,51 @@ func runChunk(db *aim.DB, chunk string) {
 		return
 	}
 	for _, st := range stmts {
-		ctx, cancel := execCtx()
-		results, err := db.ExecContext(ctx, st.Text)
-		cancel()
-		for _, r := range results {
-			printResult(r)
-		}
-		if err != nil {
+		if err := execStmt(db, st); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
+}
+
+// execStmt runs one statement under its own timeout. SELECTs go
+// through the streaming cursor — each result tuple is printed as it
+// is produced, so the first rows of a long scan appear immediately;
+// everything else executes through the materializing API.
+func execStmt(db *aim.DB, st sql.Stmt) error {
+	ctx, cancel := execCtx()
+	defer cancel()
+	if _, ok := st.Statement.(*sql.Select); ok {
+		return streamSelect(ctx, db, st.Text)
+	}
+	results, err := db.ExecContext(ctx, st.Text)
+	for _, r := range results {
+		printResult(r)
+	}
+	return err
+}
+
+// streamSelect prints a query's rows as they stream from the cursor.
+func streamSelect(ctx context.Context, db *aim.DB, text string) error {
+	rows, err := db.QueryRowsContext(ctx, text)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	names := make([]string, len(rows.Type().Attrs))
+	for i, a := range rows.Type().Attrs {
+		names[i] = a.Name
+	}
+	fmt.Println("-- " + strings.Join(names, " | "))
+	n := 0
+	for rows.Next() {
+		fmt.Println(rows.Tuple())
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d tuple(s))\n", n)
+	return nil
 }
 
 func printResult(r aim.Result) {

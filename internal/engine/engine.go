@@ -79,6 +79,11 @@ type DB struct {
 
 	exec *exec.Executor
 
+	// statsMu guards lastStmt (queries record it under the shared
+	// statement lock, so it needs its own).
+	statsMu  sync.Mutex
+	lastStmt StmtStats
+
 	// fatalErr poisons the database after a failed statement rollback:
 	// the live state can no longer be trusted, so every subsequent
 	// statement returns this error until the database is reopened.
@@ -342,3 +347,7 @@ func (db *DB) Close() error {
 // Runtime exposes the engine's executor runtime (used by planner
 // tests and external tools that call plan.Choose directly).
 func (db *DB) Runtime() exec.Runtime { return (*runtime)(db) }
+
+// Executor exposes the SQL executor; experiment harnesses toggle its
+// FullPaths flag to compare pruned against full-object execution.
+func (db *DB) Executor() *exec.Executor { return db.exec }

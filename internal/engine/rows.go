@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/sql"
+)
+
+// Rows is a streaming query cursor: result tuples are produced one
+// Next at a time, with only the paths the query needs fetched from
+// storage. The statement lock is acquired per Next call, not for the
+// cursor's lifetime, so an open (or abandoned) Rows never blocks
+// writers; the price is read-committed-per-row semantics — a
+// mutation committed between two Next calls can be visible to the
+// second one. No buffer pages are pinned between calls and none
+// survive Close, so a Rows abandoned without Close leaks nothing
+// (Close still should be called: it records the statement's access
+// statistics).
+type Rows struct {
+	db   *DB
+	cur  *exec.Cursor
+	text string
+	tt   *model.TableType
+	tup  model.Tuple
+	err  error
+	rows int
+
+	start  statsMark
+	closed bool
+}
+
+// QueryRows runs one SELECT and returns a streaming cursor over its
+// results.
+func (db *DB) QueryRows(q string) (*Rows, error) {
+	return db.QueryRowsContext(context.Background(), q)
+}
+
+// QueryRowsContext is QueryRows with cancellation: the context is
+// checked once per Next call.
+func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
+	st, err := sql.ParseOne(q)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryRows requires a SELECT, got %T", st)
+	}
+	text := strings.TrimSpace(q)
+	db.stmtMu.RLock()
+	if ferr := db.fatalErr; ferr != nil {
+		db.stmtMu.RUnlock()
+		return nil, ferr
+	}
+	start := db.mark()
+	var cur *exec.Cursor
+	func() {
+		defer recoverPanic(text, &err)
+		cur, err = db.exec.OpenQuery(ctx, sel)
+	}()
+	db.stmtMu.RUnlock()
+	if err != nil {
+		return nil, db.healIfPanic(err)
+	}
+	return &Rows{db: db, cur: cur, text: text, tt: cur.Type(), start: start}, nil
+}
+
+// healIfPanic repairs the engine after a panic recovered on the read
+// path (leaked pins, partial in-memory state), like execOne does for
+// materializing queries.
+func (db *DB) healIfPanic(err error) error {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		db.stmtMu.Lock()
+		err = db.abortOn(err)
+		db.stmtMu.Unlock()
+	}
+	return err
+}
+
+// Next advances to the next result tuple. It returns false at the end
+// of the result, on error (see Err) and after Close; the cursor closes
+// itself in all three cases.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	r.db.stmtMu.RLock()
+	if ferr := r.db.fatalErr; ferr != nil {
+		r.db.stmtMu.RUnlock()
+		r.err = ferr
+		r.Close()
+		return false
+	}
+	var tup model.Tuple
+	var ok bool
+	var err error
+	func() {
+		defer recoverPanic(r.text, &err)
+		tup, ok, err = r.cur.Next()
+	}()
+	r.db.stmtMu.RUnlock()
+	if err != nil {
+		r.err = r.db.healIfPanic(err)
+		r.Close()
+		return false
+	}
+	if !ok {
+		r.Close()
+		return false
+	}
+	r.tup = tup
+	r.rows++
+	return true
+}
+
+// Tuple returns the current result tuple (valid after a true Next).
+func (r *Rows) Tuple() model.Tuple { return r.tup }
+
+// Type returns the result schema.
+func (r *Rows) Type() *model.TableType { return r.tt }
+
+// Err returns the error that terminated the iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Scan copies the current tuple's attributes into dest values, which
+// must be *model.Value, *int64, *int, *float64, *string, *bool or
+// **model.Table and match the result arity.
+func (r *Rows) Scan(dest ...any) error {
+	if r.tup == nil {
+		return fmt.Errorf("engine: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.tup) {
+		return fmt.Errorf("engine: Scan got %d destinations for %d attributes", len(dest), len(r.tup))
+	}
+	for i, d := range dest {
+		v := r.tup[i]
+		switch p := d.(type) {
+		case *model.Value:
+			*p = v
+		case *int64:
+			n, ok := v.(model.Int)
+			if !ok {
+				return fmt.Errorf("engine: Scan attribute %d: %T is not an INT", i, v)
+			}
+			*p = int64(n)
+		case *int:
+			n, ok := v.(model.Int)
+			if !ok {
+				return fmt.Errorf("engine: Scan attribute %d: %T is not an INT", i, v)
+			}
+			*p = int(n)
+		case *float64:
+			switch n := v.(type) {
+			case model.Float:
+				*p = float64(n)
+			case model.Int:
+				*p = float64(n)
+			default:
+				return fmt.Errorf("engine: Scan attribute %d: %T is not numeric", i, v)
+			}
+		case *string:
+			s, ok := v.(model.Str)
+			if !ok {
+				return fmt.Errorf("engine: Scan attribute %d: %T is not a STRING", i, v)
+			}
+			*p = string(s)
+		case *bool:
+			b, ok := v.(model.Bool)
+			if !ok {
+				return fmt.Errorf("engine: Scan attribute %d: %T is not a BOOL", i, v)
+			}
+			*p = bool(b)
+		case **model.Table:
+			t, ok := v.(*model.Table)
+			if !ok {
+				return fmt.Errorf("engine: Scan attribute %d: %T is not a table", i, v)
+			}
+			*p = t
+		default:
+			return fmt.Errorf("engine: Scan destination %d has unsupported type %T", i, d)
+		}
+	}
+	return nil
+}
+
+// Close ends the iteration, releases the cursor and records the
+// statement's access statistics (LastStmtStats). Idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	r.db.stmtMu.RLock()
+	r.cur.Close()
+	stats := r.db.since(r.start)
+	r.db.stmtMu.RUnlock()
+	stats.Rows = r.rows
+	r.db.noteStmtStats(stats)
+	return nil
+}

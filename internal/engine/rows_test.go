@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/object"
+)
+
+// drainRows consumes a streaming cursor into a table.
+func drainRows(t *testing.T, r *Rows) *model.Table {
+	t.Helper()
+	out := &model.Table{Ordered: r.Type().Ordered}
+	for r.Next() {
+		out.Append(r.Tuple())
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The paper's Examples 1-8 (and Fig 5) must produce identical results
+// through the streaming cursor and the materializing API.
+var exampleQueries = []string{
+	`SELECT * FROM x IN DEPARTMENTS`,
+	`SELECT x.DNO, x.MGRNO,
+	       PROJECTS = (SELECT y.PNO, y.PNAME,
+	                          MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS)
+	                   FROM y IN x.PROJECTS),
+	       x.BUDGET,
+	       EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+	FROM x IN DEPARTMENTS`,
+	`SELECT x.DNO, x.MGRNO,
+	       PROJECTS = (SELECT y.PNO, y.PNAME,
+	                          MEMBERS = (SELECT z.EMPNO, z.FUNCTION
+	                                     FROM z IN MEMBERS_1NF
+	                                     WHERE z.PNO = y.PNO AND z.DNO = y.DNO)
+	                   FROM y IN PROJECTS_1NF
+	                   WHERE y.DNO = x.DNO),
+	       x.BUDGET,
+	       EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP_1NF WHERE v.DNO = x.DNO)
+	FROM x IN DEPARTMENTS_1NF`,
+	`SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+	FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS`,
+	`SELECT x.DNO, x.MGRNO, x.BUDGET
+	FROM x IN DEPARTMENTS
+	WHERE EXISTS y IN x.EQUIP: y.TYPE = 'PC/AT'`,
+	`SELECT x.DNO, x.MGRNO, x.BUDGET
+	FROM x IN DEPARTMENTS
+	WHERE ALL y IN x.PROJECTS ALL z IN y.MEMBERS: z.FUNCTION = 'Consultant'`,
+	`SELECT x.DNO, x.MGRNO,
+	       EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION
+	                    FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES_1NF
+	                    WHERE u.EMPNO = z.EMPNO)
+	FROM x IN DEPARTMENTS`,
+	`SELECT x.DNO, m.LNAME, m.SEX,
+	       EMPLOYEES = (SELECT z.EMPNO, u.LNAME, z.FUNCTION
+	                    FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES_1NF
+	                    WHERE u.EMPNO = z.EMPNO)
+	FROM x IN DEPARTMENTS, m IN EMPLOYEES_1NF
+	WHERE m.EMPNO = x.MGRNO`,
+	`SELECT x.AUTHORS, x.TITLE
+	FROM x IN REPORTS
+	WHERE x.AUTHORS[1].NAME = 'Jones'`,
+	`SELECT DISTINCT z.FUNCTION
+	FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS
+	ORDER BY z.FUNCTION`,
+	`SELECT x.DNO, COUNT(x.PROJECTS) AS NPROJ FROM x IN DEPARTMENTS ORDER BY x.DNO DESC`,
+}
+
+func TestExamplesStreamEqualMaterialized(t *testing.T) {
+	db := openOffice(t)
+	for i, q := range exampleQueries {
+		want, wt, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		rows, err := db.QueryRows(q)
+		if err != nil {
+			t.Fatalf("QueryRows %d: %v", i, err)
+		}
+		if !rows.Type().Equal(wt) {
+			t.Errorf("query %d: streamed schema %s, want %s", i, rows.Type(), wt)
+		}
+		got := drainRows(t, rows)
+		if !model.TableEqual(got, want) {
+			t.Errorf("query %d: streamed result differs from materialized:\n%s\nvs\n%s",
+				i, model.FormatTable("streamed", rows.Type(), got), model.FormatTable("materialized", wt, want))
+		}
+	}
+}
+
+// No buffer pages may remain pinned between Next calls, after
+// exhaustion, or — the regression this guards against — when a cursor
+// is abandoned mid-iteration without Close.
+func TestRowsPinNoLeak(t *testing.T) {
+	db := openOffice(t)
+	rows, err := db.QueryRows(`SELECT x.DNO, y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		if got := db.pool.PinnedCount(); got != 0 {
+			t.Fatalf("pinned pages between Next calls = %d, want 0", got)
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no rows streamed")
+	}
+	if got := db.pool.PinnedCount(); got != 0 {
+		t.Fatalf("pinned pages after exhaustion = %d, want 0", got)
+	}
+}
+
+// An abandoned cursor — iteration stopped by context cancellation,
+// then never Closed — must leave zero pinned pages and must not block
+// later mutating statements (which take the statement lock
+// exclusively).
+func TestRowsAbandonedAfterCancel(t *testing.T) {
+	db := openOffice(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := db.QueryRowsContext(ctx, `SELECT x.DNO, y.PNO, z.EMPNO
+		FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("first Next failed:", rows.Err())
+	}
+	cancel()
+	if rows.Next() {
+		t.Fatal("Next succeeded after cancel")
+	}
+	if err := rows.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", err)
+	}
+	// Abandon: no Close. The cursor must hold nothing.
+	if got := db.pool.PinnedCount(); got != 0 {
+		t.Fatalf("pinned pages after abandoned cursor = %d, want 0", got)
+	}
+	// A writer must be able to proceed (no lock held by the cursor).
+	if _, err := db.Exec(`INSERT INTO DEPARTMENTS VALUES (999, 1, {}, 5, {})`); err != nil {
+		t.Fatalf("writer blocked after abandoned cursor: %v", err)
+	}
+}
+
+// Close records the statement's access counters.
+func TestRowsRecordsStats(t *testing.T) {
+	db := openOffice(t)
+	rows, err := db.QueryRows(`SELECT x.DNO FROM x IN DEPARTMENTS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainRows(t, rows)
+	s := db.LastStmtStats()
+	if s.Rows != got.Len() {
+		t.Errorf("LastStmtStats.Rows = %d, want %d", s.Rows, got.Len())
+	}
+	if s.Fetches == 0 || s.Decoded == 0 {
+		t.Errorf("LastStmtStats = %+v, want nonzero Fetches and Decoded", s)
+	}
+}
+
+// EXPLAIN executes the query and reports both the fetch sets and the
+// measured physical access counters.
+func TestExplainReportsPathsAndCounters(t *testing.T) {
+	db := openOffice(t)
+	res, err := db.Exec(`EXPLAIN SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.EQUIP: y.QU > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := res[0].Message
+	for _, want := range []string{"x IN DEPARTMENTS", "fetch", "EQUIP", "pages fetched", "subtuples decoded", "rows 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, msg)
+		}
+	}
+	// The narrow query must not fetch the untouched PROJECTS subtree.
+	if strings.Contains(msg, "PROJECTS") {
+		t.Errorf("EXPLAIN fetch set includes unreferenced PROJECTS:\n%s", msg)
+	}
+}
+
+// --- property test: streamed/pruned == materialized/full ----------------
+
+// genType builds a random nested table type: every level has at least
+// one atomic attribute, inner levels are randomly relations or lists.
+func genType(rnd *rand.Rand, depth int, prefix string) *model.TableType {
+	nAtoms := 1 + rnd.Intn(3)
+	var attrs []model.Attr
+	for i := 0; i < nAtoms; i++ {
+		k := model.KindInt
+		if rnd.Intn(2) == 0 {
+			k = model.KindString
+		}
+		attrs = append(attrs, model.Attr{Name: fmt.Sprintf("%sA%d", prefix, i), Type: model.AtomicType(k)})
+	}
+	if depth > 0 {
+		nSubs := 1 + rnd.Intn(2)
+		for i := 0; i < nSubs; i++ {
+			sub := genType(rnd, depth-1-rnd.Intn(depth), fmt.Sprintf("%sS%d", prefix, i))
+			sub.Ordered = rnd.Intn(3) == 0
+			attrs = append(attrs, model.Attr{Name: fmt.Sprintf("%sS%d", prefix, i), Type: model.Type{Kind: model.KindTable, Table: sub}})
+		}
+	}
+	tt, err := model.NewTableType(false, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return tt
+}
+
+// genTuple builds a random tuple of tt (small subtables, occasional
+// nulls and empties).
+func genTuple(rnd *rand.Rand, tt *model.TableType) model.Tuple {
+	tup := make(model.Tuple, len(tt.Attrs))
+	for i, a := range tt.Attrs {
+		if a.Type.Kind == model.KindTable {
+			n := rnd.Intn(4) // 0 = empty subtable
+			sub := &model.Table{Ordered: a.Type.Table.Ordered}
+			for j := 0; j < n; j++ {
+				sub.Append(genTuple(rnd, a.Type.Table))
+			}
+			tup[i] = sub
+			continue
+		}
+		switch {
+		case rnd.Intn(10) == 0:
+			tup[i] = model.Null{}
+		case a.Type.Kind == model.KindInt:
+			tup[i] = model.Int(rnd.Intn(100))
+		default:
+			tup[i] = model.Str(fmt.Sprintf("v%d", rnd.Intn(50)))
+		}
+	}
+	return tup
+}
+
+// genQueries derives a handful of queries from a random schema: full
+// retrieval, narrow projections, COUNT, EXISTS over a subtable, and
+// iteration into the first subtable.
+func genQueries(tt *model.TableType) []string {
+	var atomName, subName, subAtom string
+	for _, a := range tt.Attrs {
+		if a.Type.Kind != model.KindTable && atomName == "" {
+			atomName = a.Name
+		}
+		if a.Type.Kind == model.KindTable && subName == "" {
+			subName = a.Name
+			for _, sa := range a.Type.Table.Attrs {
+				if sa.Type.Kind != model.KindTable {
+					subAtom = sa.Name
+					break
+				}
+			}
+		}
+	}
+	qs := []string{
+		`SELECT * FROM x IN T`,
+		fmt.Sprintf(`SELECT x.%s FROM x IN T`, atomName),
+		fmt.Sprintf(`SELECT DISTINCT x.%s FROM x IN T ORDER BY x.%s`, atomName, atomName),
+	}
+	if subName != "" {
+		qs = append(qs,
+			fmt.Sprintf(`SELECT x.%s, COUNT(x.%s) AS N FROM x IN T`, atomName, subName),
+			fmt.Sprintf(`SELECT x.%s, y.%s FROM x IN T, y IN x.%s`, atomName, subAtom, subName),
+			fmt.Sprintf(`SELECT x.%s FROM x IN T WHERE EXISTS y IN x.%s: y.%s = y.%s`,
+				atomName, subName, subAtom, subAtom),
+			fmt.Sprintf(`SELECT x.%s, SUB = (SELECT y.%s FROM y IN x.%s) FROM x IN T`,
+				atomName, subAtom, subName),
+		)
+	}
+	return qs
+}
+
+// TestStreamedMatchesMaterializedRandom is the property test: for
+// random nested schemas and data, under each of the three storage
+// structures, every derived query must return the same result through
+// the pruned streaming path as through full-object execution
+// (Executor.FullPaths, the pre-cursor behavior).
+func TestStreamedMatchesMaterializedRandom(t *testing.T) {
+	for _, layout := range []object.Layout{object.SS1, object.SS2, object.SS3} {
+		t.Run(layout.String(), func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(layout) * 7919))
+			for round := 0; round < 5; round++ {
+				tt := genType(rnd, 2, "")
+				db, err := Open(Options{DefaultLayout: layout})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := db.CreateTable("T", tt, TableOptions{}); err != nil {
+					t.Fatal(err)
+				}
+				nTup := 1 + rnd.Intn(6)
+				for i := 0; i < nTup; i++ {
+					if err := db.Insert("T", genTuple(rnd, tt)); err != nil {
+						t.Fatalf("round %d: insert: %v", round, err)
+					}
+				}
+				for _, q := range genQueries(tt) {
+					db.exec.FullPaths = true
+					want, wt, err := db.Query(q)
+					if err != nil {
+						t.Fatalf("round %d, full %q: %v", round, q, err)
+					}
+					db.exec.FullPaths = false
+					rows, err := db.QueryRows(q)
+					if err != nil {
+						t.Fatalf("round %d, pruned %q: %v", round, q, err)
+					}
+					got := drainRows(t, rows)
+					if !wt.Equal(rows.Type()) {
+						t.Errorf("round %d, %q: schema %s vs %s", round, q, rows.Type(), wt)
+					}
+					if !model.TableEqual(got, want) {
+						t.Errorf("round %d, %q (schema %s): pruned streaming differs from full:\n%s\nvs\n%s",
+							round, q, tt, model.FormatTable("pruned", wt, got), model.FormatTable("full", wt, want))
+					}
+					if got := db.pool.PinnedCount(); got != 0 {
+						t.Fatalf("round %d, %q: %d pages left pinned", round, q, got)
+					}
+				}
+				db.Close()
+			}
+		})
+	}
+}
+
+// Two cursors iterating concurrently with a writer mutating the same
+// table must stay internally consistent (run under -race): each row is
+// read under the shared statement lock, so a cursor sees only
+// committed states, though which ones is timing-dependent.
+func TestConcurrentCursorsWithWriter(t *testing.T) {
+	db := openOffice(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				rows, err := db.QueryRows(`SELECT x.DNO, x.BUDGET, COUNT(x.PROJECTS) AS N FROM x IN DEPARTMENTS`)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for rows.Next() {
+					if len(rows.Tuple()) != 3 {
+						errs <- fmt.Errorf("malformed row %v", rows.Tuple())
+						rows.Close()
+						return
+					}
+				}
+				if err := rows.Err(); err != nil {
+					errs <- err
+					return
+				}
+				rows.Close()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			stmt := fmt.Sprintf(`UPDATE x IN DEPARTMENTS SET BUDGET = %d WHERE x.DNO = 314`, 100000+i)
+			if _, err := db.Exec(stmt); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := db.pool.PinnedCount(); got != 0 {
+		t.Fatalf("%d pages left pinned", got)
+	}
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/flat"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+	"repro/internal/subtuple"
+)
+
+// Cursor-based table access: the pull counterpart of ScanTable. A
+// cursor pins buffer pages only inside a single Next call, so an
+// abandoned cursor (one never Closed) holds no pool resources — the
+// pinned-page invariant the statement layer relies on.
+
+// OpenScan implements exec.Runtime: it opens a pull cursor over the
+// table, fetching only the paths in ps of each complex object (nil =
+// full objects; flat tables are one data subtuple and ignore ps).
+func (r *runtime) OpenScan(t *catalog.Table, asof int64, ps *object.PathSet) (exec.ScanCursor, error) {
+	return r.db().OpenScan(t, asof, ps)
+}
+
+// OpenRef implements exec.Runtime.
+func (r *runtime) OpenRef(t *catalog.Table, ref page.TID, asof int64, ps *object.PathSet) (model.Tuple, error) {
+	return r.db().OpenRef(t, ref, asof, ps)
+}
+
+// OpenScan opens a streaming cursor over a table (see runtime.OpenScan).
+func (db *DB) OpenScan(t *catalog.Table, asof int64, ps *object.PathSet) (exec.ScanCursor, error) {
+	if t.Kind == catalog.Flat {
+		fc, err := db.flats[t.Name].NewCursor(asof)
+		if err != nil {
+			return nil, err
+		}
+		return &flatCursor{c: fc}, nil
+	}
+	return &objectCursor{db: db, t: t, m: db.mgrs[t.Name], asof: asof, ps: ps,
+		dir: dirCursor{st: db.stores[t.Seg], cur: t.DirHead, asof: asof}}, nil
+}
+
+// OpenRef reads one tuple by reference, pruned to ps.
+func (db *DB) OpenRef(t *catalog.Table, ref page.TID, asof int64, ps *object.PathSet) (model.Tuple, error) {
+	if t.Kind == catalog.Flat {
+		return db.ReadRef(t, ref, asof)
+	}
+	return db.mgrs[t.Name].ReadPruned(t.Type, ref, asof, ps)
+}
+
+// flatCursor adapts a flat-store cursor to exec.ScanCursor.
+type flatCursor struct {
+	c *flat.Cursor
+}
+
+func (fc *flatCursor) Next() (page.TID, model.Tuple, bool, error) { return fc.c.Next() }
+func (fc *flatCursor) Close() error                               { return fc.c.Close() }
+
+// objectCursor streams the complex objects of a table: a lazy walk of
+// the directory chunk chain supplies the roots, each fetched pruned.
+// Because the statement lock may be released between Next calls (the
+// public Rows cursor acquires it per call), an object listed in a
+// chunk can vanish before it is read; such objects are skipped —
+// read-committed-per-row semantics.
+type objectCursor struct {
+	db   *DB
+	t    *catalog.Table
+	m    *object.Manager
+	asof int64
+	ps   *object.PathSet
+	dir  dirCursor
+}
+
+func (oc *objectCursor) Next() (page.TID, model.Tuple, bool, error) {
+	for {
+		ref, ok, err := oc.dir.next()
+		if err != nil || !ok {
+			return page.TID{}, nil, false, err
+		}
+		tup, err := oc.m.ReadPruned(oc.t.Type, ref, oc.asof, oc.ps)
+		if err != nil {
+			if oc.asof != 0 || errors.Is(err, subtuple.ErrNotFound) {
+				continue // nonexistent at asof, or deleted since the chunk was read
+			}
+			return page.TID{}, nil, false, err
+		}
+		return ref, tup, true, nil
+	}
+}
+
+func (oc *objectCursor) Close() error {
+	oc.dir.done = true
+	return nil
+}
+
+// dirCursor walks the directory chunk chain lazily, one chunk per
+// load: chunk next pointers never change after creation, so the chain
+// can be followed without holding anything across calls. Objects
+// added after the cursor started (always at a new head chunk) are not
+// seen; removals from an already-read chunk are handled by the
+// caller's skip-on-ErrNotFound.
+type dirCursor struct {
+	st   *subtuple.Store
+	cur  page.TID
+	asof int64
+	refs []page.TID
+	i    int
+	done bool
+}
+
+func (dc *dirCursor) next() (page.TID, bool, error) {
+	for {
+		if dc.done {
+			return page.TID{}, false, nil
+		}
+		if dc.i < len(dc.refs) {
+			r := dc.refs[dc.i]
+			dc.i++
+			return r, true, nil
+		}
+		if dc.cur.Nil() {
+			dc.done = true
+			return page.TID{}, false, nil
+		}
+		if err := dc.loadChunk(); err != nil {
+			return page.TID{}, false, err
+		}
+	}
+}
+
+// loadChunk reads the chunk at dc.cur and advances the chain,
+// mirroring dirScan's ASOF handling: a chunk that did not exist at
+// asof still has its (immutable) next pointer followed, but its refs
+// are skipped.
+func (dc *dirCursor) loadChunk() error {
+	var raw []byte
+	var err error
+	skip := false
+	if dc.asof != 0 {
+		var ok bool
+		raw, ok, err = dc.st.ReadAsOf(dc.cur, dc.asof)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			raw, err = dc.st.Read(dc.cur)
+			if err != nil {
+				return err
+			}
+			skip = true
+		}
+	} else {
+		raw, err = dc.st.Read(dc.cur)
+		if err != nil {
+			return err
+		}
+	}
+	next, refs, err := decodeDirChunk(raw)
+	if err != nil {
+		return err
+	}
+	dc.cur = next
+	dc.i = 0
+	if skip {
+		dc.refs = nil
+	} else {
+		dc.refs = refs
+	}
+	return nil
+}
+
+// --- per-statement access statistics ------------------------------------
+
+// StmtStats are the physical access counters of one statement: buffer
+// pool activity plus the number of subtuples decoded. They make the
+// projection-pushdown win observable per query (EXPLAIN prints them).
+type StmtStats struct {
+	// Fetches is the number of page pin requests (logical accesses).
+	Fetches uint64
+	// Hits is how many fetches were served from the pool.
+	Hits uint64
+	// Reads is the number of physical page reads.
+	Reads uint64
+	// Decoded is the number of subtuple records decoded.
+	Decoded uint64
+	// Rows is the number of result rows produced (queries only).
+	Rows int
+}
+
+func (s StmtStats) String() string {
+	return fmt.Sprintf("pages fetched %d (hits %d, physical reads %d), subtuples decoded %d, rows %d",
+		s.Fetches, s.Hits, s.Reads, s.Decoded, s.Rows)
+}
+
+// statsMark is a snapshot of the cumulative counters at a point in
+// time; subtracting two marks yields a StmtStats delta.
+type statsMark struct {
+	fetches, hits, reads, decoded uint64
+}
+
+// mark snapshots the cumulative access counters.
+func (db *DB) mark() statsMark {
+	bs := db.pool.Stats()
+	return statsMark{fetches: bs.Fetches, hits: bs.Hits, reads: bs.Reads, decoded: db.DecodeCount()}
+}
+
+// since computes the per-statement counters accumulated after m.
+func (db *DB) since(m statsMark) StmtStats {
+	n := db.mark()
+	return StmtStats{
+		Fetches: n.fetches - m.fetches,
+		Hits:    n.hits - m.hits,
+		Reads:   n.reads - m.reads,
+		Decoded: n.decoded - m.decoded,
+	}
+}
+
+// DecodeCount sums the subtuple records decoded across all stores
+// since the engine was opened.
+func (db *DB) DecodeCount() uint64 {
+	var n uint64
+	for _, st := range db.stores {
+		n += st.DecodeCount()
+	}
+	return n
+}
+
+// noteStmtStats records the counters of the most recently finished
+// statement (retrievable with LastStmtStats).
+func (db *DB) noteStmtStats(s StmtStats) {
+	db.statsMu.Lock()
+	db.lastStmt = s
+	db.statsMu.Unlock()
+}
+
+// LastStmtStats returns the access counters of the most recently
+// completed statement (for queries consumed through a Rows cursor,
+// the statement completes at Close).
+func (db *DB) LastStmtStats() StmtStats {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.lastStmt
+}

@@ -9,7 +9,6 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/model"
 	"repro/internal/object"
-	"repro/internal/plan"
 	"repro/internal/sql"
 )
 
@@ -106,6 +105,7 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 			db.stmtMu.RUnlock()
 			return Result{}, err
 		}
+		start := db.mark()
 		res, err := db.runStmt(ctx, st, text)
 		db.stmtMu.RUnlock()
 		var pe *PanicError
@@ -117,6 +117,11 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 			err = db.abortOn(err)
 			db.stmtMu.Unlock()
 		}
+		if err == nil {
+			s := db.since(start)
+			s.Rows = res.Count
+			db.noteStmtStats(s)
+		}
 		return res, err
 	}
 	db.stmtMu.Lock()
@@ -124,6 +129,7 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 	if err := db.fatalErr; err != nil {
 		return Result{}, err
 	}
+	start := db.mark()
 	res, err := db.runStmt(ctx, st, text)
 	if err == nil {
 		// A failed commit aborts the statement like any other error:
@@ -136,6 +142,9 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 	if err != nil {
 		return Result{}, db.abortOn(err)
 	}
+	s := db.since(start)
+	s.Rows = res.Count
+	db.noteStmtStats(s)
 	return res, nil
 }
 
@@ -216,7 +225,7 @@ func (db *DB) execStmtLocked(ctx context.Context, st sql.Statement) (Result, err
 		}
 		return Result{Message: fmt.Sprintf("table %s altered", st.Table)}, nil
 	case *sql.Explain:
-		return db.explain(st.Sel)
+		return db.explain(ctx, st.Sel)
 	case *sql.ShowTables:
 		tt := model.MustTableType(false,
 			model.Attr{Name: "NAME", Type: model.AtomicType(model.KindString)},
@@ -246,25 +255,36 @@ func (db *DB) execStmtLocked(ctx context.Context, st sql.Statement) (Result, err
 	return Result{}, fmt.Errorf("engine: unsupported statement %T", st)
 }
 
-// explain reports the access path per FROM item of a query.
-func (db *DB) explain(sel *sql.Select) (Result, error) {
-	cands := plan.Choose(sel, (*runtime)(db))
+// explain reports the access path and fetch set per FROM item of a
+// query, then actually runs it through the streaming cursor (results
+// discarded) and appends the measured physical access counters —
+// pages fetched, buffer hits, physical reads, subtuples decoded.
+func (db *DB) explain(ctx context.Context, sel *sql.Select) (Result, error) {
+	start := db.mark()
+	cur, err := db.exec.OpenQuery(ctx, sel)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cur.Close()
+	rows := 0
+	for {
+		_, ok, err := cur.Next()
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			break
+		}
+		rows++
+	}
+	cur.Close()
+	stats := db.since(start)
+	stats.Rows = rows
 	var b strings.Builder
-	for i, fi := range sel.From {
-		source := fi.Source.Table
-		if source == "" {
-			source = fi.Source.Path.String()
-		}
-		fmt.Fprintf(&b, "%s IN %s: ", fi.Var, source)
-		switch {
-		case fi.Source.Table == "":
-			b.WriteString("iterate subtable of outer binding")
-		case cands[i] != nil:
-			fmt.Fprintf(&b, "%s -> %d candidate object(s)", cands[i].Why, len(cands[i].Refs))
-		default:
-			b.WriteString("full table scan")
-		}
+	for _, line := range cur.AccessPlan() {
+		b.WriteString(line)
 		b.WriteByte('\n')
 	}
-	return Result{Message: strings.TrimRight(b.String(), "\n")}, nil
+	b.WriteString(stats.String())
+	return Result{Message: b.String(), Count: rows}, nil
 }

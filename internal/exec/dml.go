@@ -121,7 +121,7 @@ func (e *Executor) ExecInsert(ctx context.Context, ins *sql.Insert) (int, error)
 	}
 	var targets []target
 	scope := newEnv(nil)
-	err := e.forEach(ctx, ins.From, 0, scope, nil, func() error {
+	err := e.forEach(ctx, ins.From, scope, nil, func() error {
 		if ins.Where != nil {
 			ok, err := e.evalCond(ins.Where, scope)
 			if err != nil {
@@ -195,7 +195,7 @@ func (e *Executor) ExecDelete(ctx context.Context, del *sql.Delete) (int, error)
 	}
 	var victims []victim
 	scope := newEnv(nil)
-	err := e.forEach(ctx, del.From, 0, scope, nil, func() error {
+	err := e.forEach(ctx, del.From, scope, nil, func() error {
 		if del.Where != nil {
 			ok, err := e.evalCond(del.Where, scope)
 			if err != nil {
@@ -266,7 +266,7 @@ func (e *Executor) ExecUpdate(ctx context.Context, upd *sql.Update) (int, error)
 	}
 	var changes []change
 	scope := newEnv(nil)
-	err := e.forEach(ctx, upd.From, 0, scope, nil, func() error {
+	err := e.forEach(ctx, upd.From, scope, nil, func() error {
 		if upd.Where != nil {
 			ok, err := e.evalCond(upd.Where, scope)
 			if err != nil {

@@ -33,6 +33,14 @@ type Runtime interface {
 	ScanTable(t *catalog.Table, asof int64, fn func(ref page.TID, tup model.Tuple) error) error
 	// ReadRef materializes one tuple by reference.
 	ReadRef(t *catalog.Table, ref page.TID, asof int64) (model.Tuple, error)
+	// OpenScan opens a pull cursor over a stored table that fetches
+	// only the paths in ps (nil = everything) of each object. The
+	// cursor must hold no buffer pages between calls, so abandoning it
+	// leaks nothing.
+	OpenScan(t *catalog.Table, asof int64, ps *object.PathSet) (ScanCursor, error)
+	// OpenRef reads one tuple by reference, fetching only the paths in
+	// ps (nil = everything).
+	OpenRef(t *catalog.Table, ref page.TID, asof int64, ps *object.PathSet) (model.Tuple, error)
 	// Indexes returns the live value indexes of a table.
 	Indexes(table string) []*index.Index
 	// TextIndexes returns the live text indexes of a table.
@@ -58,6 +66,14 @@ type Runtime interface {
 	TName(t *catalog.Table, ref page.TID, steps []object.Step) (string, error)
 }
 
+// ScanCursor is a pull iterator over a stored table, produced by
+// Runtime.OpenScan. Next returns false when the scan is exhausted;
+// implementations pin buffer pages only inside a single Next call.
+type ScanCursor interface {
+	Next() (page.TID, model.Tuple, bool, error)
+	Close() error
+}
+
 // Candidates restricts the scan of one FROM item to a pre-computed
 // reference list (produced by the planner from index information).
 type Candidates struct {
@@ -76,6 +92,11 @@ type Executor struct {
 	Plan Planner // optional
 	// Trace, when non-nil, receives access-path decisions.
 	Trace func(msg string)
+	// FullPaths disables projection pushdown: every stored object is
+	// fetched completely, as the pre-cursor executor did. It exists as
+	// a verification aid (the property tests compare pruned against
+	// full execution) and as an escape hatch.
+	FullPaths bool
 }
 
 // New creates an executor over a runtime.

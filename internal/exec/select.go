@@ -2,16 +2,13 @@ package exec
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/model"
 	"repro/internal/object"
 	"repro/internal/page"
 	"repro/internal/sql"
-	"repro/internal/subtuple"
 )
 
 // Query evaluates a top-level select and returns the result table
@@ -25,177 +22,50 @@ func (e *Executor) Query(ctx context.Context, sel *sql.Select) (*model.Table, *m
 	return e.selectIn(ctx, sel, newEnv(nil), true)
 }
 
-// selectIn evaluates a select block in an outer environment.
-// planning enables index access paths (only sensible for blocks over
-// stored tables).
+// selectIn evaluates a select block in an outer environment by
+// opening a streaming cursor and draining it. planning enables index
+// access paths (only sensible for blocks over stored tables).
 func (e *Executor) selectIn(ctx context.Context, sel *sql.Select, outer *env, planning bool) (*model.Table, *model.TableType, error) {
-	resultType, err := e.inferSelect(sel, typeEnvFrom(outer))
+	c, err := e.openCursor(ctx, sel, outer, planning)
 	if err != nil {
 		return nil, nil, err
 	}
-	var cands map[int]*Candidates
-	if planning && e.Plan != nil {
-		cands = e.Plan(sel, e.RT)
-		if e.Trace != nil {
-			for i, c := range cands {
-				if c != nil {
-					e.Trace(fmt.Sprintf("from item %d (%s): %s (%d candidates)", i, sel.From[i].Var, c.Why, len(c.Refs)))
-				}
-			}
-		}
-	}
-	out := &model.Table{Ordered: resultType.Ordered}
-	type keyed struct {
-		tup  model.Tuple
-		keys []model.Value
-	}
-	var rows []keyed
-	scope := newEnv(outer)
-	err = e.forEach(ctx, sel.From, 0, scope, cands, func() error {
-		if sel.Where != nil {
-			ok, err := e.evalCond(sel.Where, scope)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		tup, err := e.buildResult(ctx, sel, resultType, scope)
+	defer c.Close()
+	out := &model.Table{Ordered: c.tt.Ordered}
+	for {
+		tup, ok, err := c.Next()
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		k := keyed{tup: tup}
-		for _, ob := range sel.OrderBy {
-			v, err := e.evalExpr(ob.Expr, scope)
-			if err != nil {
-				return err
-			}
-			a, err := v.asAtom()
-			if err != nil {
-				return err
-			}
-			k.keys = append(k.keys, a)
+		if !ok {
+			return out, c.tt, nil
 		}
-		rows = append(rows, k)
-		return nil
-	})
-	if err != nil {
-		return nil, nil, err
+		out.Append(tup)
 	}
-	if len(sel.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(rows, func(i, j int) bool {
-			for k, ob := range sel.OrderBy {
-				c, err := model.Compare(rows[i].keys[k], rows[j].keys[k])
-				if err != nil {
-					sortErr = err
-					return false
-				}
-				if c != 0 {
-					if ob.Desc {
-						return c > 0
-					}
-					return c < 0
-				}
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, nil, sortErr
-		}
-	}
-	seen := make(map[string]bool)
-	for _, r := range rows {
-		if sel.Distinct {
-			key := model.CanonicalTuple(r.tup)
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-		}
-		out.Append(r.tup)
-	}
-	return out, resultType, nil
 }
 
 // forEach performs the nested-loop binding of range variables: "a
 // good mental model ... is to associate them with a loop which runs
-// over all tuples of the relation they are bound to" (§3). The
-// context is checked on every entry — once per tuple binding — so a
-// cancelled scan stops within one tuple's worth of work, with no
-// pages left pinned (scan callbacks run with their page unpinned).
-func (e *Executor) forEach(ctx context.Context, items []sql.FromItem, i int, scope *env, cands map[int]*Candidates, body func() error) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if i == len(items) {
-		return body()
-	}
-	it := items[i]
-	asof := int64(0)
-	if it.AsOf != nil {
-		lit, ok := it.AsOf.(*sql.Literal)
-		if !ok {
-			return fmt.Errorf("exec: ASOF requires a literal timestamp")
-		}
-		var err error
-		asof, err = e.RT.ParseTime(lit.Val)
+// over all tuples of the relation they are bound to" (§3). It pulls
+// complete bindings from a pipeline (full object reads — DML callers
+// mutate through the bindings) and invokes body once per binding. The
+// context is checked once per binding, so a cancelled scan stops
+// within one tuple's worth of work, with no pages left pinned.
+func (e *Executor) forEach(ctx context.Context, items []sql.FromItem, scope *env, cands map[int]*Candidates, body func() error) error {
+	p := newPipeline(e, ctx, items, scope, cands, nil)
+	defer p.close()
+	for {
+		ok, err := p.next()
 		if err != nil {
 			return err
 		}
-	}
-	if it.Source.Table != "" {
-		t, ok := e.RT.Table(it.Source.Table)
 		if !ok {
-			return fmt.Errorf("exec: unknown table %q", it.Source.Table)
-		}
-		if asof != 0 && !t.Versioned {
-			return fmt.Errorf("exec: table %q is not versioned; ASOF unavailable", t.Name)
-		}
-		visit := func(ref page.TID, tup model.Tuple) error {
-			scope.bind(it.Var, &binding{tt: t.Type, tup: tup, tbl: t, ref: ref, asof: asof})
-			return e.forEach(ctx, items, i+1, scope, cands, body)
-		}
-		if c := cands[i]; c != nil {
-			for _, ref := range c.Refs {
-				tup, err := e.RT.ReadRef(t, ref, asof)
-				if err != nil {
-					if errors.Is(err, subtuple.ErrNotFound) {
-						continue // candidate vanished between planning and execution
-					}
-					return err
-				}
-				if err := visit(ref, tup); err != nil {
-					return err
-				}
-			}
 			return nil
 		}
-		return e.RT.ScanTable(t, asof, visit)
-	}
-	// Path source: a table-valued attribute of an outer variable.
-	tbl, memberType, prov, err := e.evalFromPath(it.Source.Path, scope)
-	if err != nil {
-		return err
-	}
-	if tbl == nil {
-		return nil // null subtable: no bindings
-	}
-	for pos, tup := range tbl.Tuples {
-		b := &binding{tt: memberType, tup: tup}
-		if prov != nil {
-			b.tbl = prov.tbl
-			b.ref = prov.ref
-			b.steps = append(append([]object.Step(nil), prov.steps...), object.Step{Attr: prov.attr, Pos: pos})
-			b.asof = prov.asof
-		}
-		scope.bind(it.Var, b)
-		if err := e.forEach(ctx, items, i+1, scope, cands, body); err != nil {
+		if err := body(); err != nil {
 			return err
 		}
 	}
-	return nil
 }
 
 // provenance describes where a FROM path's members live inside a

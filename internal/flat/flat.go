@@ -109,6 +109,45 @@ func (s *Store) Scan(fn func(tid page.TID, tup model.Tuple) error) error {
 	})
 }
 
+// Cursor streams the table's tuples one Next at a time; pass asof 0
+// for the current state, nonzero for the state at that instant. No
+// buffer pages are held between calls.
+type Cursor struct {
+	s *Store
+	c *subtuple.Cursor
+}
+
+// NewCursor opens a pull cursor over the table (asof 0 = current).
+func (s *Store) NewCursor(asof int64) (*Cursor, error) {
+	var c *subtuple.Cursor
+	var err error
+	if asof != 0 {
+		c, err = s.st.NewAsOfCursor(asof)
+	} else {
+		c, err = s.st.NewCursor()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{s: s, c: c}, nil
+}
+
+// Next returns the next tuple; the boolean is false at end of scan.
+func (c *Cursor) Next() (page.TID, model.Tuple, bool, error) {
+	tid, raw, ok, err := c.c.Next()
+	if err != nil || !ok {
+		return page.TID{}, nil, false, err
+	}
+	tup, err := c.s.decode(raw)
+	if err != nil {
+		return page.TID{}, nil, false, err
+	}
+	return tid, tup, true, nil
+}
+
+// Close releases the cursor (idempotent, never fails).
+func (c *Cursor) Close() error { return c.c.Close() }
+
 // All materializes the whole table.
 func (s *Store) All() (*model.Table, error) {
 	t := &model.Table{Ordered: s.tt.Ordered}

@@ -1,0 +1,249 @@
+package object
+
+import (
+	"strings"
+
+	"repro/internal/model"
+)
+
+// PathSet selects the parts of a complex object a read must
+// materialize. It mirrors the schema tree: a node covers one nesting
+// level, Subs holds the required subtables keyed by attribute index.
+// The zero value (no flags, no subs) requests only the subtable
+// membership of the level — enough to count members and to bind range
+// variables over them — without touching any data subtuple.
+//
+// This is the unit of projection pushdown promised by §4.1: since all
+// structural information lives in MD subtuples and all data in data
+// subtuples, a read guided by a PathSet touches exactly the MD
+// subtuples along the requested paths plus the data subtuples of the
+// levels whose atoms are requested, and leaves every other subtree
+// unread.
+type PathSet struct {
+	// All requests the complete subtree (atoms and every subtable,
+	// recursively). Subs and Atoms are ignored when set.
+	All bool
+	// Atoms requests the atomic attribute values of this level (they
+	// share one data subtuple, so they are fetched together).
+	Atoms bool
+	// Subs holds the required subtables, keyed by the attribute index
+	// of the table-valued attribute. A missing key means the subtable
+	// is not read at all: its members appear as an empty table.
+	Subs map[int]*PathSet
+}
+
+// AllPaths returns a PathSet requesting the complete object — the
+// materialize-everything read.
+func AllPaths() *PathSet { return &PathSet{All: true} }
+
+// allSet is the shared descent node used under an All parent.
+var allSet = &PathSet{All: true}
+
+// Descend returns the sub-PathSet for the table-valued attribute at
+// index attr, creating it if absent. The new node starts as
+// membership-only.
+func (ps *PathSet) Descend(attr int) *PathSet {
+	if ps.All {
+		return allSet
+	}
+	if ps.Subs == nil {
+		ps.Subs = make(map[int]*PathSet)
+	}
+	s := ps.Subs[attr]
+	if s == nil {
+		s = &PathSet{}
+		ps.Subs[attr] = s
+	}
+	return s
+}
+
+// MarkAtoms requests this level's atomic attribute values.
+func (ps *PathSet) MarkAtoms() {
+	if !ps.All {
+		ps.Atoms = true
+	}
+}
+
+// MarkAll requests the complete subtree under this node.
+func (ps *PathSet) MarkAll() {
+	ps.All = true
+	ps.Atoms = false
+	ps.Subs = nil
+}
+
+// Describe renders the set against a schema for EXPLAIN output, e.g.
+// "{atoms, PROJECTS: {MEMBERS: {atoms}}}"; "*" is the full object and
+// "{members}" a membership-only level.
+func (ps *PathSet) Describe(tt *model.TableType) string {
+	if ps == nil {
+		return "{}"
+	}
+	if ps.All {
+		return "*"
+	}
+	var parts []string
+	if ps.Atoms {
+		parts = append(parts, "atoms")
+	}
+	for _, ti := range tt.TableIndexes() {
+		sub, ok := ps.Subs[ti]
+		if !ok {
+			continue
+		}
+		parts = append(parts, tt.Attrs[ti].Name+": "+sub.Describe(tt.Attrs[ti].Type.Table))
+	}
+	if len(parts) == 0 {
+		return "{members}"
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// --- lazy object handle ------------------------------------------------
+
+// lazyNode caches the decoded state of one (sub)object level: its
+// handle, its data subtuple once fetched, and its member nodes per
+// subtable group once the subtable MD has been decoded.
+type lazyNode struct {
+	h       levelHandle
+	atoms   []model.Value       // decoded data subtuple; nil until fetched
+	members map[int][]*lazyNode // group index -> member nodes; nil until fetched
+}
+
+// Lazy is a lazy handle onto one stored complex object: opening it
+// reads only the root MD subtuple; MD subtuples of subtables are
+// decoded on demand and data subtuples are fetched only for the paths
+// a Fetch requests. Decoded structure and data are cached, so staged
+// fetches (predicate paths first, projection paths for surviving
+// objects) never re-decode a subtuple. A Lazy holds no buffer pages
+// between calls — every subtuple access pins and unpins inside the
+// call — so an abandoned handle leaks nothing.
+type Lazy struct {
+	m    *Manager
+	o    *objCtx
+	tt   *model.TableType
+	root *lazyNode
+}
+
+// OpenLazy opens a lazy handle on the object, reading only the root
+// MD subtuple (asof 0 means current state).
+func (m *Manager) OpenLazy(tt *model.TableType, ref Ref, asof int64) (*Lazy, error) {
+	o, body, err := m.loadCtx(ref, asof)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		return nil, err
+	}
+	return &Lazy{m: m, o: o, tt: tt, root: &lazyNode{h: h}}, nil
+}
+
+// Type returns the object's schema.
+func (l *Lazy) Type() *model.TableType { return l.tt }
+
+// Fetch materializes the parts of the object selected by ps into a
+// tuple of the full schema shape. Unrequested atomic attributes read
+// as null and unrequested subtables as empty tables; requested
+// subtable levels carry their true membership. A nil ps fetches the
+// whole object.
+func (l *Lazy) Fetch(ps *PathSet) (model.Tuple, error) {
+	if ps == nil {
+		ps = allSet
+	}
+	return l.fetchLevel(l.root, l.tt, ps)
+}
+
+func (l *Lazy) fetchLevel(n *lazyNode, tt *model.TableType, ps *PathSet) (model.Tuple, error) {
+	var atoms []model.Value
+	if ps.All || ps.Atoms {
+		if n.atoms == nil {
+			a, err := l.o.readAtoms(n.h.d)
+			if err != nil {
+				return nil, err
+			}
+			n.atoms = a
+		}
+		atoms = n.atoms
+	}
+	tis := tt.TableIndexes()
+	subs := make([]*model.Table, len(tis))
+	for gi, ti := range tis {
+		sub := tt.Attrs[ti].Type.Table
+		var sps *PathSet
+		if ps.All {
+			sps = allSet
+		} else {
+			sps = ps.Subs[ti]
+		}
+		if sps == nil {
+			subs[gi] = &model.Table{Ordered: sub.Ordered}
+			continue
+		}
+		ms, err := l.memberNodes(n, sub, gi)
+		if err != nil {
+			return nil, err
+		}
+		tbl := &model.Table{Ordered: sub.Ordered}
+		for _, mn := range ms {
+			var mt model.Tuple
+			if sub.Flat() {
+				if sps.All || sps.Atoms {
+					if mn.atoms == nil {
+						a, err := l.o.readAtoms(mn.h.d)
+						if err != nil {
+							return nil, err
+						}
+						mn.atoms = a
+					}
+					mt, err = assemble(sub, mn.atoms, nil)
+				} else {
+					mt, err = assemble(sub, nil, nil) // membership only: all nulls
+				}
+			} else {
+				mt, err = l.fetchLevel(mn, sub, sps)
+			}
+			if err != nil {
+				return nil, err
+			}
+			tbl.Append(mt)
+		}
+		subs[gi] = tbl
+	}
+	return assemble(tt, atoms, subs)
+}
+
+// memberNodes decodes (once) the member handles of subtable group gi
+// under node n.
+func (l *Lazy) memberNodes(n *lazyNode, sub *model.TableType, gi int) ([]*lazyNode, error) {
+	if ms, ok := n.members[gi]; ok {
+		return ms, nil
+	}
+	hs, err := l.m.memberHandles(l.o, sub, n.h, gi)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]*lazyNode, len(hs))
+	for i := range hs {
+		ms[i] = &lazyNode{h: hs[i]}
+	}
+	if n.members == nil {
+		n.members = make(map[int][]*lazyNode)
+	}
+	n.members[gi] = ms
+	return ms, nil
+}
+
+// ReadPruned materializes only the parts of the object selected by ps
+// (nil ps, or ps.All, reads everything — equivalent to ReadAsOf).
+// This is the path-pruned read the access layer uses for projection
+// and predicate pushdown.
+func (m *Manager) ReadPruned(tt *model.TableType, ref Ref, asof int64, ps *PathSet) (model.Tuple, error) {
+	if ps == nil || ps.All {
+		return m.ReadAsOf(tt, ref, asof)
+	}
+	l, err := m.OpenLazy(tt, ref, asof)
+	if err != nil {
+		return nil, err
+	}
+	return l.Fetch(ps)
+}

@@ -1,0 +1,207 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/testdata"
+)
+
+// pruneTuple is the reference semantics of a PathSet applied to a
+// fully materialized tuple: unrequested atoms become null, unrequested
+// subtables become empty, requested subtables keep their membership.
+func pruneTuple(tt *model.TableType, tup model.Tuple, ps *PathSet) model.Tuple {
+	if ps == nil || ps.All {
+		return tup
+	}
+	out := make(model.Tuple, len(tt.Attrs))
+	for i, a := range tt.Attrs {
+		if a.Type.Kind != model.KindTable {
+			if ps.Atoms {
+				out[i] = tup[i]
+			} else {
+				out[i] = model.Null{}
+			}
+			continue
+		}
+		sub := a.Type.Table
+		sps, ok := ps.Subs[i]
+		if !ok {
+			out[i] = &model.Table{Ordered: sub.Ordered}
+			continue
+		}
+		src := tup[i].(*model.Table)
+		dst := &model.Table{Ordered: sub.Ordered}
+		for _, mt := range src.Tuples {
+			dst.Append(pruneTuple(sub, mt, sps))
+		}
+		out[i] = dst
+	}
+	return out
+}
+
+// Schema indices in DepartmentsType: DNO=0, MGRNO=1, PROJECTS=2,
+// BUDGET=3, EQUIP=4; inside PROJECTS: PNO=0, PNAME=1, MEMBERS=2.
+const (
+	depProjects = 2
+	depEquip    = 4
+	projMembers = 2
+)
+
+func lazyPathSets() map[string]*PathSet {
+	atomsOnly := &PathSet{Atoms: true}
+
+	projAtoms := &PathSet{Atoms: true}
+	projAtoms.Descend(depProjects).MarkAtoms()
+
+	deepOnly := &PathSet{} // MEMBERS atoms, nothing else
+	deepOnly.Descend(depProjects).Descend(projMembers).MarkAtoms()
+
+	membership := &PathSet{} // COUNT(x.EQUIP): membership only
+	membership.Descend(depEquip)
+
+	full := AllPaths()
+
+	return map[string]*PathSet{
+		"root-atoms":       atomsOnly,
+		"projects-atoms":   projAtoms,
+		"members-deep":     deepOnly,
+		"equip-membership": membership,
+		"all":              full,
+	}
+}
+
+func TestReadPrunedMatchesReference(t *testing.T) {
+	tt := testdata.DepartmentsType()
+	depts := testdata.Departments()
+	allLayouts(t, func(t *testing.T, m *Manager) {
+		var refs []Ref
+		for _, tup := range depts.Tuples {
+			ref, err := m.Insert(tt, tup)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, ref)
+		}
+		for name, ps := range lazyPathSets() {
+			for i, ref := range refs {
+				got, err := m.ReadPruned(tt, ref, 0, ps)
+				if err != nil {
+					t.Fatalf("%s: ReadPruned dept %d: %v", name, i, err)
+				}
+				want := pruneTuple(tt, depts.Tuples[i], ps)
+				if !model.TupleEqual(got, want) {
+					t.Errorf("%s: dept %d mismatch:\n got %v\nwant %v", name, i, got, want)
+				}
+			}
+		}
+	})
+}
+
+// TestReadPrunedFewerFetches asserts the point of the exercise: a
+// narrow read performs strictly fewer buffer fetches (pins) than full
+// materialization, under every layout.
+func TestReadPrunedFewerFetches(t *testing.T) {
+	tt := testdata.DepartmentsType()
+	depts := testdata.Departments()
+	for _, l := range []Layout{SS1, SS2, SS3} {
+		t.Run(l.String(), func(t *testing.T) {
+			st, pool := newTestStore(t, false)
+			m := NewManager(st, l)
+			var refs []Ref
+			for _, tup := range depts.Tuples {
+				ref, err := m.Insert(tt, tup)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refs = append(refs, ref)
+			}
+			narrow := &PathSet{Atoms: true} // SELECT x.DNO equivalent
+			pool.ResetStats()
+			for _, ref := range refs {
+				if _, err := m.Read(tt, ref); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fullFetches := pool.Stats().Fetches
+			pool.ResetStats()
+			for _, ref := range refs {
+				if _, err := m.ReadPruned(tt, ref, 0, narrow); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prunedFetches := pool.Stats().Fetches
+			if prunedFetches >= fullFetches {
+				t.Errorf("pruned read fetched %d pages, full read %d — want strictly fewer", prunedFetches, fullFetches)
+			}
+		})
+	}
+}
+
+// TestLazyStagedFetch exercises the cursor usage pattern: fetch the
+// predicate's paths first, then widen to the projection's paths on the
+// same handle. The second fetch must not re-decode what the first one
+// already read, and both results must match the reference pruning.
+func TestLazyStagedFetch(t *testing.T) {
+	tt := testdata.DepartmentsType()
+	dept := testdata.Departments().Tuples[0]
+	allLayouts(t, func(t *testing.T, m *Manager) {
+		ref, err := m.Insert(tt, dept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := m.OpenLazy(tt, ref, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		narrow := &PathSet{Atoms: true}
+		got, err := l.Fetch(narrow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := pruneTuple(tt, dept, narrow); !model.TupleEqual(got, want) {
+			t.Errorf("narrow fetch mismatch:\n got %v\nwant %v", got, want)
+		}
+
+		pool := m.st.Pool()
+		pool.ResetStats()
+		if _, err := l.Fetch(narrow); err != nil {
+			t.Fatal(err)
+		}
+		if f := pool.Stats().Fetches; f != 0 {
+			t.Errorf("re-fetch of cached paths performed %d page fetches, want 0", f)
+		}
+
+		wide := &PathSet{Atoms: true}
+		wide.Descend(depProjects).MarkAtoms()
+		got, err = l.Fetch(wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := pruneTuple(tt, dept, wide); !model.TupleEqual(got, want) {
+			t.Errorf("widened fetch mismatch:\n got %v\nwant %v", got, want)
+		}
+		full, err := l.Fetch(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !model.TupleEqual(full, dept) {
+			t.Errorf("full fetch mismatch:\n got %v\nwant %v", full, dept)
+		}
+	})
+}
+
+func TestPathSetDescribe(t *testing.T) {
+	tt := testdata.DepartmentsType()
+	ps := &PathSet{Atoms: true}
+	ps.Descend(depProjects).Descend(projMembers).MarkAtoms()
+	ps.Descend(depEquip)
+	got := ps.Describe(tt)
+	want := "{atoms, PROJECTS: {MEMBERS: {atoms}}, EQUIP: {members}}"
+	if got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+	if s := AllPaths().Describe(tt); s != "*" {
+		t.Errorf("AllPaths().Describe = %q, want *", s)
+	}
+}

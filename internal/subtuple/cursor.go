@@ -1,0 +1,133 @@
+package subtuple
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+// Cursor is the pull-based form of Scan/ScanAsOf: it streams every
+// current subtuple of the segment one Next at a time, in the same
+// order and under the same TIDs as Scan. Pages are pinned only inside
+// a single Next call — the cursor buffers the (copied) records of one
+// page at a time — so an abandoned cursor holds no buffer resources
+// and Close is a plain bookkeeping call.
+type Cursor struct {
+	s      *Store
+	asof   int64
+	isAsOf bool // ASOF mode: resolve each record through its version chain
+
+	count  uint32 // segment page count at open
+	pg     uint32 // next page to load
+	items  []cursorItem
+	i      int
+	closed bool
+}
+
+type cursorItem struct {
+	tid page.TID
+	raw []byte // current-state mode: copied raw record, decoded on demand
+}
+
+// NewCursor opens a cursor over the current state of the segment.
+func (s *Store) NewCursor() (*Cursor, error) {
+	st := s.pool.Store(s.seg)
+	if st == nil {
+		return nil, fmt.Errorf("subtuple: segment %d not registered", s.seg)
+	}
+	return &Cursor{s: s, count: st.PageCount(), pg: 1}, nil
+}
+
+// NewAsOfCursor opens a cursor over the segment as of instant ts:
+// like ScanAsOf it visits tombstoned records (they may have been alive
+// at ts) and resolves each through its version chain.
+func (s *Store) NewAsOfCursor(ts int64) (*Cursor, error) {
+	c, err := s.NewCursor()
+	if err != nil {
+		return nil, err
+	}
+	c.asof, c.isAsOf = ts, true
+	return c, nil
+}
+
+// Next returns the next subtuple. The boolean is false when the scan
+// is exhausted (or the cursor closed); the payload is only valid until
+// the next call.
+func (c *Cursor) Next() (page.TID, []byte, bool, error) {
+	for {
+		if c.closed {
+			return page.TID{}, nil, false, nil
+		}
+		for c.i < len(c.items) {
+			it := c.items[c.i]
+			c.i++
+			if c.isAsOf {
+				data, ok, err := c.s.ReadAsOf(it.tid, c.asof)
+				if err != nil {
+					return page.TID{}, nil, false, err
+				}
+				if !ok {
+					continue
+				}
+				return it.tid, data, true, nil
+			}
+			d, err := c.s.decode(it.raw)
+			if err != nil {
+				return page.TID{}, nil, false, err
+			}
+			return it.tid, d.payload, true, nil
+		}
+		if c.pg > c.count {
+			c.closed = true
+			return page.TID{}, nil, false, nil
+		}
+		if err := c.loadPage(); err != nil {
+			return page.TID{}, nil, false, err
+		}
+	}
+}
+
+// loadPage pins the next page, copies out its current records
+// (current-state mode) or their slot numbers (ASOF mode), and unpins
+// before returning.
+func (c *Cursor) loadPage() error {
+	pg := c.pg
+	c.pg++
+	c.items = c.items[:0]
+	c.i = 0
+	f, err := c.s.pool.Pin(buffer.PageKey{Seg: c.s.seg, Page: pg})
+	if err != nil {
+		return err
+	}
+	defer c.s.pool.Unpin(f, false)
+	n := f.Page.NumSlots()
+	for sl := 0; sl < n; sl++ {
+		rec, err := f.Page.Read(uint16(sl))
+		if err != nil {
+			continue
+		}
+		if c.isAsOf {
+			if rec[0]&(fFwd|fChunk|fOld) != 0 {
+				continue
+			}
+			c.items = append(c.items, cursorItem{tid: page.TID{Page: pg, Slot: uint16(sl)}})
+			continue
+		}
+		if rec[0]&(fFwd|fChunk|fOld|fTomb) != 0 {
+			continue
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		c.items = append(c.items, cursorItem{tid: page.TID{Page: pg, Slot: uint16(sl)}, raw: cp})
+	}
+	return nil
+}
+
+// Close releases the cursor. It is idempotent; the cursor holds no
+// buffer pages between calls, so this never fails.
+func (c *Cursor) Close() error {
+	c.closed = true
+	c.items = nil
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/page"
@@ -57,6 +58,8 @@ type Store struct {
 	mu         sync.Mutex
 	hint       uint32   // last page that accepted an insert
 	candidates []uint32 // pages known to have reclaimed space
+
+	nDecoded atomic.Uint64 // records decoded since store creation
 }
 
 // Config configures a Store.
@@ -92,6 +95,11 @@ func (s *Store) Segment() segment.ID { return s.seg }
 
 // Versioned reports whether the store keeps history.
 func (s *Store) Versioned() bool { return s.versioned }
+
+// DecodeCount returns the number of subtuple records decoded since
+// the store was created. The counter only grows; callers snapshot it
+// around a statement to obtain per-statement figures.
+func (s *Store) DecodeCount() uint64 { return s.nDecoded.Load() }
 
 // now returns the version timestamp for the current operation.
 func (s *Store) now() int64 { return s.clock() }
@@ -298,6 +306,7 @@ func (s *Store) decode(rec []byte) (*decoded, error) {
 	if len(rec) == 0 {
 		return nil, fmt.Errorf("subtuple: empty record")
 	}
+	s.nDecoded.Add(1)
 	d := &decoded{flags: rec[0]}
 	p := rec[1:]
 	if d.flags&fVer != 0 {
