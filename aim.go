@@ -42,9 +42,11 @@ import (
 	"context"
 
 	"repro/internal/buffer"
+	"repro/internal/dberr"
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/object"
+	"repro/internal/scrub"
 	"repro/internal/tname"
 )
 
@@ -331,3 +333,40 @@ type TName = tname.Name
 
 // DecodeTName parses a tuple-name token produced by TName.Encode.
 func DecodeTName(token string) (TName, error) { return tname.Decode(token) }
+
+// --- corruption detection and containment --------------------------------
+
+// ErrCorrupt is the shared corruption sentinel: every error caused by
+// a damaged durable structure — failed page checksum, undecodable
+// subtuple, broken Mini-Directory — wraps it, so errors.Is(err,
+// ErrCorrupt) classifies faults across all storage layers.
+var ErrCorrupt = dberr.ErrCorrupt
+
+// ErrObjectQuarantined is the sentinel matched by errors.Is when a
+// statement touches a quarantined object. The concrete error is a
+// *QuarantineError naming the table and object.
+var ErrObjectQuarantined = engine.ErrQuarantined
+
+// QuarantineError reports the quarantined object a statement touched.
+type QuarantineError = engine.QuarantineError
+
+// Quarantined lists the currently quarantined objects.
+func (db *DB) Quarantined() []*QuarantineError { return db.eng.Quarantined() }
+
+// DegradedIndexes lists the out-of-service indexes (name -> reason).
+// A degraded index is invisible to the planner; queries fall back to
+// base-table scans until aimdoctor rebuilds it.
+func (db *DB) DegradedIndexes() map[string]string { return db.eng.DegradedIndexes() }
+
+// ScrubReport is the machine-readable result of a scrub run.
+type ScrubReport = scrub.Report
+
+// ScrubOptions configures a scrub run.
+type ScrubOptions = scrub.Options
+
+// Scrub audits the database online: every durable page, object
+// directory, Mini-Directory tree, flat tuple, and index is
+// cross-checked and each fault reported as a typed finding. With
+// Quarantine set, broken objects are quarantined and diverging
+// indexes taken out of service.
+func (db *DB) Scrub(opts ScrubOptions) (*ScrubReport, error) { return scrub.Run(db.eng, opts) }

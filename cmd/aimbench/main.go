@@ -26,6 +26,7 @@ func main() {
 	run := flag.String("run", "", "single artifact id (T1..T8, F1..F8)")
 	experimentsOnly := flag.Bool("experiments", false, "run only the quantitative experiments")
 	scale := flag.Int("scale", 1, "workload scale factor for the experiments")
+	dir := flag.String("dir", "", "materialize the office database on disk at this directory after the run (inspect it with aimdoctor)")
 	flag.Parse()
 
 	if *run != "" {
@@ -33,6 +34,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aimbench:", err)
 			os.Exit(1)
 		}
+		materialize(*dir)
 		return
 	}
 	if !*experimentsOnly {
@@ -47,6 +49,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aimbench:", err)
 		os.Exit(1)
 	}
+	materialize(*dir)
+}
+
+// materialize writes the office database to disk at dir (when set) so
+// post-run tooling — aimdoctor scan/verify in particular — has a real
+// bench-produced database to work on.
+func materialize(dir string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "aimbench: materialize:", err)
+		os.Exit(1)
+	}
+	db, err := core.OfficeAt(dir)
+	if err == nil {
+		err = db.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aimbench: materialize:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\noffice database written to %s (try: aimdoctor -dir %s verify)\n", dir, dir)
 }
 
 // runOne regenerates a single paper artifact and writes its report.

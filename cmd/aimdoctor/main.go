@@ -1,0 +1,71 @@
+// Command aimdoctor audits and repairs an AIM-II database directory.
+//
+// Usage:
+//
+//	aimdoctor -dir DB scan      # quick structural audit (pages, objects)
+//	aimdoctor -dir DB verify    # full audit incl. index cross-checks
+//	aimdoctor -dir DB repair    # repair: WAL redo, salvage, amputate
+//	aimdoctor -dir DB -json verify
+//
+// The exit status is 0 when the database is healthy (after repair, in
+// repair mode), 1 when problems remain, 2 on usage or I/O errors.
+// With -json the machine-readable report is written to stdout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/doctor"
+	"repro/internal/engine"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (required)")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: aimdoctor -dir DB [-json] {scan|verify|repair}")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	mode := flag.Arg(0)
+	if *dir == "" || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := engine.Options{Dir: *dir}
+
+	var rep *doctor.Report
+	var err error
+	switch mode {
+	case "scan":
+		rep, err = doctor.Scan(opts)
+	case "verify":
+		rep, err = doctor.Verify(opts)
+	case "repair":
+		rep, err = doctor.Repair(opts)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aimdoctor:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "aimdoctor:", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Print(doctor.FormatText(rep))
+	}
+	if !rep.Healthy {
+		os.Exit(1)
+	}
+}

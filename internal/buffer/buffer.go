@@ -7,10 +7,10 @@ package buffer
 
 import (
 	"container/list"
-	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/dberr"
 	"repro/internal/page"
 	"repro/internal/segment"
 )
@@ -50,6 +50,14 @@ type Pool struct {
 	frames   map[PageKey]*Frame
 	lru      *list.List // front = most recently used; only unpinned frames
 	stats    Stats
+	// sealed records every page known to hold a sealed (checksummed)
+	// image on its backing store: pages this pool wrote back plus pages
+	// recovery proved to hold committed data (MarkSealed). A verified
+	// read of such a page that comes back all-zero/unsealed is
+	// corruption (zeroed rot), not a fresh page — without this record
+	// the zeroed image would be indistinguishable from a page that was
+	// never written.
+	sealed map[PageKey]struct{}
 
 	// FlushHook, when set, runs before a dirty frame is written back;
 	// the WAL uses it to enforce the write-ahead rule.
@@ -66,6 +74,7 @@ func NewPool(capacity int) *Pool {
 		stores:   make(map[segment.ID]segment.Store),
 		frames:   make(map[PageKey]*Frame),
 		lru:      list.New(),
+		sealed:   make(map[PageKey]struct{}),
 	}
 }
 
@@ -112,9 +121,12 @@ func (p *Pool) Allocate(id segment.ID) (uint32, error) {
 
 // ErrCorrupt reports a page image that failed checksum verification
 // when read from its backing store — the signature of a torn write at
-// a crash. Recovery reformats such pages and rebuilds them from the
-// log.
-var ErrCorrupt = errors.New("buffer: page checksum mismatch (torn write)")
+// a crash, of bit rot, or of a lost or misdirected write. It wraps the
+// cross-layer dberr.ErrCorrupt sentinel, so errors.Is classifies it as
+// corruption anywhere in the stack. Recovery reformats such pages and
+// rebuilds them from the log; outside recovery the engine quarantines
+// the object that needed the page.
+var ErrCorrupt = fmt.Errorf("buffer: page failed verification: %w", dberr.ErrCorrupt)
 
 // Pin fetches the page into a frame and pins it. Every Pin must be
 // matched by an Unpin.
@@ -151,9 +163,17 @@ func (p *Pool) pin(key PageKey, verify bool) (*Frame, error) {
 		p.releaseFrameLocked(f)
 		return nil, err
 	}
-	if verify && !f.Page.ChecksumOK() {
-		p.releaseFrameLocked(f)
-		return nil, fmt.Errorf("%w: %v.%d", ErrCorrupt, key.Seg, key.Page)
+	if verify {
+		if !f.Page.ChecksumOK(uint16(key.Seg), key.Page) {
+			p.releaseFrameLocked(f)
+			return nil, fmt.Errorf("%w: checksum mismatch at %v.%d", ErrCorrupt, key.Seg, key.Page)
+		}
+		if _, wasSealed := p.sealed[key]; wasSealed && !f.Page.Sealed() {
+			// The image passed ChecksumOK only because it is all zeros —
+			// but this page was sealed before, so its content was lost.
+			p.releaseFrameLocked(f)
+			return nil, fmt.Errorf("%w: sealed page %v.%d reads back all-zero", ErrCorrupt, key.Seg, key.Page)
+		}
 	}
 	f.Key = key
 	f.pins = 1
@@ -249,13 +269,24 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 	if st == nil {
 		return fmt.Errorf("buffer: segment %d not registered", f.Key.Seg)
 	}
-	f.Page.Seal()
+	f.Page.Seal(uint16(f.Key.Seg), f.Key.Page)
 	p.stats.Writes++
 	if err := st.WritePage(f.Key.Page, f.buf); err != nil {
 		return err
 	}
+	p.sealed[f.Key] = struct{}{}
 	f.dirty = false
 	return nil
+}
+
+// MarkSealed records that the page's backing store holds (or must
+// hold) a sealed image, so an all-zero read of it fails verification.
+// Crash recovery calls this for every page it proves to carry
+// committed data.
+func (p *Pool) MarkSealed(key PageKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sealed[key] = struct{}{}
 }
 
 // FlushAll writes back every dirty frame (pinned or not) and syncs

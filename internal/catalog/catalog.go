@@ -8,10 +8,12 @@ package catalog
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
+	"repro/internal/dberr"
 	"repro/internal/model"
 	"repro/internal/page"
 	"repro/internal/segment"
@@ -82,14 +84,17 @@ func Open(st *subtuple.Store) (*Catalog, error) {
 		nextSeg: MetaSegment + 1,
 	}
 	self := page.TID{Page: 1, Slot: 0}
-	if st.Exists(self) {
-		raw, err := st.Read(self)
-		if err != nil {
-			return nil, err
-		}
+	raw, err := st.Read(self)
+	if err != nil && !errors.Is(err, subtuple.ErrNotFound) && st.PageCount() >= 1 {
+		// The meta segment has pages, so a catalog record should be
+		// there: a corrupt (or unreadable) one must surface, not
+		// silently bootstrap an empty catalog over the damage.
+		return nil, fmt.Errorf("catalog: read catalog record: %w", err)
+	}
+	if err == nil {
 		var p persisted
 		if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&p); err != nil {
-			return nil, fmt.Errorf("catalog: corrupt catalog record: %w", err)
+			return nil, fmt.Errorf("catalog: corrupt catalog record: %v: %w", err, dberr.ErrCorrupt)
 		}
 		c.tables = p.Tables
 		c.indexes = p.Indexes
@@ -108,7 +113,7 @@ func Open(st *subtuple.Store) (*Catalog, error) {
 	// uncommitted meta segment, page 1 already exists (empty) and the
 	// record must be placed there explicitly — a plain Insert would
 	// allocate a fresh page.
-	raw, err := c.encode()
+	raw, err = c.encode()
 	if err != nil {
 		return nil, err
 	}

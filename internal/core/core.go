@@ -28,9 +28,15 @@ type Report struct {
 // 1NF decomposition (Tables 1-4) and EMPLOYEES_1NF (Table 8). The
 // database clock is a logical tick counter so ASOF experiments are
 // deterministic.
-func Office() (*engine.DB, error) {
+func Office() (*engine.DB, error) { return OfficeAt("") }
+
+// OfficeAt is Office with an on-disk home: dir == "" opens the usual
+// in-memory database, otherwise the database (pages and WAL) lives
+// under dir and survives Close — the artifact aimbench leaves behind
+// for post-run inspection with aimdoctor.
+func OfficeAt(dir string) (*engine.DB, error) {
 	ts := int64(0)
-	db, err := engine.Open(engine.Options{Clock: func() int64 { ts++; return ts }})
+	db, err := engine.Open(engine.Options{Dir: dir, Clock: func() int64 { ts++; return ts }})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,268 @@
+// Package corruptsim injects silent storage corruption — the faults a
+// checksum-less DBMS would never notice — into an on-disk database:
+//
+//   - BitFlip: media rot flips a byte of a durable page image.
+//   - ZeroPage: a page reads back as zeroes (unwritten/remapped block).
+//   - LostWrite: the device acks a page write and drops it; the page
+//     keeps its previous, stale-but-well-formed image.
+//   - MisdirectedWrite: a page write lands on the wrong block, so one
+//     page is stale and another holds a page sealed for a different
+//     identity.
+//
+// At-rest faults (BitFlip, ZeroPage) are applied directly to segment
+// files between runs (Inject). Write-path faults (LostWrite,
+// MisdirectedWrite) need a live write to subvert: Disk wraps the
+// engine's file stores via engine.Options.OpenStore and fires armed
+// faults when the targeted page is written.
+//
+// The corruption-matrix test drives hundreds of seeded fault points
+// through this package and asserts the paper-prototype's robustness
+// contract: corruption may cost availability of the damaged object
+// (typed errors, repairable loss) but never a silently wrong answer.
+package corruptsim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/segment"
+)
+
+// Kind is a silent-corruption fault kind.
+type Kind int
+
+const (
+	BitFlip Kind = iota
+	ZeroPage
+	LostWrite
+	MisdirectedWrite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case ZeroPage:
+		return "zero-page"
+	case LostWrite:
+		return "lost-write"
+	case MisdirectedWrite:
+		return "misdirected-write"
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Fault is one fault point: a kind aimed at one durable page.
+type Fault struct {
+	Seg  segment.ID
+	Page uint32
+	Kind Kind
+	// Off is the in-page byte offset a BitFlip corrupts.
+	Off int
+	// Target is the page a MisdirectedWrite actually lands on.
+	Target uint32
+}
+
+func (f Fault) String() string {
+	s := fmt.Sprintf("%v@%d.%d", f.Kind, f.Seg, f.Page)
+	switch f.Kind {
+	case BitFlip:
+		s += "+" + strconv.Itoa(f.Off)
+	case MisdirectedWrite:
+		s += "->" + strconv.Itoa(int(f.Target))
+	}
+	return s
+}
+
+func segPath(dir string, id segment.ID) string {
+	return filepath.Join(dir, fmt.Sprintf("seg_%d.dat", id))
+}
+
+// Pages enumerates the segments of the database under dir and their
+// durable page counts.
+func Pages(dir string) (map[segment.ID]uint32, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[segment.ID]uint32)
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg_") || !strings.HasSuffix(name, ".dat") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg_"), ".dat"))
+		if err != nil {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		out[segment.ID(id)] = uint32(fi.Size() / page.Size)
+	}
+	return out, nil
+}
+
+// Plan generates n seeded fault points of the given kinds (round
+// robin) aimed at existing pages of the database under dir.
+func Plan(seed int64, dir string, kinds []Kind, n int) ([]Fault, error) {
+	counts, err := Pages(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment.ID
+	for id, c := range counts {
+		if c > 0 {
+			segs = append(segs, id)
+		}
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("corruptsim: no durable pages under %s", dir)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	rng := rand.New(rand.NewSource(seed))
+	faults := make([]Fault, 0, n)
+	for i := 0; i < n; i++ {
+		id := segs[rng.Intn(len(segs))]
+		f := Fault{
+			Seg:  id,
+			Page: 1 + uint32(rng.Intn(int(counts[id]))),
+			Kind: kinds[i%len(kinds)],
+			Off:  rng.Intn(page.Size),
+		}
+		if f.Kind == MisdirectedWrite {
+			f.Target = 1 + uint32(rng.Intn(int(counts[id])))
+			if f.Target == f.Page { // a self-directed write is no fault
+				f.Target = 1 + f.Target%counts[id]
+			}
+		}
+		faults = append(faults, f)
+	}
+	return faults, nil
+}
+
+// Inject applies an at-rest fault (BitFlip or ZeroPage) to the
+// durable segment file under dir.
+func Inject(dir string, f Fault) error {
+	fl, err := os.OpenFile(segPath(dir, f.Seg), os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer fl.Close()
+	off := int64(f.Page-1) * page.Size
+	switch f.Kind {
+	case BitFlip:
+		b := make([]byte, 1)
+		if _, err := fl.ReadAt(b, off+int64(f.Off)); err != nil {
+			return err
+		}
+		b[0] ^= 0xFF
+		_, err = fl.WriteAt(b, off+int64(f.Off))
+		return err
+	case ZeroPage:
+		_, err = fl.WriteAt(make([]byte, page.Size), off)
+		return err
+	}
+	return fmt.Errorf("corruptsim: %v is a write-path fault; arm it on a Disk", f.Kind)
+}
+
+// Disk opens the database's segment files with write-path fault
+// injection. Wire OpenStore into engine.Options.OpenStore.
+type Disk struct {
+	dir string
+
+	mu    sync.Mutex
+	armed map[[2]uint64][]Fault
+	// Fired records the faults that actually subverted a write.
+	Fired []Fault
+}
+
+// NewDisk wraps the segment files under dir.
+func NewDisk(dir string) *Disk {
+	return &Disk{dir: dir, armed: make(map[[2]uint64][]Fault)}
+}
+
+// Arm schedules a write-path fault: the next WritePage to the
+// fault's page fires it (and disarms it).
+func (d *Disk) Arm(f Fault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k := dkey(f.Seg, f.Page)
+	d.armed[k] = append(d.armed[k], f)
+}
+
+// FiredCount reports how many armed faults have fired so far.
+func (d *Disk) FiredCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.Fired)
+}
+
+func dkey(id segment.ID, no uint32) [2]uint64 {
+	return [2]uint64{uint64(id), uint64(no)}
+}
+
+// OpenStore implements engine.Options.OpenStore.
+func (d *Disk) OpenStore(id segment.ID) (segment.Store, error) {
+	st, err := segment.OpenFileStore(segPath(d.dir, id))
+	if err != nil {
+		return nil, err
+	}
+	return &faultStore{d: d, id: id, Store: st}, nil
+}
+
+type faultStore struct {
+	segment.Store
+	d  *Disk
+	id segment.ID
+}
+
+// WritePage fires at most one armed fault aimed at (seg, page); the
+// rest of the writes pass through untouched.
+func (fs *faultStore) WritePage(no uint32, buf []byte) error {
+	fs.d.mu.Lock()
+	k := dkey(fs.id, no)
+	pending := fs.d.armed[k]
+	var f Fault
+	fire := len(pending) > 0
+	if fire {
+		f = pending[0]
+		if len(pending) == 1 {
+			delete(fs.d.armed, k)
+		} else {
+			fs.d.armed[k] = pending[1:]
+		}
+		fs.d.Fired = append(fs.d.Fired, f)
+	}
+	fs.d.mu.Unlock()
+	if !fire {
+		return fs.Store.WritePage(no, buf)
+	}
+	switch f.Kind {
+	case LostWrite:
+		return nil // acked and dropped
+	case MisdirectedWrite:
+		return fs.Store.WritePage(f.Target, buf)
+	default:
+		// At-rest kinds armed on a Disk corrupt the image in flight.
+		img := make([]byte, len(buf))
+		copy(img, buf)
+		switch f.Kind {
+		case BitFlip:
+			img[f.Off%len(img)] ^= 0xFF
+		case ZeroPage:
+			for i := range img {
+				img[i] = 0
+			}
+		}
+		return fs.Store.WritePage(no, img)
+	}
+}

@@ -60,7 +60,7 @@ func checkPages(eng *engine.DB) error {
 				return fmt.Errorf("crashsim: read page %d.%d: %w", id, no, err)
 			}
 			p := page.View(buf)
-			if !p.ChecksumOK() {
+			if !p.ChecksumOK(uint16(id), no) {
 				return fmt.Errorf("crashsim: page %d.%d fails checksum after recovery", id, no)
 			}
 			if eng.Log() != nil && p.LSN() > end {

@@ -1,0 +1,30 @@
+// Package dberr holds error sentinels shared across the storage
+// stack. It sits below every other package (it imports nothing), so
+// any layer — page, buffer, segment, subtuple, object, catalog,
+// engine — can classify an error without import cycles.
+package dberr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the shared corruption sentinel: every error produced
+// by a failed checksum, an undecodable record, a broken Mini-Directory
+// tree, or any other structural inconsistency wraps it. Callers test
+// with errors.Is(err, dberr.ErrCorrupt) (or IsCorrupt) regardless of
+// which layer detected the fault.
+//
+// Corruption is permanent by definition — retrying the read returns
+// the same rotten bytes — so segment.IsTransient classifies anything
+// wrapping ErrCorrupt as non-retryable.
+var ErrCorrupt = errors.New("data corruption detected")
+
+// Corruptf formats a corruption error wrapping ErrCorrupt.
+func Corruptf(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrCorrupt)...)
+}
+
+// IsCorrupt reports whether err (or anything it wraps) is a
+// corruption error.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }

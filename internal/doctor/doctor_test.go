@@ -1,0 +1,240 @@
+package doctor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/page"
+	"repro/internal/testdata"
+)
+
+// buildDisk creates an on-disk database with one complex and one flat
+// table plus an index, closes it, and returns the DEPARTMENTS segment
+// id for targeted corruption.
+func buildDisk(t *testing.T, dir string, disableWAL bool) int {
+	t.Helper()
+	ts := int64(0)
+	db, err := engine.Open(engine.Options{Dir: dir, DisableWAL: disableWAL,
+		Clock: func() int64 { ts++; return ts }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable("DEPARTMENTS", testdata.DepartmentsType(), engine.TableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range testdata.Departments().Tuples {
+		if err := db.Insert("DEPARTMENTS", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CreateTable("EMPLOYEES_1NF", testdata.EmployeesType(), engine.TableOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range testdata.Employees().Tuples {
+		if err := db.Insert("EMPLOYEES_1NF", tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Exec(`CREATE INDEX ENO_IX ON EMPLOYEES_1NF (EMPNO)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Catalog().Table("DEPARTMENTS")
+	seg := int(tbl.Seg)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+// rot flips a byte in the middle of a durable page image on disk.
+func rot(t *testing.T, dir string, seg, pageNo int) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("seg_%d.dat", seg))
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	off := int64(pageNo-1)*page.Size + 100
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deptNames scans DEPARTMENTS and returns the sorted DNO column.
+func deptNames(t *testing.T, dir string, disableWAL bool) []string {
+	t.Helper()
+	db, err := engine.Open(engine.Options{Dir: dir, DisableWAL: disableWAL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, _, err := db.Query(`SELECT d.DNO FROM d IN DEPARTMENTS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, tup := range res.Tuples {
+		names = append(names, fmt.Sprint(tup[0]))
+	}
+	sort.Strings(names)
+	return names
+}
+
+func oracleDeptNames(tt *testing.T) []string {
+	dt := testdata.DepartmentsType()
+	di := dt.AttrIndex("DNO")
+	var names []string
+	for _, tup := range testdata.Departments().Tuples {
+		names = append(names, fmt.Sprint(tup[di]))
+	}
+	sort.Strings(names)
+	return names
+}
+
+func eq(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// A freshly built database verifies healthy.
+func TestDoctorVerifyClean(t *testing.T) {
+	dir := t.TempDir()
+	buildDisk(t, dir, false)
+	rep, err := Verify(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("clean database reported unhealthy: %s", FormatText(rep))
+	}
+	if rep.Scrub.PagesScanned == 0 || rep.Scrub.IndexesChecked == 0 {
+		t.Fatalf("coverage counters: %+v", rep.Scrub)
+	}
+}
+
+// With a WAL, repair step 1 (redo at open) rebuilds the rotten page
+// exactly: repair reports healthy and the data equals the oracle.
+func TestDoctorRepairHealsFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	seg := buildDisk(t, dir, false)
+	rot(t, dir, seg, 1)
+
+	rep, err := Repair(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("repair did not heal: %s", FormatText(rep))
+	}
+	// Redo healed the page before the scrub ran, so no destructive
+	// action may have been taken.
+	for _, a := range rep.Actions {
+		if a.Op == "drop" || a.Op == "amputate-page" {
+			t.Fatalf("destructive action despite WAL: %+v", a)
+		}
+	}
+	if got, want := deptNames(t, dir, false), oracleDeptNames(t); !eq(got, want) {
+		t.Fatalf("post-repair data diverges from oracle: %v != %v", got, want)
+	}
+}
+
+// A database whose WAL file vanished (lost volume, overzealous
+// cleanup) has intact pages stamped with LSNs from the lost log.
+// Repair must adopt those pages into the fresh log — content kept,
+// nothing dropped — and converge to healthy.
+func TestDoctorRepairAfterWALLoss(t *testing.T) {
+	dir := t.TempDir()
+	buildDisk(t, dir, false)
+	if err := os.Remove(filepath.Join(dir, "wal.log")); err != nil {
+		t.Fatal(err)
+	}
+
+	pre, err := Verify(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Healthy {
+		t.Fatal("verify missed the future LSNs after WAL loss")
+	}
+
+	rep, err := Repair(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("repair did not converge after WAL loss: %s", FormatText(rep))
+	}
+	adopted := false
+	for _, a := range rep.Actions {
+		switch a.Op {
+		case "adopt-page":
+			adopted = true
+		case "drop", "amputate-page", "replace", "failed":
+			t.Fatalf("destructive action on intact pages: %+v", a)
+		}
+	}
+	if !adopted {
+		t.Fatalf("no page adopted: %s", FormatText(rep))
+	}
+	if got, want := deptNames(t, dir, false), oracleDeptNames(t); !eq(got, want) {
+		t.Fatalf("post-repair data diverges from oracle: %v != %v", got, want)
+	}
+}
+
+// Without a WAL the rot is permanent: repair must fall back to
+// salvage/drop/amputate, report the loss, and still end healthy.
+func TestDoctorRepairWithoutWAL(t *testing.T) {
+	dir := t.TempDir()
+	seg := buildDisk(t, dir, true)
+	rot(t, dir, seg, 1)
+
+	rep, err := Repair(engine.Options{Dir: dir, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("repair did not converge: %s", FormatText(rep))
+	}
+	if rep.Scrub.Clean {
+		t.Fatal("pre-repair scrub missed the rot")
+	}
+	if len(rep.Actions) == 0 {
+		t.Fatal("no-WAL repair took no actions")
+	}
+	// Whatever survived must be scannable without errors, and the
+	// report must have declared any loss.
+	got := deptNames(t, dir, true)
+	want := oracleDeptNames(t)
+	if len(got) > len(want) {
+		t.Fatalf("repair invented rows: %v", got)
+	}
+	if eq(got, want) {
+		return // everything salvaged — fine too
+	}
+	loss := false
+	for _, a := range rep.Actions {
+		if a.Op == "drop" || a.Op == "amputate-page" || a.Op == "replace" || a.Op == "failed" {
+			loss = true
+		}
+	}
+	if !loss {
+		t.Fatalf("rows missing (%v vs %v) but no loss reported: %s", got, want, FormatText(rep))
+	}
+}

@@ -56,8 +56,19 @@ func (db *DB) rollbackStmt() error {
 			return fmt.Errorf("engine: discard WAL buffer: %w", err)
 		}
 		db.pool.InvalidateAll()
+		// Recovery rewrites every page holding committed data from its
+		// full WAL history, repairing the images any quarantine entries
+		// were observed on; drop them and let reads re-detect whatever
+		// recovery could not cure (WAL-less databases keep theirs).
+		db.ClearQuarantine()
 		if err := subtuple.Recover(db.log, db.pool); err != nil {
 			return fmt.Errorf("engine: replay to last commit: %w", err)
+		}
+		// The aborted statement may have allocated pages it never wrote
+		// durably; seal those holes so later scans can tell legitimate
+		// free pages from zeroed-out committed ones.
+		if err := db.sealHoles(); err != nil {
+			return err
 		}
 	}
 	return db.reloadRuntime()

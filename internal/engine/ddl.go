@@ -157,14 +157,34 @@ func (db *DB) DropIndex(name string) error {
 	return nil
 }
 
-// buildIndex materializes an index definition from the table's data.
-// Indexes are memory resident and rebuilt at startup — a deliberate
-// prototype decision (cf. the deferred index maintenance work
-// /DLPS85/ the paper cites).
+// buildIndex materializes an index definition from the table's data
+// and registers it with the planner. Indexes are memory resident and
+// rebuilt at startup — a deliberate prototype decision (cf. the
+// deferred index maintenance work /DLPS85/ the paper cites).
 func (db *DB) buildIndex(def *catalog.IndexDef) error {
+	ix, ti, err := db.BuildShadowIndex(def)
+	if err != nil {
+		return err
+	}
+	if def.Text {
+		db.textIdx[def.Table] = append(db.textIdx[def.Table], ti)
+		db.textByName[def.Name] = ti
+		return nil
+	}
+	db.indexes[def.Table] = append(db.indexes[def.Table], ix)
+	db.indexByName[def.Name] = ix
+	return nil
+}
+
+// BuildShadowIndex materializes an index definition from the table's
+// base data without registering the result: exactly one of the two
+// returns is non-nil (the text index for def.Text). The scrubber
+// compares shadow against live to detect index/data divergence, and
+// aimdoctor uses it to rebuild degraded indexes.
+func (db *DB) BuildShadowIndex(def *catalog.IndexDef) (*index.Index, *textindex.Index, error) {
 	t, ok := db.cat.Table(def.Table)
 	if !ok {
-		return fmt.Errorf("engine: no table %q", def.Table)
+		return nil, nil, fmt.Errorf("engine: no table %q", def.Table)
 	}
 	if def.Text {
 		ti := textindex.New(def.Name, def.Table, def.Path)
@@ -172,35 +192,49 @@ func (db *DB) buildIndex(def *catalog.IndexDef) error {
 			ti.Add(text, addr)
 			return nil
 		}); err != nil {
-			return err
+			return nil, nil, err
 		}
-		db.textIdx[def.Table] = append(db.textIdx[def.Table], ti)
-		db.textByName[def.Name] = ti
-		return nil
+		return nil, ti, nil
 	}
 	ix, err := index.New(index.Def{
 		Name: def.Name, Table: def.Table, Path: def.Path, Kind: index.Kind(def.Kind),
 	}, t.Type)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if t.Kind == catalog.Flat {
 		fs := db.flats[t.Name]
 		if err := fs.Scan(func(tid page.TID, tup model.Tuple) error {
 			return ix.AddFlat(tid, tup, t.Type)
 		}); err != nil {
-			return err
+			return nil, nil, err
 		}
 	} else {
 		m := db.mgrs[t.Name]
 		if err := db.dirScan(t, 0, func(ref page.TID) error {
 			return ix.AddObject(m, t.Type, ref)
 		}); err != nil {
-			return err
+			return nil, nil, err
 		}
 	}
-	db.indexes[def.Table] = append(db.indexes[def.Table], ix)
-	db.indexByName[def.Name] = ix
+	return ix, nil, nil
+}
+
+// RebuildIndex drops the live incarnation of a cataloged index and
+// rebuilds it from base data, clearing any degradation record on
+// success. aimdoctor's repair path uses it after quarantined objects
+// have been salvaged or dropped.
+func (db *DB) RebuildIndex(name string) error {
+	def, ok := db.cat.Index(name)
+	if !ok {
+		return fmt.Errorf("engine: no index %q", name)
+	}
+	db.detachIndex(name)
+	if err := db.buildIndex(def); err != nil {
+		db.noteDegraded(name, err)
+		return err
+	}
+	db.clearDegraded(name)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/dberr"
 	"repro/internal/page"
 	"repro/internal/subtuple"
 )
@@ -36,7 +37,7 @@ func decodeDirChunk(raw []byte) (next page.TID, refs []page.TID, err error) {
 	p := raw[page.EncodedTIDLen:]
 	n, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		err = fmt.Errorf("engine: corrupt directory chunk")
+		err = dberr.Corruptf("engine: corrupt directory chunk")
 		return
 	}
 	p = p[sz:]

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/buffer"
 	"repro/internal/catalog"
+	"repro/internal/dberr"
 	"repro/internal/exec"
 	"repro/internal/flat"
 	"repro/internal/index"
@@ -84,6 +85,13 @@ type DB struct {
 	statsMu  sync.Mutex
 	lastStmt StmtStats
 
+	// quarMu guards the corruption-containment state: the set of
+	// quarantined objects and the out-of-service (degraded) indexes.
+	// See quarantine.go.
+	quarMu   sync.Mutex
+	quar     map[quarKey]*QuarantineError
+	degraded map[string]string
+
 	// fatalErr poisons the database after a failed statement rollback:
 	// the live state can no longer be trusted, so every subsequent
 	// statement returns this error until the database is reopened.
@@ -116,6 +124,8 @@ func Open(opts Options) (*DB, error) {
 		indexByName: make(map[string]*index.Index),
 		textIdx:     make(map[string][]*textindex.Index),
 		textByName:  make(map[string]*textindex.Index),
+		quar:        make(map[quarKey]*QuarantineError),
+		degraded:    make(map[string]string),
 	}
 	if (opts.Dir != "" || opts.OpenWALFile != nil) && !opts.DisableWAL {
 		var f wal.File
@@ -160,6 +170,9 @@ func Open(opts Options) (*DB, error) {
 		if err := subtuple.Recover(db.log, db.pool); err != nil {
 			return nil, fmt.Errorf("engine: recovery failed: %w", err)
 		}
+		if err := db.sealHoles(); err != nil {
+			return nil, err
+		}
 	}
 	if err := db.reloadRuntime(); err != nil {
 		return nil, err
@@ -194,8 +207,17 @@ func (db *DB) reloadRuntime() error {
 	for _, t := range cat.Tables() {
 		for _, def := range cat.Indexes(t.Name) {
 			if err := db.buildIndex(def); err != nil {
+				// Rebuilding from corrupt base data must not take the
+				// whole database down: the index degrades to
+				// out-of-service (queries fall back to base-table
+				// scans) and aimdoctor can rebuild it later.
+				if dberr.IsCorrupt(err) {
+					db.noteDegraded(def.Name, err)
+					continue
+				}
 				return err
 			}
+			db.clearDegraded(def.Name)
 		}
 	}
 	db.exec = &exec.Executor{RT: (*runtime)(db), Plan: plan.Choose}

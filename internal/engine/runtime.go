@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/dberr"
 	"repro/internal/exec"
 	"repro/internal/index"
 	"repro/internal/model"
@@ -84,20 +85,34 @@ func (r *runtime) TName(t *catalog.Table, ref page.TID, steps []object.Step) (st
 // --- public data access ------------------------------------------------
 
 // ScanTable streams all tuples of a table with their references,
-// optionally as of an instant.
+// optionally as of an instant. Hitting a corrupt or quarantined
+// object fails the scan with a typed *QuarantineError — never a
+// silently shortened result.
 func (db *DB) ScanTable(t *catalog.Table, asof int64, fn func(ref page.TID, tup model.Tuple) error) error {
+	if err := db.quarCheck(t.Name, page.TID{}); err != nil {
+		return err
+	}
 	if t.Kind == catalog.Flat {
 		fs := db.flats[t.Name]
 		if asof == 0 {
-			return fs.Scan(fn)
+			return db.guardRead(t.Name, page.TID{}, fs.Scan(func(tid page.TID, tup model.Tuple) error {
+				if err := db.quarCheck(t.Name, tid); err != nil {
+					return err
+				}
+				return fn(tid, tup)
+			}))
 		}
-		return fs.Subtuples().ScanAsOf(asof, func(tid page.TID, raw []byte) error {
-			vals, err := model.DecodeAtoms(raw)
-			if err != nil {
+		return db.guardRead(t.Name, page.TID{}, fs.Subtuples().ScanAsOf(asof, func(tid page.TID, raw []byte) error {
+			if err := db.quarCheck(t.Name, tid); err != nil {
 				return err
 			}
+			vals, err := model.DecodeAtoms(raw)
+			if err != nil {
+				return db.guardRead(t.Name, tid, err)
+			}
 			if len(vals) > len(t.Type.Attrs) {
-				return fmt.Errorf("engine: stored tuple has %d values, schema %d", len(vals), len(t.Type.Attrs))
+				return db.guardRead(t.Name, tid,
+					dberr.Corruptf("engine: stored tuple has %d values, schema %d", len(vals), len(t.Type.Attrs)))
 			}
 			// Versions written before an ALTER TABLE ADD are shorter;
 			// the new attributes read as null.
@@ -105,38 +120,50 @@ func (db *DB) ScanTable(t *catalog.Table, asof int64, fn func(ref page.TID, tup 
 				vals = append(vals, model.Null{})
 			}
 			return fn(tid, model.Tuple(vals))
-		})
+		}))
 	}
 	m := db.mgrs[t.Name]
-	return db.dirScan(t, asof, func(ref page.TID) error {
+	return db.guardDir(t.Name, db.dirScan(t, asof, func(ref page.TID) error {
+		if err := db.quarCheck(t.Name, ref); err != nil {
+			return err
+		}
 		tup, err := m.ReadAsOf(t.Type, ref, asof)
 		if err != nil {
+			if dberr.IsCorrupt(err) {
+				// A broken object must not read as "absent at asof".
+				return db.guardRead(t.Name, ref, err)
+			}
 			if asof != 0 {
 				return nil // object did not exist at asof
 			}
 			return err
 		}
 		return fn(ref, tup)
-	})
+	}))
 }
 
 // ReadRef materializes one tuple by reference.
 func (db *DB) ReadRef(t *catalog.Table, ref page.TID, asof int64) (model.Tuple, error) {
+	if err := db.quarCheck(t.Name, ref); err != nil {
+		return nil, err
+	}
 	if t.Kind == catalog.Flat {
 		fs := db.flats[t.Name]
 		if asof == 0 {
-			return fs.Read(ref)
+			tup, err := fs.Read(ref)
+			return tup, db.guardRead(t.Name, ref, err)
 		}
 		tup, ok, err := fs.ReadAsOf(ref, asof)
 		if err != nil {
-			return nil, err
+			return nil, db.guardRead(t.Name, ref, err)
 		}
 		if !ok {
 			return nil, fmt.Errorf("engine: tuple %v did not exist at %d", ref, asof)
 		}
 		return tup, nil
 	}
-	return db.mgrs[t.Name].ReadAsOf(t.Type, ref, asof)
+	tup, err := db.mgrs[t.Name].ReadAsOf(t.Type, ref, asof)
+	return tup, db.guardRead(t.Name, ref, err)
 }
 
 // Refs returns the object references of a complex table (or tuple
@@ -152,13 +179,13 @@ func (db *DB) Refs(table string) ([]page.TID, error) {
 			refs = append(refs, tid)
 			return nil
 		})
-		return refs, err
+		return refs, db.guardRead(table, page.TID{}, err)
 	}
 	err := db.dirScan(t, 0, func(ref page.TID) error {
 		refs = append(refs, ref)
 		return nil
 	})
-	return refs, err
+	return refs, db.guardDir(table, err)
 }
 
 // --- DML with index maintenance -----------------------------------------
@@ -196,9 +223,9 @@ func (db *DB) Insert(table string, tup model.Tuple) error {
 		return err
 	}
 	if err := db.dirAdd(t, ref); err != nil {
-		return err
+		return db.guardDir(table, err)
 	}
-	return db.indexObject(t, ref, true)
+	return db.guardRead(table, ref, db.indexObject(t, ref, true))
 }
 
 // indexObject adds (or removes) one object's entries in all indexes.
@@ -237,11 +264,14 @@ func (db *DB) Delete(table string, ref page.TID) error {
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
 	}
+	if err := db.quarCheck(table, ref); err != nil {
+		return err
+	}
 	if t.Kind == catalog.Flat {
 		fs := db.flats[table]
 		tup, err := fs.Read(ref)
 		if err != nil {
-			return err
+			return db.guardRead(table, ref, err)
 		}
 		for _, ix := range db.indexes[table] {
 			if err := ix.RemoveFlat(ref, tup, t.Type); err != nil {
@@ -257,12 +287,12 @@ func (db *DB) Delete(table string, ref page.TID) error {
 		return fs.Delete(ref)
 	}
 	if err := db.indexObject(t, ref, false); err != nil {
-		return err
+		return db.guardRead(table, ref, err)
 	}
 	if err := db.dirRemove(t, ref); err != nil {
-		return err
+		return db.guardDir(table, err)
 	}
-	return db.mgrs[table].Delete(t.Type, ref)
+	return db.guardRead(table, ref, db.mgrs[table].Delete(t.Type, ref))
 }
 
 // UpdateAtoms overwrites the atomic attributes of the (sub)object
@@ -272,11 +302,14 @@ func (db *DB) UpdateAtoms(table string, ref page.TID, steps []object.Step, vals 
 	if !ok {
 		return fmt.Errorf("engine: no table %q", table)
 	}
+	if err := db.quarCheck(table, ref); err != nil {
+		return err
+	}
 	if t.Kind == catalog.Flat {
 		fs := db.flats[table]
 		old, err := fs.Read(ref)
 		if err != nil {
-			return err
+			return db.guardRead(table, ref, err)
 		}
 		for _, ix := range db.indexes[table] {
 			if err := ix.RemoveFlat(ref, old, t.Type); err != nil {
@@ -308,14 +341,14 @@ func (db *DB) UpdateAtoms(table string, ref page.TID, steps []object.Step, vals 
 	// Conservative index maintenance: withdraw the object's entries,
 	// mutate, re-add.
 	if err := db.indexObject(t, ref, false); err != nil {
-		return err
+		return db.guardRead(table, ref, err)
 	}
 	m := db.mgrs[table]
 	if err := m.UpdateAtoms(t.Type, ref, vals, steps...); err != nil {
 		db.indexObject(t, ref, true)
-		return err
+		return db.guardRead(table, ref, err)
 	}
-	return db.indexObject(t, ref, true)
+	return db.guardRead(table, ref, db.indexObject(t, ref, true))
 }
 
 // InsertMember adds a member to a subtable of a stored object.
@@ -327,15 +360,18 @@ func (db *DB) InsertMember(table string, ref page.TID, steps []object.Step, attr
 	if t.Kind != catalog.Complex {
 		return fmt.Errorf("engine: table %q is flat; subtable DML needs an NF² table", table)
 	}
-	if err := db.indexObject(t, ref, false); err != nil {
+	if err := db.quarCheck(table, ref); err != nil {
 		return err
+	}
+	if err := db.indexObject(t, ref, false); err != nil {
+		return db.guardRead(table, ref, err)
 	}
 	m := db.mgrs[table]
 	if err := m.InsertMember(t.Type, ref, steps, attr, -1, member); err != nil {
 		db.indexObject(t, ref, true)
-		return err
+		return db.guardRead(table, ref, err)
 	}
-	return db.indexObject(t, ref, true)
+	return db.guardRead(table, ref, db.indexObject(t, ref, true))
 }
 
 // DeleteMember removes a member of a subtable of a stored object.
@@ -347,15 +383,18 @@ func (db *DB) DeleteMember(table string, ref page.TID, steps []object.Step, attr
 	if t.Kind != catalog.Complex {
 		return fmt.Errorf("engine: table %q is flat; subtable DML needs an NF² table", table)
 	}
-	if err := db.indexObject(t, ref, false); err != nil {
+	if err := db.quarCheck(table, ref); err != nil {
 		return err
+	}
+	if err := db.indexObject(t, ref, false); err != nil {
+		return db.guardRead(table, ref, err)
 	}
 	m := db.mgrs[table]
 	if err := m.DeleteMember(t.Type, ref, steps, attr, pos); err != nil {
 		db.indexObject(t, ref, true)
-		return err
+		return db.guardRead(table, ref, err)
 	}
-	return db.indexObject(t, ref, true)
+	return db.guardRead(table, ref, db.indexObject(t, ref, true))
 }
 
 // RegisterImported adds an already-stored object (e.g. one imported

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/dberr"
 	"repro/internal/exec"
 	"repro/internal/flat"
 	"repro/internal/model"
@@ -32,12 +33,15 @@ func (r *runtime) OpenRef(t *catalog.Table, ref page.TID, asof int64, ps *object
 
 // OpenScan opens a streaming cursor over a table (see runtime.OpenScan).
 func (db *DB) OpenScan(t *catalog.Table, asof int64, ps *object.PathSet) (exec.ScanCursor, error) {
+	if err := db.quarCheck(t.Name, page.TID{}); err != nil {
+		return nil, err
+	}
 	if t.Kind == catalog.Flat {
 		fc, err := db.flats[t.Name].NewCursor(asof)
 		if err != nil {
 			return nil, err
 		}
-		return &flatCursor{c: fc}, nil
+		return &flatCursor{db: db, table: t.Name, c: fc}, nil
 	}
 	return &objectCursor{db: db, t: t, m: db.mgrs[t.Name], asof: asof, ps: ps,
 		dir: dirCursor{st: db.stores[t.Seg], cur: t.DirHead, asof: asof}}, nil
@@ -48,16 +52,33 @@ func (db *DB) OpenRef(t *catalog.Table, ref page.TID, asof int64, ps *object.Pat
 	if t.Kind == catalog.Flat {
 		return db.ReadRef(t, ref, asof)
 	}
-	return db.mgrs[t.Name].ReadPruned(t.Type, ref, asof, ps)
+	if err := db.quarCheck(t.Name, ref); err != nil {
+		return nil, err
+	}
+	tup, err := db.mgrs[t.Name].ReadPruned(t.Type, ref, asof, ps)
+	return tup, db.guardRead(t.Name, ref, err)
 }
 
 // flatCursor adapts a flat-store cursor to exec.ScanCursor.
 type flatCursor struct {
-	c *flat.Cursor
+	db    *DB
+	table string
+	c     *flat.Cursor
 }
 
-func (fc *flatCursor) Next() (page.TID, model.Tuple, bool, error) { return fc.c.Next() }
-func (fc *flatCursor) Close() error                               { return fc.c.Close() }
+func (fc *flatCursor) Next() (page.TID, model.Tuple, bool, error) {
+	tid, tup, ok, err := fc.c.Next()
+	if err != nil {
+		return page.TID{}, nil, false, fc.db.guardRead(fc.table, page.TID{}, err)
+	}
+	if ok {
+		if err := fc.db.quarCheck(fc.table, tid); err != nil {
+			return page.TID{}, nil, false, err
+		}
+	}
+	return tid, tup, ok, nil
+}
+func (fc *flatCursor) Close() error { return fc.c.Close() }
 
 // objectCursor streams the complex objects of a table: a lazy walk of
 // the directory chunk chain supplies the roots, each fetched pruned.
@@ -77,11 +98,23 @@ type objectCursor struct {
 func (oc *objectCursor) Next() (page.TID, model.Tuple, bool, error) {
 	for {
 		ref, ok, err := oc.dir.next()
-		if err != nil || !ok {
+		if err != nil {
+			// Chunk-chain corruption quarantines the table's scans.
+			return page.TID{}, nil, false, oc.db.guardDir(oc.t.Name, err)
+		}
+		if !ok {
+			return page.TID{}, nil, false, nil
+		}
+		if err := oc.db.quarCheck(oc.t.Name, ref); err != nil {
 			return page.TID{}, nil, false, err
 		}
 		tup, err := oc.m.ReadPruned(oc.t.Type, ref, oc.asof, oc.ps)
 		if err != nil {
+			if dberr.IsCorrupt(err) {
+				// A broken object must fail the scan loudly, never read
+				// as "absent at asof" or "deleted meanwhile".
+				return page.TID{}, nil, false, oc.db.guardRead(oc.t.Name, ref, err)
+			}
 			if oc.asof != 0 || errors.Is(err, subtuple.ErrNotFound) {
 				continue // nonexistent at asof, or deleted since the chunk was read
 			}

@@ -10,10 +10,34 @@ package flat
 import (
 	"fmt"
 
+	"repro/internal/dberr"
 	"repro/internal/model"
 	"repro/internal/page"
 	"repro/internal/subtuple"
 )
+
+// TupleError reports a stored tuple that cannot be read back — the
+// flat-table analogue of a broken complex object. It carries the TID
+// so the engine can quarantine exactly that tuple, and wraps the
+// underlying corruption error for errors.Is classification.
+type TupleError struct {
+	TID page.TID
+	Err error
+}
+
+func (e *TupleError) Error() string { return fmt.Sprintf("flat: tuple %v: %v", e.TID, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TupleError) Unwrap() error { return e.Err }
+
+// wrapCorrupt tags corruption errors with the tuple's TID; other
+// errors pass through unchanged.
+func wrapCorrupt(tid page.TID, err error) error {
+	if err != nil && dberr.IsCorrupt(err) {
+		return &TupleError{TID: tid, Err: err}
+	}
+	return err
+}
 
 // Store holds the tuples of one flat table in one subtuple store.
 type Store struct {
@@ -51,9 +75,10 @@ func (s *Store) Insert(tup model.Tuple) (page.TID, error) {
 func (s *Store) Read(tid page.TID) (model.Tuple, error) {
 	raw, err := s.st.Read(tid)
 	if err != nil {
-		return nil, err
+		return nil, wrapCorrupt(tid, err)
 	}
-	return s.decode(raw)
+	tup, err := s.decode(raw)
+	return tup, wrapCorrupt(tid, err)
 }
 
 // ReadAsOf returns the tuple as of the instant ts; the boolean
@@ -61,10 +86,10 @@ func (s *Store) Read(tid page.TID) (model.Tuple, error) {
 func (s *Store) ReadAsOf(tid page.TID, ts int64) (model.Tuple, bool, error) {
 	raw, ok, err := s.st.ReadAsOf(tid, ts)
 	if err != nil || !ok {
-		return nil, ok, err
+		return nil, ok, wrapCorrupt(tid, err)
 	}
 	tup, err := s.decode(raw)
-	return tup, true, err
+	return tup, true, wrapCorrupt(tid, err)
 }
 
 func (s *Store) decode(raw []byte) (model.Tuple, error) {
@@ -73,7 +98,7 @@ func (s *Store) decode(raw []byte) (model.Tuple, error) {
 		return nil, err
 	}
 	if len(vals) > len(s.tt.Attrs) {
-		return nil, fmt.Errorf("flat: stored tuple has %d values, schema %d", len(vals), len(s.tt.Attrs))
+		return nil, dberr.Corruptf("flat: stored tuple has %d values, schema %d", len(vals), len(s.tt.Attrs))
 	}
 	// Tuples written before an ALTER TABLE ADD read the new (last)
 	// attributes as null.
@@ -103,7 +128,7 @@ func (s *Store) Scan(fn func(tid page.TID, tup model.Tuple) error) error {
 	return s.st.Scan(func(tid page.TID, raw []byte) error {
 		tup, err := s.decode(raw)
 		if err != nil {
-			return err
+			return wrapCorrupt(tid, err)
 		}
 		return fn(tid, tup)
 	})
@@ -140,7 +165,7 @@ func (c *Cursor) Next() (page.TID, model.Tuple, bool, error) {
 	}
 	tup, err := c.s.decode(raw)
 	if err != nil {
-		return page.TID{}, nil, false, err
+		return page.TID{}, nil, false, wrapCorrupt(tid, err)
 	}
 	return tid, tup, true, nil
 }

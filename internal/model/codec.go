@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"repro/internal/dberr"
 )
 
 // EncodeAtoms serializes a list of atomic values into the byte payload
@@ -51,16 +53,16 @@ func EncodeAtoms(vals []Value) ([]byte, error) {
 func DecodeAtoms(data []byte) ([]Value, error) {
 	n, off := binary.Uvarint(data)
 	if off <= 0 {
-		return nil, fmt.Errorf("model: corrupt atom payload: bad count")
+		return nil, dberr.Corruptf("model: corrupt atom payload: bad count")
 	}
 	if n > uint64(len(data)) {
-		return nil, fmt.Errorf("model: corrupt atom payload: count %d exceeds payload", n)
+		return nil, dberr.Corruptf("model: corrupt atom payload: count %d exceeds payload", n)
 	}
 	vals := make([]Value, 0, n)
 	p := data[off:]
 	for i := uint64(0); i < n; i++ {
 		if len(p) == 0 {
-			return nil, fmt.Errorf("model: corrupt atom payload: truncated at value %d", i)
+			return nil, dberr.Corruptf("model: corrupt atom payload: truncated at value %d", i)
 		}
 		tag := Kind(p[0])
 		p = p[1:]
@@ -70,7 +72,7 @@ func DecodeAtoms(data []byte) ([]Value, error) {
 		case KindInt, KindTime:
 			x, m := binary.Varint(p)
 			if m <= 0 {
-				return nil, fmt.Errorf("model: corrupt atom payload: bad varint at value %d", i)
+				return nil, dberr.Corruptf("model: corrupt atom payload: bad varint at value %d", i)
 			}
 			p = p[m:]
 			if tag == KindInt {
@@ -80,29 +82,29 @@ func DecodeAtoms(data []byte) ([]Value, error) {
 			}
 		case KindFloat:
 			if len(p) < 8 {
-				return nil, fmt.Errorf("model: corrupt atom payload: short float at value %d", i)
+				return nil, dberr.Corruptf("model: corrupt atom payload: short float at value %d", i)
 			}
 			vals = append(vals, Float(math.Float64frombits(binary.LittleEndian.Uint64(p))))
 			p = p[8:]
 		case KindString:
 			l, m := binary.Uvarint(p)
 			if m <= 0 || uint64(len(p)-m) < l {
-				return nil, fmt.Errorf("model: corrupt atom payload: bad string at value %d", i)
+				return nil, dberr.Corruptf("model: corrupt atom payload: bad string at value %d", i)
 			}
 			vals = append(vals, Str(p[m:uint64(m)+l]))
 			p = p[uint64(m)+l:]
 		case KindBool:
 			if len(p) < 1 {
-				return nil, fmt.Errorf("model: corrupt atom payload: short bool at value %d", i)
+				return nil, dberr.Corruptf("model: corrupt atom payload: short bool at value %d", i)
 			}
 			vals = append(vals, Bool(p[0] != 0))
 			p = p[1:]
 		default:
-			return nil, fmt.Errorf("model: corrupt atom payload: unknown kind tag %d at value %d", tag, i)
+			return nil, dberr.Corruptf("model: corrupt atom payload: unknown kind tag %d at value %d", tag, i)
 		}
 	}
 	if len(p) != 0 {
-		return nil, fmt.Errorf("model: corrupt atom payload: %d trailing bytes", len(p))
+		return nil, dberr.Corruptf("model: corrupt atom payload: %d trailing bytes", len(p))
 	}
 	return vals, nil
 }

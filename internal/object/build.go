@@ -2,8 +2,8 @@ package object
 
 import (
 	"encoding/binary"
-	"fmt"
 
+	"repro/internal/dberr"
 	"repro/internal/model"
 	"repro/internal/page"
 )
@@ -170,6 +170,12 @@ func (m *Manager) parseNode(tt *model.TableType, body []byte) (levelHandle, erro
 		h.groups = make([][]page.MiniTID, nsub)
 		for i := range h.groups {
 			n := r.count()
+			// Each member pointer occupies EncodedMiniTIDLen bytes, so a
+			// count beyond the remaining body is rot — reject it before
+			// sizing the slice by it.
+			if n > len(r.b)/page.EncodedMiniTIDLen {
+				return levelHandle{}, dberr.Corruptf("object: member count %d exceeds node body", n)
+			}
 			g := make([]page.MiniTID, n)
 			for j := range g {
 				g[j] = r.mini()
@@ -181,7 +187,7 @@ func (m *Manager) parseNode(tt *model.TableType, body []byte) (levelHandle, erro
 		return levelHandle{}, r.err
 	}
 	if len(r.b) != 0 {
-		return levelHandle{}, fmt.Errorf("object: trailing bytes in node body")
+		return levelHandle{}, dberr.Corruptf("object: trailing bytes in node body")
 	}
 	return h, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/dberr"
 	"repro/internal/page"
 )
 
@@ -156,17 +157,17 @@ func EncodeSnapshot(s *Snapshot) []byte {
 // DecodeSnapshot parses a serialized Snapshot.
 func DecodeSnapshot(raw []byte) (*Snapshot, error) {
 	if len(raw) < 2 {
-		return nil, fmt.Errorf("object: short snapshot")
+		return nil, dberr.Corruptf("object: short snapshot")
 	}
 	s := &Snapshot{Layout: Layout(raw[0])}
 	p := raw[1:]
 	n, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		return nil, fmt.Errorf("object: corrupt snapshot header")
+		return nil, dberr.Corruptf("object: corrupt snapshot header")
 	}
 	p = p[sz:]
 	if uint64(len(p)) < n {
-		return nil, fmt.Errorf("object: truncated snapshot")
+		return nil, dberr.Corruptf("object: truncated snapshot")
 	}
 	s.Local = make([]bool, n)
 	used := 0
@@ -184,7 +185,7 @@ func DecodeSnapshot(raw []byte) (*Snapshot, error) {
 	s.Root = root
 	p = p[page.EncodedMiniTIDLen:]
 	if len(p) != used*page.Size {
-		return nil, fmt.Errorf("object: snapshot has %d page bytes, want %d", len(p), used*page.Size)
+		return nil, dberr.Corruptf("object: snapshot has %d page bytes, want %d", len(p), used*page.Size)
 	}
 	for i := 0; i < used; i++ {
 		img := make([]byte, page.Size)

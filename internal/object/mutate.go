@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/dberr"
 	"repro/internal/model"
 	"repro/internal/page"
 )
@@ -163,7 +164,7 @@ func (m *Manager) InsertMember(tt *model.TableType, ref Ref, steps []Step, attr,
 		}
 		n, sz := binary.Uvarint(raw)
 		if sz <= 0 {
-			return fmt.Errorf("object: corrupt subtable MD")
+			return dberr.Corruptf("object: corrupt subtable MD")
 		}
 		es := len(entry)
 		bodyBytes := raw[sz:]
@@ -292,7 +293,7 @@ func (m *Manager) DeleteMember(tt *model.TableType, ref Ref, steps []Step, attr,
 		}
 		n, sz := binary.Uvarint(raw)
 		if sz <= 0 {
-			return fmt.Errorf("object: corrupt subtable MD")
+			return dberr.Corruptf("object: corrupt subtable MD")
 		}
 		es := entrySize(sub)
 		if sub.Flat() {

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/dberr"
 	"repro/internal/page"
 	"repro/internal/subtuple"
 )
@@ -158,19 +159,19 @@ func (o *objCtx) encodeEnvelope(body []byte) []byte {
 
 func (o *objCtx) decodeEnvelope(raw []byte) ([]byte, error) {
 	if len(raw) < 2 {
-		return nil, fmt.Errorf("object: corrupt root MD subtuple")
+		return nil, dberr.Corruptf("object: corrupt root MD subtuple")
 	}
 	if Layout(raw[0]) != o.m.layout {
-		return nil, fmt.Errorf("object: stored layout %s, manager uses %s", Layout(raw[0]), o.m.layout)
+		return nil, dberr.Corruptf("object: stored layout %s, manager uses %s", Layout(raw[0]), o.m.layout)
 	}
 	p := raw[1:]
 	n, sz := binary.Uvarint(p)
 	if sz <= 0 {
-		return nil, fmt.Errorf("object: corrupt page list length")
+		return nil, dberr.Corruptf("object: corrupt page list length")
 	}
 	p = p[sz:]
-	if uint64(len(p)) < 4*n {
-		return nil, fmt.Errorf("object: corrupt page list")
+	if n > uint64(len(p))/4 { // n*4 could overflow; divide instead
+		return nil, dberr.Corruptf("object: corrupt page list")
 	}
 	o.pages = make([]uint32, n)
 	for i := range o.pages {
@@ -185,10 +186,10 @@ func (o *objCtx) decodeEnvelope(raw []byte) ([]byte, error) {
 // number" step of §4.1.
 func (o *objCtx) resolve(mt page.MiniTID) (page.TID, error) {
 	if mt.Nil() {
-		return page.TID{}, fmt.Errorf("object: resolve of nil Mini TID")
+		return page.TID{}, dberr.Corruptf("object: resolve of nil Mini TID")
 	}
 	if int(mt.Page) >= len(o.pages) || o.pages[mt.Page] == 0 {
-		return page.TID{}, fmt.Errorf("object: Mini TID %v outside local address space", mt)
+		return page.TID{}, dberr.Corruptf("object: Mini TID %v outside local address space", mt)
 	}
 	return page.TID{Page: o.pages[mt.Page], Slot: mt.Slot}, nil
 }
@@ -203,14 +204,29 @@ func (o *objCtx) read(mt page.MiniTID) ([]byte, error) {
 	if o.asof != 0 {
 		data, ok, err := o.m.st.ReadAsOf(t, o.asof)
 		if err != nil {
-			return nil, err
+			return nil, o.classify(t, err)
 		}
 		if !ok {
 			return nil, subtuple.ErrNotFound
 		}
 		return data, nil
 	}
-	return o.m.st.Read(t)
+	data, err := o.m.st.Read(t)
+	if err != nil {
+		return nil, o.classify(t, err)
+	}
+	return data, nil
+}
+
+// classify marks read failures inside the object's local address
+// space as corruption: the page list and the MD pointers promised a
+// record at t, so any shape of failure there (unallocated page,
+// missing record aside) means the object structure lies.
+func (o *objCtx) classify(t page.TID, err error) error {
+	if dberr.IsCorrupt(err) || errors.Is(err, subtuple.ErrNotFound) {
+		return err
+	}
+	return dberr.Corruptf("object: broken pointer to %v: %v", t, err)
 }
 
 // place stores a new subtuple inside the object's local address
@@ -359,7 +375,7 @@ func (r *reader) count() int {
 	}
 	n, sz := binary.Uvarint(r.b)
 	if sz <= 0 {
-		r.err = fmt.Errorf("object: corrupt MD subtuple count")
+		r.err = dberr.Corruptf("object: corrupt MD subtuple count")
 		return 0
 	}
 	r.b = r.b[sz:]
@@ -371,7 +387,7 @@ func (r *reader) done() error {
 		return r.err
 	}
 	if len(r.b) != 0 {
-		return fmt.Errorf("object: %d trailing bytes in MD subtuple", len(r.b))
+		return dberr.Corruptf("object: %d trailing bytes in MD subtuple", len(r.b))
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/dberr"
 	"repro/internal/model"
 	"repro/internal/page"
 )
@@ -104,7 +105,7 @@ func (m *Manager) memberHandles(o *objCtx, sub *model.TableType, h levelHandle, 
 		}
 		n, sz := binary.Uvarint(raw)
 		if sz <= 0 {
-			return nil, fmt.Errorf("object: corrupt subtable MD")
+			return nil, dberr.Corruptf("object: corrupt subtable MD")
 		}
 		body := raw[sz:]
 		es := entrySize(sub)
@@ -112,7 +113,7 @@ func (m *Manager) memberHandles(o *objCtx, sub *model.TableType, h levelHandle, 
 			es = page.EncodedMiniTIDLen
 		}
 		if len(body) != int(n)*es {
-			return nil, fmt.Errorf("object: subtable MD has %d bytes, want %d entries × %d", len(body), n, es)
+			return nil, dberr.Corruptf("object: subtable MD has %d bytes, want %d entries × %d", len(body), n, es)
 		}
 		out := make([]levelHandle, 0, n)
 		for i := 0; i < int(n); i++ {
@@ -154,7 +155,7 @@ func (o *objCtx) readAtoms(d page.MiniTID) ([]model.Value, error) {
 func assemble(tt *model.TableType, atoms []model.Value, subs []*model.Table) (model.Tuple, error) {
 	want := len(tt.AtomicIndexes())
 	if len(atoms) > want {
-		return nil, fmt.Errorf("object: data subtuple has %d atoms, schema wants %d", len(atoms), want)
+		return nil, dberr.Corruptf("object: data subtuple has %d atoms, schema wants %d", len(atoms), want)
 	}
 	for len(atoms) < want {
 		atoms = append(atoms, model.Null{})

@@ -1,0 +1,107 @@
+package object
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// SalvageResult is the outcome of a best-effort read of a partially
+// corrupt complex object.
+type SalvageResult struct {
+	// Tuple is the materialized object with every unreadable part
+	// replaced: lost atomic values read as null, lost subtable members
+	// are omitted. Nil when the root MD subtuple itself is unreadable
+	// (nothing salvageable).
+	Tuple model.Tuple
+	// Lost describes each part that could not be read, as a
+	// human-readable path plus the error.
+	Lost []string
+	// Complete reports that nothing was lost (the object read fully).
+	Complete bool
+}
+
+// Salvage materializes as much of a complex object as remains
+// readable. Unlike Read, it does not stop at the first corrupt
+// subtuple: broken data subtuples yield null atoms, broken subtable
+// MDs yield empty (or truncated) subtables, and every loss is
+// recorded. The error return is non-nil only for faults outside the
+// object (e.g. the store itself failing); corruption inside the
+// object never fails the call.
+func (m *Manager) Salvage(tt *model.TableType, ref Ref) (*SalvageResult, error) {
+	res := &SalvageResult{}
+	o, body, err := m.loadCtx(ref, 0)
+	if err != nil {
+		res.Lost = append(res.Lost, fmt.Sprintf("root MD subtuple %v: %v", ref, err))
+		return res, nil
+	}
+	h, err := m.rootHandle(tt, body)
+	if err != nil {
+		res.Lost = append(res.Lost, fmt.Sprintf("root node of %v: %v", ref, err))
+		return res, nil
+	}
+	res.Tuple = m.salvageLevel(o, tt, h, "", res)
+	res.Complete = len(res.Lost) == 0
+	return res, nil
+}
+
+// salvageLevel is readLevelH with every read fault degraded to a
+// recorded loss instead of an error.
+func (m *Manager) salvageLevel(o *objCtx, tt *model.TableType, h levelHandle, path string, res *SalvageResult) model.Tuple {
+	atoms, err := o.readAtoms(h.d)
+	if err != nil {
+		res.Lost = append(res.Lost, fmt.Sprintf("data subtuple at %q: %v", path, err))
+		atoms = nil // all attributes read as null
+	}
+	want := len(tt.AtomicIndexes())
+	if len(atoms) > want {
+		res.Lost = append(res.Lost, fmt.Sprintf("data subtuple at %q: %d atoms, schema wants %d", path, len(atoms), want))
+		atoms = atoms[:want]
+	}
+	for len(atoms) < want {
+		atoms = append(atoms, model.Null{})
+	}
+	tis := tt.TableIndexes()
+	subs := make([]*model.Table, len(tis))
+	for gi, ti := range tis {
+		sub := tt.Attrs[ti].Type.Table
+		subPath := path + "/" + tt.Attrs[ti].Name
+		tbl := &model.Table{Ordered: sub.Ordered}
+		subs[gi] = tbl
+		hs, err := m.memberHandles(o, sub, h, gi)
+		if err != nil {
+			res.Lost = append(res.Lost, fmt.Sprintf("subtable MD at %q: %v", subPath, err))
+			continue
+		}
+		for i, mh := range hs {
+			memberPath := fmt.Sprintf("%s[%d]", subPath, i)
+			if sub.Flat() {
+				matoms, err := o.readAtoms(mh.d)
+				if err != nil {
+					res.Lost = append(res.Lost, fmt.Sprintf("member %s: %v", memberPath, err))
+					continue
+				}
+				mt, err := assemble(sub, matoms, nil)
+				if err != nil {
+					res.Lost = append(res.Lost, fmt.Sprintf("member %s: %v", memberPath, err))
+					continue
+				}
+				tbl.Append(mt)
+				continue
+			}
+			tbl.Append(m.salvageLevel(o, sub, mh, memberPath, res))
+		}
+	}
+	tup := make(model.Tuple, len(tt.Attrs))
+	ai, si := 0, 0
+	for i, a := range tt.Attrs {
+		if a.Type.Kind == model.KindTable {
+			tup[i] = subs[si]
+			si++
+		} else {
+			tup[i] = atoms[ai]
+			ai++
+		}
+	}
+	return tup
+}

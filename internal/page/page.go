@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"repro/internal/dberr"
 )
 
 // Size is the size of every database page in bytes.
@@ -74,7 +76,7 @@ func AppendTID(b []byte, t TID) []byte {
 // DecodeTID reads a TID encoded by AppendTID.
 func DecodeTID(b []byte) (TID, error) {
 	if len(b) < EncodedTIDLen {
-		return TID{}, errors.New("page: short TID encoding")
+		return TID{}, dberr.Corruptf("page: short TID encoding")
 	}
 	return TID{Page: binary.LittleEndian.Uint32(b), Slot: binary.LittleEndian.Uint16(b[4:])}, nil
 }
@@ -110,7 +112,7 @@ func AppendMiniTID(b []byte, m MiniTID) []byte {
 // DecodeMiniTID reads a MiniTID encoded by AppendMiniTID.
 func DecodeMiniTID(b []byte) (MiniTID, error) {
 	if len(b) < EncodedMiniTIDLen {
-		return MiniTID{}, errors.New("page: short MiniTID encoding")
+		return MiniTID{}, dberr.Corruptf("page: short MiniTID encoding")
 	}
 	return MiniTID{Page: binary.LittleEndian.Uint16(b), Slot: binary.LittleEndian.Uint16(b[2:])}, nil
 }
@@ -384,20 +386,38 @@ func (p *Page) Compact() {
 // zeros and must be Init'ed before use).
 func (p *Page) Initialized() bool { return p.u16(offFreeEnd) != 0 }
 
-// --- checksums (torn-write detection) --------------------------------
+// --- checksums (corruption detection) --------------------------------
 //
 // The spare header field carries a 16-bit fold of the CRC-32 of the
-// whole page. The buffer pool seals a page immediately before writing
-// it back and verifies on every physical read, so a torn page write
-// (half old image, half new) surfaces as a clean error instead of
-// silent corruption — and crash recovery can rebuild the page from the
-// log. A stored checksum of zero means "unsealed" (a freshly allocated
-// page or one materialized as zeros) and is accepted.
+// whole page *and its identity* (segment id, page number). The buffer
+// pool seals a page immediately before writing it back and verifies on
+// every physical read, so three silent-corruption signatures surface
+// as clean errors instead of wrong answers:
+//
+//   - a torn write (half old image, half new): body CRC mismatch;
+//   - bit rot anywhere on the page: body CRC mismatch;
+//   - a misdirected write (the image of page P landing at page Q's
+//     offset): the CRC verifies against Q's identity and fails even
+//     though the image itself is internally consistent.
+//
+// A stored checksum of zero means "unsealed". Since every image that
+// leaves the buffer pool is sealed first, the only legitimate unsealed
+// on-disk image is an all-zero page (allocated but never written
+// back). A *nonzero* unsealed image — e.g. a sealed page whose
+// checksum field alone rotted to zero — therefore fails verification;
+// pre-PR this was silently accepted. An all-zero image still passes
+// here, because the page layer cannot know whether the page was ever
+// sealed; the buffer pool closes that last hole by cross-checking the
+// pages recovery proved to hold committed data (see buffer.MarkSealed).
 
-// checksumOf folds the page CRC to 16 bits, never returning the
-// reserved "unsealed" value 0.
-func (p *Page) checksumOf() uint16 {
+// checksumOf folds the CRC of the page image and its identity to 16
+// bits, never returning the reserved "unsealed" value 0.
+func (p *Page) checksumOf(seg uint16, no uint32) uint16 {
+	var id [6]byte
+	binary.LittleEndian.PutUint16(id[0:], seg)
+	binary.LittleEndian.PutUint32(id[2:], no)
 	crc := crc32.NewIEEE()
+	crc.Write(id[:])
 	crc.Write(p.b[:offChecksum])
 	crc.Write([]byte{0, 0})
 	crc.Write(p.b[offChecksum+2:])
@@ -409,15 +429,71 @@ func (p *Page) checksumOf() uint16 {
 	return c
 }
 
-// Seal stamps the page checksum; call just before the image leaves the
-// buffer pool for the backing store.
-func (p *Page) Seal() { p.setU16(offChecksum, p.checksumOf()) }
+// Seal stamps the page checksum, binding the image to its location;
+// call just before the image leaves the buffer pool for the backing
+// store.
+func (p *Page) Seal(seg uint16, no uint32) { p.setU16(offChecksum, p.checksumOf(seg, no)) }
 
-// ChecksumOK verifies a page image read from the backing store.
-func (p *Page) ChecksumOK() bool {
+// Sealed reports whether the image carries a checksum.
+func (p *Page) Sealed() bool { return p.u16(offChecksum) != 0 }
+
+// ChecksumOK verifies a page image read from the backing store
+// against the location it was read from.
+func (p *Page) ChecksumOK(seg uint16, no uint32) bool {
 	stored := p.u16(offChecksum)
 	if stored == 0 {
-		return true // unsealed: never went through a sealed write-back
+		// Unsealed images are acceptable only as all-zero pages
+		// (allocated, never written back). Anything else is a sealed
+		// image whose checksum field itself was damaged.
+		return p.IsZero()
 	}
-	return stored == p.checksumOf()
+	return stored == p.checksumOf(seg, no)
+}
+
+// IsZero reports whether every byte of the image is zero — the state
+// of an allocated page that was never written back.
+func (p *Page) IsZero() bool {
+	for _, b := range p.b {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate structurally checks the slot directory of an initialized
+// page: header bounds, slot entries inside the record area, and no
+// overlap of a record with the slot directory. It complements the
+// checksum (which only proves the image matches what was written, not
+// that what was written is well-formed) and is the scrubber's
+// page-level cross-check.
+func (p *Page) Validate() error {
+	if !p.Initialized() {
+		return nil // all-zero / unformatted: nothing to check
+	}
+	ns := p.NumSlots()
+	freeStart := int(p.u16(offFreeStart))
+	freeEnd := int(p.u16(offFreeEnd))
+	dirEnd := headerSize + ns*slotSize
+	if freeStart != dirEnd {
+		return ErrBadStructure("freeStart does not match the slot directory end")
+	}
+	if freeEnd < freeStart || freeEnd > Size {
+		return ErrBadStructure("free-space bounds out of range")
+	}
+	for s := 0; s < ns; s++ {
+		off, l := p.slot(uint16(s))
+		if l == deadLen {
+			continue
+		}
+		if int(off) < freeEnd || int(off)+int(l) > Size {
+			return ErrBadStructure("slot entry points outside the record area")
+		}
+	}
+	return nil
+}
+
+// ErrBadStructure builds a typed structural-corruption error.
+func ErrBadStructure(msg string) error {
+	return dberr.Corruptf("page: bad structure: %s", msg)
 }

@@ -3,6 +3,8 @@ package segment
 import (
 	"errors"
 	"time"
+
+	"repro/internal/dberr"
 )
 
 // TransientError marks an error as transient: the failed operation may
@@ -14,8 +16,14 @@ type TransientError interface {
 }
 
 // IsTransient reports whether err (or anything it wraps) declares
-// itself transient.
+// itself transient. Corruption is always permanent: re-reading a
+// rotted page returns the same bytes, so burning the retry budget on
+// it only delays the quarantine — even if a fault-injecting store
+// also tags the error as transient.
 func IsTransient(err error) bool {
+	if errors.Is(err, dberr.ErrCorrupt) {
+		return false
+	}
 	var te TransientError
 	return errors.As(err, &te) && te.Transient()
 }

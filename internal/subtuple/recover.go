@@ -68,7 +68,7 @@ func Recover(log *wal.Log, pool *buffer.Pool) error {
 		if err != nil {
 			return err
 		}
-		if !f.Page.Initialized() || !f.Page.ChecksumOK() || f.Page.LSN() > lastCommit {
+		if !f.Page.Initialized() || !f.Page.ChecksumOK(uint16(k.Seg), k.Page) || f.Page.LSN() > lastCommit {
 			f.Page.Init()
 		}
 		pool.Unpin(f, true)

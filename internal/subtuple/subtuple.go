@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/buffer"
+	"repro/internal/dberr"
 	"repro/internal/page"
 	"repro/internal/segment"
 	"repro/internal/wal"
@@ -40,6 +41,11 @@ const (
 // maxRecord bounds a single on-page record; larger bodies are split
 // into overflow chunks.
 const maxRecord = page.Size - 64
+
+// maxLong bounds the declared size of a long (overflow-chained)
+// record. Far above anything the engine writes; its job is to keep a
+// corrupt length header from driving a giant allocation.
+const maxLong = 1 << 30
 
 // ErrNotFound reports a read through a TID that holds no record.
 var ErrNotFound = errors.New("subtuple: record not found")
@@ -159,6 +165,12 @@ func (s *Store) readRaw(t page.TID) ([]byte, error) {
 		return nil, err
 	}
 	defer s.pool.Unpin(f, false)
+	if !f.Page.Initialized() {
+		// An allocated page can never legitimately revert to the
+		// uninitialized (all-zero) state: a reference into one means the
+		// page was zeroed underneath us, not that the record is absent.
+		return nil, dberr.Corruptf("subtuple: reference %v into uninitialized page %d.%d", t, s.seg, t.Page)
+	}
 	rec, err := f.Page.Read(t.Slot)
 	if err != nil {
 		return nil, ErrNotFound
@@ -304,7 +316,7 @@ type decoded struct {
 
 func (s *Store) decode(rec []byte) (*decoded, error) {
 	if len(rec) == 0 {
-		return nil, fmt.Errorf("subtuple: empty record")
+		return nil, dberr.Corruptf("subtuple: empty record")
 	}
 	s.nDecoded.Add(1)
 	d := &decoded{flags: rec[0]}
@@ -312,7 +324,7 @@ func (s *Store) decode(rec []byte) (*decoded, error) {
 	if d.flags&fVer != 0 {
 		ts, n := binary.Varint(p)
 		if n <= 0 {
-			return nil, fmt.Errorf("subtuple: corrupt version header")
+			return nil, dberr.Corruptf("subtuple: corrupt version header")
 		}
 		d.fromTS = ts
 		p = p[n:]
@@ -326,32 +338,44 @@ func (s *Store) decode(rec []byte) (*decoded, error) {
 	if d.flags&fLong != 0 {
 		total, n := binary.Uvarint(p)
 		if n <= 0 {
-			return nil, fmt.Errorf("subtuple: corrupt long header")
+			return nil, dberr.Corruptf("subtuple: corrupt long header")
 		}
 		p = p[n:]
 		first, err := page.DecodeTID(p)
 		if err != nil {
 			return nil, err
 		}
+		if total > maxLong {
+			return nil, dberr.Corruptf("subtuple: long record declares %d bytes", total)
+		}
 		payload := make([]byte, 0, total)
 		cur := first
 		for !cur.Nil() {
 			raw, err := s.readRaw(cur)
 			if err != nil {
-				return nil, fmt.Errorf("subtuple: broken overflow chain: %w", err)
+				// A dangling chunk reference is lost data regardless of
+				// how the read failed (missing record, unallocated page).
+				if dberr.IsCorrupt(err) {
+					return nil, fmt.Errorf("subtuple: broken overflow chain: %w", err)
+				}
+				return nil, dberr.Corruptf("subtuple: broken overflow chain: %v", err)
 			}
-			if raw[0]&fChunk == 0 {
-				return nil, fmt.Errorf("subtuple: overflow chain hit non-chunk record")
+			if len(raw) <= 1+page.EncodedTIDLen || raw[0]&fChunk == 0 {
+				return nil, dberr.Corruptf("subtuple: overflow chain hit non-chunk record")
 			}
 			next, err := page.DecodeTID(raw[1:])
 			if err != nil {
 				return nil, err
 			}
 			payload = append(payload, raw[1+page.EncodedTIDLen:]...)
+			// Chunks are non-empty, so this also bounds a cyclic chain.
+			if uint64(len(payload)) > total {
+				return nil, dberr.Corruptf("subtuple: overflow chain exceeds declared length %d", total)
+			}
 			cur = next
 		}
 		if uint64(len(payload)) != total {
-			return nil, fmt.Errorf("subtuple: overflow chain length %d, want %d", len(payload), total)
+			return nil, dberr.Corruptf("subtuple: overflow chain length %d, want %d", len(payload), total)
 		}
 		d.payload = payload
 		return d, nil
@@ -393,24 +417,48 @@ func (s *Store) freeOverflow(rec []byte) error {
 	return nil
 }
 
+// readPrev reads one step of a version chain. A previous version that
+// cannot be read is lost history — classified corruption, whatever
+// shape the underlying failure takes.
+func (s *Store) readPrev(t page.TID) (*decoded, error) {
+	raw, err := s.readRaw(t)
+	if err != nil {
+		if dberr.IsCorrupt(err) {
+			return nil, fmt.Errorf("subtuple: broken version chain: %w", err)
+		}
+		return nil, dberr.Corruptf("subtuple: broken version chain: %v", err)
+	}
+	return s.decode(raw)
+}
+
 // resolve follows forwarding stubs from the anchor and returns the
 // physical location plus the raw record found there.
 func (s *Store) resolve(t page.TID) (page.TID, []byte, error) {
 	for hop := 0; ; hop++ {
 		raw, err := s.readRaw(t)
 		if err != nil {
+			// The anchor may simply not exist (caller's problem), but a
+			// forwarding stub promised a record at t: any failure past
+			// hop 0 is a broken forwarding chain, i.e. corruption.
+			if hop > 0 && !dberr.IsCorrupt(err) && !errors.Is(err, ErrNotFound) {
+				return page.TID{}, nil, dberr.Corruptf("subtuple: broken forwarding chain at %v: %v", t, err)
+			}
 			return page.TID{}, nil, err
+		}
+		if len(raw) == 0 {
+			return page.TID{}, nil, dberr.Corruptf("subtuple: empty record at %v", t)
 		}
 		if raw[0]&fFwd == 0 {
 			return t, raw, nil
 		}
 		if hop > 8 {
-			return page.TID{}, nil, fmt.Errorf("subtuple: forwarding loop at %v", t)
+			return page.TID{}, nil, dberr.Corruptf("subtuple: forwarding loop at %v", t)
 		}
-		t, err = page.DecodeTID(raw[1:])
+		next, err := page.DecodeTID(raw[1:])
 		if err != nil {
-			return page.TID{}, nil, err
+			return page.TID{}, nil, dberr.Corruptf("subtuple: corrupt forwarding stub at %v: %v", t, err)
 		}
+		t = next
 	}
 }
 
@@ -482,6 +530,7 @@ func (s *Store) ReadAsOf(t page.TID, ts int64) ([]byte, bool, error) {
 		}
 		return d.payload, true, nil
 	}
+	seen := make(map[page.TID]bool)
 	for {
 		if d.fromTS <= ts {
 			if d.flags&fTomb != 0 {
@@ -492,11 +541,11 @@ func (s *Store) ReadAsOf(t page.TID, ts int64) ([]byte, bool, error) {
 		if d.prev.Nil() {
 			return nil, false, nil // did not exist yet
 		}
-		raw, err := s.readRaw(d.prev)
-		if err != nil {
-			return nil, false, err
+		if seen[d.prev] {
+			return nil, false, dberr.Corruptf("subtuple: version chain cycle at %v", d.prev)
 		}
-		d, err = s.decode(raw)
+		seen[d.prev] = true
+		d, err = s.readPrev(d.prev)
 		if err != nil {
 			return nil, false, err
 		}
@@ -632,6 +681,12 @@ func (s *Store) Scan(fn func(t page.TID, data []byte) error) error {
 		if err != nil {
 			return err
 		}
+		if !f.Page.Initialized() {
+			// A zeroed allocated page would otherwise scan as "no
+			// records" — silent row loss rather than a detected fault.
+			s.pool.Unpin(f, false)
+			return dberr.Corruptf("subtuple: allocated page %d.%d is uninitialized (zeroed?)", s.seg, pg)
+		}
 		n := f.Page.NumSlots()
 		type item struct {
 			slot uint16
@@ -690,6 +745,10 @@ func (s *Store) ScanAsOf(ts int64, fn func(t page.TID, data []byte) error) error
 		if err != nil {
 			return err
 		}
+		if !f.Page.Initialized() {
+			s.pool.Unpin(f, false)
+			return dberr.Corruptf("subtuple: allocated page %d.%d is uninitialized (zeroed?)", s.seg, pg)
+		}
 		n := f.Page.NumSlots()
 		var slots []uint16
 		for sl := 0; sl < n; sl++ {
@@ -743,6 +802,7 @@ func (s *Store) History(t page.TID) ([]Version, error) {
 		return []Version{{Payload: d.payload}}, nil
 	}
 	var out []Version
+	seen := make(map[page.TID]bool)
 	for {
 		v := Version{FromTS: d.fromTS, Deleted: d.flags&fTomb != 0}
 		if !v.Deleted {
@@ -752,11 +812,11 @@ func (s *Store) History(t page.TID) ([]Version, error) {
 		if d.prev.Nil() {
 			return out, nil
 		}
-		raw, err := s.readRaw(d.prev)
-		if err != nil {
-			return nil, err
+		if seen[d.prev] {
+			return nil, dberr.Corruptf("subtuple: version chain cycle at %v", d.prev)
 		}
-		d, err = s.decode(raw)
+		seen[d.prev] = true
+		d, err = s.readPrev(d.prev)
 		if err != nil {
 			return nil, err
 		}

@@ -54,6 +54,20 @@ func New(name, table string, path []string) *Index {
 // Words returns the vocabulary size.
 func (ix *Index) Words() int { return len(ix.postings) }
 
+// Walk visits every posting list in sorted word order; the scrubber
+// uses it to compare a live index against a freshly built shadow. The
+// callback must not retain or mutate addrs.
+func (ix *Index) Walk(fn func(word string, addrs []index.Addr)) {
+	words := make([]string, 0, len(ix.postings))
+	for w := range ix.postings {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		fn(w, ix.postings[w])
+	}
+}
+
 // Fragments returns the number of distinct fragments.
 func (ix *Index) Fragments() int { return len(ix.fragments) }
 
