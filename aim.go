@@ -102,6 +102,11 @@ type Options struct {
 	// PoolPages is the buffer pool capacity in 4 KiB pages
 	// (default 1024).
 	PoolPages int
+	// PoolShards overrides the buffer pool's lock-stripe count (a
+	// power of two; 0 derives it from PoolPages). The pool shards
+	// automatically for large capacities; set this only to force a
+	// specific stripe count in benchmarks or tests.
+	PoolShards int
 	// DisableWAL turns off write-ahead logging for on-disk databases.
 	DisableWAL bool
 	// DefaultLayout is the storage structure for new NF² tables
@@ -125,6 +130,7 @@ func Open(opts Options) (*DB, error) {
 	eng, err := engine.Open(engine.Options{
 		Dir:           opts.Dir,
 		PoolPages:     opts.PoolPages,
+		PoolShards:    opts.PoolShards,
 		DisableWAL:    opts.DisableWAL,
 		DefaultLayout: opts.DefaultLayout,
 		Clock:         opts.Clock,

@@ -9,6 +9,9 @@
 //	aimbench -run F7      # one figure
 //	aimbench -experiments # only the quantitative experiments
 //	aimbench -scale 4     # scale factor for the experiment workloads
+//	aimbench -clients 8 -duration 5s -out BENCH_5.json
+//	                      # concurrent read-throughput mode: a 1, N/2, N
+//	                      # client ladder over the Example-1..8 workload
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/testdata"
@@ -27,8 +31,20 @@ func main() {
 	experimentsOnly := flag.Bool("experiments", false, "run only the quantitative experiments")
 	scale := flag.Int("scale", 1, "workload scale factor for the experiments")
 	dir := flag.String("dir", "", "materialize the office database on disk at this directory after the run (inspect it with aimdoctor)")
+	clients := flag.Int("clients", 0, "concurrent-throughput mode: measure a 1..N client ladder instead of the paper artifacts")
+	duration := flag.Duration("duration", 2*time.Second, "how long each throughput rung runs (with -clients)")
+	iolat := flag.Duration("iolat", 150*time.Microsecond, "simulated device latency per physical page read (with -clients)")
+	out := flag.String("out", "BENCH_5.json", "throughput report path (with -clients; empty disables the file)")
 	flag.Parse()
 
+	if *clients > 0 {
+		if err := runThroughput(*clients, *scale, *duration, *iolat, *out, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aimbench:", err)
+			os.Exit(1)
+		}
+		materialize(*dir)
+		return
+	}
 	if *run != "" {
 		if err := runOne(*run, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "aimbench:", err)

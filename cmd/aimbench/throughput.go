@@ -1,0 +1,234 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/segment"
+	"repro/internal/testdata"
+)
+
+// Concurrent-throughput mode (-clients): measures how the read path
+// scales once the buffer pool is lock-striped and physical I/O happens
+// outside the shard locks. A ladder of client counts (1, N/2, N)
+// drives the mixed example workload through streaming QueryRows
+// cursors against one shared database whose DEPARTMENTS table is
+// generated far larger than the buffer pool, with a simulated
+// per-read device latency — so queries keep faulting pages and the
+// scaling comes from overlapping those reads across clients, which is
+// exactly what the old single-mutex pool (I/O under the lock) could
+// not do. The report (BENCH_5.json) records queries/second, p50/p99
+// latency and the buffer hit rate per rung, plus the max-vs-1-client
+// speedup.
+
+// Fixed benchmark configuration (reported in the JSON artifact).
+const (
+	benchPoolPages  = 128
+	benchPoolShards = 8
+)
+
+// slowStore simulates device latency on physical page reads. Writes
+// are not delayed: the benchmark database is read-only once loaded,
+// so only the fault path matters.
+type slowStore struct {
+	segment.Store
+	lat time.Duration
+}
+
+func (s *slowStore) ReadPage(no uint32, buf []byte) error {
+	if s.lat > 0 {
+		time.Sleep(s.lat)
+	}
+	return s.Store.ReadPage(no, buf)
+}
+
+// benchPoint is one rung of the client ladder.
+type benchPoint struct {
+	Clients int     `json:"clients"`
+	Queries int     `json:"queries"`
+	QPS     float64 `json:"qps"`
+	P50ms   float64 `json:"p50_ms"`
+	P99ms   float64 `json:"p99_ms"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// benchReport is the JSON artifact of one throughput run.
+type benchReport struct {
+	Bench         string       `json:"bench"`
+	Workload      string       `json:"workload"`
+	DurationSec   float64      `json:"duration_s"`
+	Scale         int          `json:"scale"`
+	IOLatencyUs   float64      `json:"io_latency_us"`
+	DataPages     uint32       `json:"data_pages"`
+	PoolPages     int          `json:"pool_pages"`
+	PoolShards    int          `json:"pool_shards"`
+	Points        []benchPoint `json:"points"`
+	SpeedupMaxVs1 float64      `json:"speedup_max_vs_1"`
+}
+
+// runThroughput measures the client ladder and writes the JSON report
+// to outPath ("" prints to stdout only).
+func runThroughput(maxClients, scale int, duration, iolat time.Duration, outPath string, w io.Writer) error {
+	if maxClients < 1 {
+		return fmt.Errorf("throughput: -clients must be >= 1, got %d", maxClients)
+	}
+	ladder := []int{1}
+	if half := maxClients / 2; half > 1 {
+		ladder = append(ladder, half)
+	}
+	if maxClients > 1 {
+		ladder = append(ladder, maxClients)
+	}
+
+	// One shared database for every rung: DEPARTMENTS generated well
+	// past the pool size, backed by latency-injecting stores.
+	cfg := testdata.GenConfig{
+		Departments: 120 * scale, ProjsPerDept: 8, MembersPerProj: 12,
+		EquipPerDept: 4, Seed: 42,
+	}
+	db, err := core.BenchOffice(cfg, engine.Options{
+		PoolPages:  benchPoolPages,
+		PoolShards: benchPoolShards,
+		OpenStore: func(segment.ID) (segment.Store, error) {
+			return &slowStore{Store: segment.NewMemStore(), lat: iolat}, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	// The load left most of the data dirty in the pool; flush it so
+	// the measured rungs evict clean pages and never write.
+	if err := db.Pool().FlushAll(); err != nil {
+		return err
+	}
+	queries := core.BenchQueries()
+
+	rep := benchReport{
+		Bench:       "BENCH_5 concurrent read throughput",
+		Workload:    "Examples 1-6, 8 round-robin (streaming QueryRows, generated DEPARTMENTS)",
+		DurationSec: duration.Seconds(),
+		Scale:       scale,
+		IOLatencyUs: float64(iolat) / float64(time.Microsecond),
+		DataPages:   totalPages(db),
+		PoolPages:   benchPoolPages,
+		PoolShards:  db.Pool().ShardCount(),
+	}
+	fmt.Fprintf(w, "\n================ concurrent read throughput (%s per rung) ================\n\n", duration)
+	fmt.Fprintf(w, "data: %d departments over %d pages; pool: %d pages, %d shards; read latency %s\n\n",
+		cfg.Departments, rep.DataPages, rep.PoolPages, rep.PoolShards, iolat)
+	fmt.Fprintf(w, "%8s %10s %12s %10s %10s %10s\n", "clients", "queries", "qps", "p50 ms", "p99 ms", "hit rate")
+	for _, clients := range ladder {
+		pt, err := measurePoint(db, queries, clients, duration)
+		if err != nil {
+			return err
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(w, "%8d %10d %12.1f %10.3f %10.3f %9.1f%%\n",
+			pt.Clients, pt.Queries, pt.QPS, pt.P50ms, pt.P99ms, 100*pt.HitRate)
+	}
+	if base := rep.Points[0].QPS; base > 0 {
+		last := rep.Points[len(rep.Points)-1]
+		rep.SpeedupMaxVs1 = last.QPS / base
+		fmt.Fprintf(w, "\nspeedup at %d clients vs 1: %.2fx\n", last.Clients, rep.SpeedupMaxVs1)
+	}
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("throughput: writing report: %w", err)
+		}
+		fmt.Fprintf(w, "report written to %s\n", outPath)
+	}
+	return nil
+}
+
+// measurePoint runs one rung: `clients` goroutines stream the
+// workload against the shared database for the given duration.
+func measurePoint(db *engine.DB, queries []core.ExampleQuery, clients int, duration time.Duration) (benchPoint, error) {
+	db.Pool().ResetStats()
+	deadline := time.Now().Add(duration)
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				start := time.Now()
+				if err := drainOne(db, q.Text); err != nil {
+					errs[c] = fmt.Errorf("client %d %s: %v", c, q.ID, err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return benchPoint{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	s := db.Pool().Stats()
+	pt := benchPoint{
+		Clients: clients,
+		Queries: len(all),
+		QPS:     float64(len(all)) / duration.Seconds(),
+		P50ms:   percentileMs(all, 0.50),
+		P99ms:   percentileMs(all, 0.99),
+	}
+	if s.Fetches > 0 {
+		pt.HitRate = float64(s.Hits) / float64(s.Fetches)
+	}
+	return pt, nil
+}
+
+// drainOne streams one query to completion and closes the cursor.
+func drainOne(db *engine.DB, q string) error {
+	rows, err := db.QueryRows(q)
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	rows.Close()
+	return rows.Err()
+}
+
+// totalPages sums the allocated pages of every registered segment.
+func totalPages(db *engine.DB) uint32 {
+	var n uint32
+	for _, id := range db.Segments() {
+		if st := db.Pool().Store(id); st != nil {
+			n += st.PageCount()
+		}
+	}
+	return n
+}
+
+func percentileMs(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

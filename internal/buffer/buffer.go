@@ -3,12 +3,23 @@
 // LRU replacement of unpinned frames, dirty-page write-back, and the
 // access statistics (logical fetches, physical reads and writes) that
 // the storage experiments report.
+//
+// The pool is lock-striped for concurrent readers: page keys hash to
+// independent shards, each with its own mutex, frame map, LRU list and
+// sealed-page set, so pins of unrelated pages never contend. Physical
+// reads happen outside the shard lock, deduplicated through a
+// per-shard in-flight read table: when N goroutines fault the same
+// absent page, exactly one performs the store read and the other N-1
+// wait on it and share the resulting frame (counted as buffer hits).
+// Access counters are shard-local atomics merged on demand, so Stats()
+// never takes a lock and never serializes the hot path.
 package buffer
 
 import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dberr"
 	"repro/internal/page"
@@ -34,7 +45,9 @@ type Frame struct {
 
 // Stats counts buffer pool traffic. Fetches is the number of logical
 // page accesses (Pin calls); Reads and Writes count physical I/O to
-// the backing stores.
+// the backing stores. For successful pins Fetches == Hits + Reads: a
+// pin that joins an in-flight read of the same page counts as a hit
+// (it performed no physical I/O of its own).
 type Stats struct {
 	Fetches uint64
 	Hits    uint64
@@ -42,77 +55,180 @@ type Stats struct {
 	Writes  uint64
 }
 
-// Pool is the buffer pool.
-type Pool struct {
+// shardStats are one shard's counters. They are plain atomics rather
+// than mutex-guarded fields so that the hot pin path never serializes
+// on statistics and Stats() snapshots are torn-read free.
+type shardStats struct {
+	fetches atomic.Uint64
+	hits    atomic.Uint64
+	reads   atomic.Uint64
+	writes  atomic.Uint64
+}
+
+// inflight is one pending physical read. The goroutine that installed
+// it performs the store read and publishes the frame (or the error),
+// then closes done; every other goroutine that faulted the same page
+// in the meantime has registered in waiters and receives an extra pin
+// on the published frame.
+type inflight struct {
+	done    chan struct{}
+	frame   *Frame
+	err     error
+	waiters int
+}
+
+// shard is one lock stripe of the pool: an independent frame map with
+// its own LRU, in-flight read table and sealed-page set.
+type shard struct {
 	mu       sync.Mutex
 	capacity int
-	stores   map[segment.ID]segment.Store
 	frames   map[PageKey]*Frame
 	lru      *list.List // front = most recently used; only unpinned frames
-	stats    Stats
+	reading  map[PageKey]*inflight
 	// sealed records every page known to hold a sealed (checksummed)
-	// image on its backing store: pages this pool wrote back plus pages
-	// recovery proved to hold committed data (MarkSealed). A verified
-	// read of such a page that comes back all-zero/unsealed is
+	// image on its backing store: pages this shard wrote back plus
+	// pages recovery proved to hold committed data (MarkSealed). A
+	// verified read of such a page that comes back all-zero/unsealed is
 	// corruption (zeroed rot), not a fresh page — without this record
 	// the zeroed image would be indistinguishable from a page that was
 	// never written.
 	sealed map[PageKey]struct{}
+	stats  shardStats
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	shards []*shard
+	mask   uint64 // len(shards)-1; len is a power of two
+
+	storesMu sync.RWMutex
+	stores   map[segment.ID]segment.Store
 
 	// FlushHook, when set, runs before a dirty frame is written back;
-	// the WAL uses it to enforce the write-ahead rule.
+	// the WAL uses it to enforce the write-ahead rule. It is invoked
+	// under the owning shard's lock (never under any global pool lock)
+	// with the frame's LSN, which is stable at that point: the frame is
+	// unpinned or being flushed under the engine's exclusive statement
+	// lock, so no mutator can advance its LSN concurrently. Lock
+	// ordering: shard lock ≺ log mutex; the hook must not call back
+	// into the pool.
 	FlushHook func(key PageKey, lsn uint64) error
 }
 
-// NewPool creates a pool with room for capacity pages.
+// minFramesPerShard bounds how thin sharding may slice a pool: below
+// this many frames per shard the stripes are so small that eviction
+// behavior would visibly diverge from a unified pool (and tiny test
+// pools would change semantics), so small pools stay single-shard.
+const minFramesPerShard = 8
+
+// maxShards caps the stripe count; past ~16 stripes the shard mutexes
+// stop being a measurable contention point for any realistic core
+// count this prototype targets.
+const maxShards = 16
+
+// NewPool creates a pool with room for capacity pages, striped over a
+// shard count derived from the capacity (single shard for small
+// pools, up to maxShards for large ones).
 func NewPool(capacity int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
-		capacity: capacity,
-		stores:   make(map[segment.ID]segment.Store),
-		frames:   make(map[PageKey]*Frame),
-		lru:      list.New(),
-		sealed:   make(map[PageKey]struct{}),
+	shards := 1
+	for shards*2 <= maxShards && capacity/(shards*2) >= minFramesPerShard {
+		shards *= 2
 	}
+	return NewPoolShards(capacity, shards)
+}
+
+// NewPoolShards creates a pool with an explicit shard count (rounded
+// down to a power of two, minimum 1). Total capacity is split evenly;
+// every shard gets at least one frame, so the effective capacity is
+// rounded up to a multiple of the shard count.
+func NewPoolShards(capacity, shards int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	// Round down to a power of two so shardOf can mask.
+	for shards&(shards-1) != 0 {
+		shards &= shards - 1
+	}
+	perShard := (capacity + shards - 1) / shards
+	p := &Pool{
+		shards: make([]*shard, shards),
+		mask:   uint64(shards - 1),
+		stores: make(map[segment.ID]segment.Store),
+	}
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			capacity: perShard,
+			frames:   make(map[PageKey]*Frame),
+			lru:      list.New(),
+			reading:  make(map[PageKey]*inflight),
+			sealed:   make(map[PageKey]struct{}),
+		}
+	}
+	return p
+}
+
+// shardOf maps a page key to its stripe.
+func (p *Pool) shardOf(key PageKey) *shard { return p.shards[p.ShardIndex(key)] }
+
+// ShardCount returns the number of lock stripes.
+func (p *Pool) ShardCount() int { return len(p.shards) }
+
+// ShardIndex returns the stripe a page key maps to; the property
+// tests use it to replay per-shard traces against a reference model.
+func (p *Pool) ShardIndex(key PageKey) int {
+	h := uint64(key.Page)<<16 | uint64(key.Seg)
+	h *= 0x9E3779B97F4A7C15 // Fibonacci hashing: spread low-entropy keys
+	return int((h >> 47) & p.mask)
 }
 
 // Register attaches a segment store to the pool under the given id.
 func (p *Pool) Register(id segment.ID, st segment.Store) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.storesMu.Lock()
+	defer p.storesMu.Unlock()
 	p.stores[id] = st
 }
 
 // Store returns the registered store for a segment.
 func (p *Pool) Store(id segment.ID) segment.Store {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.storesMu.RLock()
+	defer p.storesMu.RUnlock()
 	return p.stores[id]
 }
 
-// Stats returns a snapshot of the access counters.
+// Stats returns a snapshot of the access counters, merged across
+// shards without taking any lock.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	var s Stats
+	for _, sh := range p.shards {
+		s.Fetches += sh.stats.fetches.Load()
+		s.Hits += sh.stats.hits.Load()
+		s.Reads += sh.stats.reads.Load()
+		s.Writes += sh.stats.writes.Load()
+	}
+	return s
 }
 
 // ResetStats zeroes the access counters.
 func (p *Pool) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	for _, sh := range p.shards {
+		sh.stats.fetches.Store(0)
+		sh.stats.hits.Store(0)
+		sh.stats.reads.Store(0)
+		sh.stats.writes.Store(0)
+	}
 }
 
 // Allocate reserves a fresh page in the segment and returns its
 // number. The page is not formatted; callers Pin it and Init the
 // page view.
 func (p *Pool) Allocate(id segment.ID) (uint32, error) {
-	p.mu.Lock()
-	st := p.stores[id]
-	p.mu.Unlock()
+	st := p.Store(id)
 	if st == nil {
 		return 0, fmt.Errorf("buffer: segment %d not registered", id)
 	}
@@ -138,60 +254,98 @@ func (p *Pool) Pin(key PageKey) (*Frame, error) { return p.pin(key, true) }
 func (p *Pool) PinNoVerify(key PageKey) (*Frame, error) { return p.pin(key, false) }
 
 func (p *Pool) pin(key PageKey, verify bool) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Fetches++
-	if f, ok := p.frames[key]; ok {
-		p.stats.Hits++
+	sh := p.shardOf(key)
+	sh.stats.fetches.Add(1)
+	sh.mu.Lock()
+	if f, ok := sh.frames[key]; ok {
+		sh.stats.hits.Add(1)
 		if f.lru != nil {
-			p.lru.Remove(f.lru)
+			sh.lru.Remove(f.lru)
 			f.lru = nil
 		}
 		f.pins++
+		sh.mu.Unlock()
 		return f, nil
 	}
-	st := p.stores[key.Seg]
+	if fl, ok := sh.reading[key]; ok {
+		// Another goroutine is already reading this page: join its
+		// read instead of issuing a second one. The reader pins the
+		// published frame once per registered waiter, so the frame
+		// cannot be evicted between publish and wake-up.
+		fl.waiters++
+		sh.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		sh.stats.hits.Add(1)
+		return fl.frame, nil
+	}
+	st := p.Store(key.Seg)
 	if st == nil {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("buffer: segment %d not registered", key.Seg)
 	}
-	f, err := p.freeFrameLocked()
+	f, err := p.freeFrameLocked(sh)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
-	p.stats.Reads++
-	if err := st.ReadPage(key.Page, f.buf); err != nil {
-		p.releaseFrameLocked(f)
-		return nil, err
-	}
-	if verify {
-		if !f.Page.ChecksumOK(uint16(key.Seg), key.Page) {
-			p.releaseFrameLocked(f)
-			return nil, fmt.Errorf("%w: checksum mismatch at %v.%d", ErrCorrupt, key.Seg, key.Page)
-		}
-		if _, wasSealed := p.sealed[key]; wasSealed && !f.Page.Sealed() {
+	fl := &inflight{done: make(chan struct{})}
+	sh.reading[key] = fl
+	_, wasSealed := sh.sealed[key]
+	sh.stats.reads.Add(1)
+	sh.mu.Unlock()
+
+	// The physical read runs outside the shard lock: pins of other
+	// pages in this shard proceed while the store is busy.
+	err = st.ReadPage(key.Page, f.buf)
+	if err == nil && verify {
+		switch {
+		case !f.Page.ChecksumOK(uint16(key.Seg), key.Page):
+			err = fmt.Errorf("%w: checksum mismatch at %v.%d", ErrCorrupt, key.Seg, key.Page)
+		case wasSealed && !f.Page.Sealed():
 			// The image passed ChecksumOK only because it is all zeros —
 			// but this page was sealed before, so its content was lost.
-			p.releaseFrameLocked(f)
-			return nil, fmt.Errorf("%w: sealed page %v.%d reads back all-zero", ErrCorrupt, key.Seg, key.Page)
+			err = fmt.Errorf("%w: sealed page %v.%d reads back all-zero", ErrCorrupt, key.Seg, key.Page)
 		}
 	}
+
+	sh.mu.Lock()
+	delete(sh.reading, key)
+	if err != nil {
+		// The frame is simply dropped (it was never in sh.frames); the
+		// waiters all see this error, and a later Pin starts a fresh
+		// read — a transient fault is not replayed to them K times.
+		fl.err = err
+		sh.mu.Unlock()
+		close(fl.done)
+		return nil, err
+	}
 	f.Key = key
-	f.pins = 1
+	f.pins = 1 + fl.waiters
 	f.dirty = false
-	p.frames[key] = f
+	sh.frames[key] = f
+	fl.frame = f
+	sh.mu.Unlock()
+	close(fl.done)
 	return f, nil
 }
 
 // PinNew pins a freshly allocated page and initializes it as an empty
 // slotted page, skipping the physical read.
 func (p *Pool) PinNew(key PageKey) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.Fetches++
-	if _, ok := p.frames[key]; ok {
+	sh := p.shardOf(key)
+	sh.stats.fetches.Add(1)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.frames[key]; ok {
 		return nil, fmt.Errorf("buffer: PinNew of already-buffered page %v", key)
 	}
-	f, err := p.freeFrameLocked()
+	if _, ok := sh.reading[key]; ok {
+		return nil, fmt.Errorf("buffer: PinNew of page %v with a read in flight", key)
+	}
+	f, err := p.freeFrameLocked(sh)
 	if err != nil {
 		return nil, err
 	}
@@ -199,14 +353,15 @@ func (p *Pool) PinNew(key PageKey) (*Frame, error) {
 	f.pins = 1
 	f.dirty = true
 	f.Page.Init()
-	p.frames[key] = f
+	sh.frames[key] = f
 	return f, nil
 }
 
 // Unpin releases one pin; dirty marks the frame as modified.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	sh := p.shardOf(f.Key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if dirty {
 		f.dirty = true
 	}
@@ -222,59 +377,56 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 		panic("buffer: unpin of unpinned frame")
 	}
 	if f.pins == 0 {
-		f.lru = p.lru.PushFront(f)
+		f.lru = sh.lru.PushFront(f)
 	}
 }
 
-// freeFrameLocked finds or evicts a frame.
-func (p *Pool) freeFrameLocked() (*Frame, error) {
-	if len(p.frames) < p.capacity {
+// freeFrameLocked finds or evicts a frame in sh; sh.mu is held.
+// In-flight reads count against the shard's capacity — their frames
+// are reserved even though they are not yet in sh.frames.
+func (p *Pool) freeFrameLocked(sh *shard) (*Frame, error) {
+	if len(sh.frames)+len(sh.reading) < sh.capacity {
 		buf := make([]byte, page.Size)
 		return &Frame{buf: buf, Page: page.View(buf)}, nil
 	}
 	// Evict the least recently used unpinned frame.
-	el := p.lru.Back()
+	el := sh.lru.Back()
 	if el == nil {
-		return nil, fmt.Errorf("buffer: pool exhausted (%d frames, all pinned)", p.capacity)
+		return nil, fmt.Errorf("buffer: pool exhausted (%d frames, all pinned)", sh.capacity)
 	}
 	victim := el.Value.(*Frame)
-	p.lru.Remove(el)
+	sh.lru.Remove(el)
 	victim.lru = nil
 	if victim.dirty {
-		if err := p.writeBackLocked(victim); err != nil {
+		if err := p.writeBackLocked(sh, victim); err != nil {
 			// Put the victim back on the LRU: it is still a valid
 			// buffered page. Leaving it off the list while it stays in
-			// p.frames would make it unevictable forever, shrinking the
+			// sh.frames would make it unevictable forever, shrinking the
 			// pool by one frame per failed write-back.
-			victim.lru = p.lru.PushBack(victim)
+			victim.lru = sh.lru.PushBack(victim)
 			return nil, err
 		}
 	}
-	delete(p.frames, victim.Key)
+	delete(sh.frames, victim.Key)
 	return victim, nil
 }
 
-func (p *Pool) releaseFrameLocked(f *Frame) {
-	// A frame that failed to load is simply dropped; it was never in
-	// p.frames.
-}
-
-func (p *Pool) writeBackLocked(f *Frame) error {
+func (p *Pool) writeBackLocked(sh *shard, f *Frame) error {
 	if p.FlushHook != nil {
 		if err := p.FlushHook(f.Key, f.Page.LSN()); err != nil {
 			return err
 		}
 	}
-	st := p.stores[f.Key.Seg]
+	st := p.Store(f.Key.Seg)
 	if st == nil {
 		return fmt.Errorf("buffer: segment %d not registered", f.Key.Seg)
 	}
 	f.Page.Seal(uint16(f.Key.Seg), f.Key.Page)
-	p.stats.Writes++
+	sh.stats.writes.Add(1)
 	if err := st.WritePage(f.Key.Page, f.buf); err != nil {
 		return err
 	}
-	p.sealed[f.Key] = struct{}{}
+	sh.sealed[f.Key] = struct{}{}
 	f.dirty = false
 	return nil
 }
@@ -284,23 +436,32 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 // Crash recovery calls this for every page it proves to carry
 // committed data.
 func (p *Pool) MarkSealed(key PageKey) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.sealed[key] = struct{}{}
+	sh := p.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.sealed[key] = struct{}{}
 }
 
 // FlushAll writes back every dirty frame (pinned or not) and syncs
-// all stores. Used at commit, checkpoint and shutdown.
+// all stores. Used at commit, checkpoint and shutdown; callers
+// serialize it against mutators (the engine holds the exclusive
+// statement lock), so locking one shard at a time is a consistent
+// flush.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if f.dirty {
-			if err := p.writeBackLocked(f); err != nil {
-				return err
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.dirty {
+				if err := p.writeBackLocked(sh, f); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
+	p.storesMu.RLock()
+	defer p.storesMu.RUnlock()
 	for _, st := range p.stores {
 		if err := st.Sync(); err != nil {
 			return err
@@ -314,25 +475,30 @@ func (p *Pool) FlushAll() error {
 // tests use it to model losing the page cache; the engine's
 // statement-abort path uses it to discard an aborted statement's
 // buffered effects — and any pins leaked by a recovered panic —
-// before rebuilding the committed state from the log.
+// before rebuilding the committed state from the log. Callers hold
+// the exclusive statement lock, so no reads are in flight.
 func (p *Pool) InvalidateAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.frames = make(map[PageKey]*Frame)
-	p.lru.Init()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		sh.frames = make(map[PageKey]*Frame)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }
 
 // PinnedCount returns the number of currently pinned frames; tests
 // use it to verify that error and cancellation paths release every
 // page.
 func (p *Pool) PinnedCount() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	n := 0
-	for _, f := range p.frames {
-		if f.pins > 0 {
-			n++
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, f := range sh.frames {
+			if f.pins > 0 {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

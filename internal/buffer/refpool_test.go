@@ -1,0 +1,190 @@
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/page"
+	"repro/internal/segment"
+)
+
+// refPool is the pre-sharding buffer pool, vendored verbatim as the
+// reference model for TestShardedPoolEquivalence: a single mutex, one
+// frame map, one LRU, one sealed set. Each shard of the sharded pool
+// must behave exactly like one refPool of the shard's capacity —
+// same hit/miss classification, same eviction victims, same sealed
+// verdicts, same counters.
+type refPool struct {
+	mu       sync.Mutex
+	capacity int
+	stores   map[segment.ID]segment.Store
+	frames   map[PageKey]*refFrame
+	lru      *list.List
+	stats    Stats
+	sealed   map[PageKey]struct{}
+}
+
+type refFrame struct {
+	key   PageKey
+	page  *page.Page
+	buf   []byte
+	pins  int
+	dirty bool
+	lru   *list.Element
+}
+
+func newRefPool(capacity int) *refPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &refPool{
+		capacity: capacity,
+		stores:   make(map[segment.ID]segment.Store),
+		frames:   make(map[PageKey]*refFrame),
+		lru:      list.New(),
+		sealed:   make(map[PageKey]struct{}),
+	}
+}
+
+func (p *refPool) register(id segment.ID, st segment.Store) { p.stores[id] = st }
+
+func (p *refPool) snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+func (p *refPool) pin(key PageKey) (*refFrame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Fetches++
+	if f, ok := p.frames[key]; ok {
+		p.stats.Hits++
+		if f.lru != nil {
+			p.lru.Remove(f.lru)
+			f.lru = nil
+		}
+		f.pins++
+		return f, nil
+	}
+	st := p.stores[key.Seg]
+	if st == nil {
+		return nil, fmt.Errorf("refpool: segment %d not registered", key.Seg)
+	}
+	f, err := p.freeFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	p.stats.Reads++
+	if err := st.ReadPage(key.Page, f.buf); err != nil {
+		return nil, err
+	}
+	if !f.page.ChecksumOK(uint16(key.Seg), key.Page) {
+		return nil, fmt.Errorf("%w: checksum mismatch at %v.%d", ErrCorrupt, key.Seg, key.Page)
+	}
+	if _, wasSealed := p.sealed[key]; wasSealed && !f.page.Sealed() {
+		return nil, fmt.Errorf("%w: sealed page %v.%d reads back all-zero", ErrCorrupt, key.Seg, key.Page)
+	}
+	f.key = key
+	f.pins = 1
+	f.dirty = false
+	p.frames[key] = f
+	return f, nil
+}
+
+func (p *refPool) pinNew(key PageKey) (*refFrame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Fetches++
+	if _, ok := p.frames[key]; ok {
+		return nil, fmt.Errorf("refpool: PinNew of already-buffered page %v", key)
+	}
+	f, err := p.freeFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	f.key = key
+	f.pins = 1
+	f.dirty = true
+	f.page.Init()
+	p.frames[key] = f
+	return f, nil
+}
+
+func (p *refPool) unpin(f *refFrame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins < 0 {
+		panic("refpool: unpin of unpinned frame")
+	}
+	if f.pins == 0 {
+		f.lru = p.lru.PushFront(f)
+	}
+}
+
+func (p *refPool) freeFrameLocked() (*refFrame, error) {
+	if len(p.frames) < p.capacity {
+		buf := make([]byte, page.Size)
+		return &refFrame{buf: buf, page: page.View(buf)}, nil
+	}
+	el := p.lru.Back()
+	if el == nil {
+		return nil, fmt.Errorf("refpool: pool exhausted (%d frames, all pinned)", p.capacity)
+	}
+	victim := el.Value.(*refFrame)
+	p.lru.Remove(el)
+	victim.lru = nil
+	if victim.dirty {
+		if err := p.writeBackLocked(victim); err != nil {
+			victim.lru = p.lru.PushBack(victim)
+			return nil, err
+		}
+	}
+	delete(p.frames, victim.key)
+	return victim, nil
+}
+
+func (p *refPool) writeBackLocked(f *refFrame) error {
+	st := p.stores[f.key.Seg]
+	if st == nil {
+		return fmt.Errorf("refpool: segment %d not registered", f.key.Seg)
+	}
+	f.page.Seal(uint16(f.key.Seg), f.key.Page)
+	p.stats.Writes++
+	if err := st.WritePage(f.key.Page, f.buf); err != nil {
+		return err
+	}
+	p.sealed[f.key] = struct{}{}
+	f.dirty = false
+	return nil
+}
+
+func (p *refPool) flushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	for _, st := range p.stores {
+		if err := st.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *refPool) invalidateAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[PageKey]*refFrame)
+	p.lru.Init()
+}

@@ -35,18 +35,20 @@ func Office() (*engine.DB, error) { return OfficeAt("") }
 // under dir and survives Close — the artifact aimbench leaves behind
 // for post-run inspection with aimdoctor.
 func OfficeAt(dir string) (*engine.DB, error) {
-	ts := int64(0)
-	db, err := engine.Open(engine.Options{Dir: dir, Clock: func() int64 { ts++; return ts }})
-	if err != nil {
-		return nil, err
-	}
-	type load struct {
-		name string
-		tt   *model.TableType
-		data *model.Table
-		opts engine.TableOptions
-	}
-	loads := []load{
+	return OfficeWith(engine.Options{Dir: dir})
+}
+
+// tableLoad is one table to create and fill when seeding a database.
+type tableLoad struct {
+	name string
+	tt   *model.TableType
+	data *model.Table
+	opts engine.TableOptions
+}
+
+// loadOffice creates and fills the office tables in an open database.
+func loadOffice(db *engine.DB) error {
+	loads := []tableLoad{
 		{"DEPARTMENTS", testdata.DepartmentsType(), testdata.Departments(), engine.TableOptions{Versioned: true}},
 		{"REPORTS", testdata.ReportsType(), testdata.Reports(), engine.TableOptions{}},
 		{"DEPARTMENTS_1NF", testdata.DepartmentsFlatType(), testdata.DepartmentsFlat(), engine.TableOptions{}},
@@ -55,17 +57,21 @@ func OfficeAt(dir string) (*engine.DB, error) {
 		{"EQUIP_1NF", testdata.EquipFlatType(), testdata.EquipFlat(), engine.TableOptions{}},
 		{"EMPLOYEES_1NF", testdata.EmployeesType(), testdata.Employees(), engine.TableOptions{}},
 	}
+	return loadTables(db, loads)
+}
+
+func loadTables(db *engine.DB, loads []tableLoad) error {
 	for _, l := range loads {
 		if err := db.CreateTable(l.name, l.tt, l.opts); err != nil {
-			return nil, err
+			return err
 		}
 		for _, tup := range l.data.Tuples {
 			if err := db.Insert(l.name, tup); err != nil {
-				return nil, fmt.Errorf("core: loading %s: %w", l.name, err)
+				return fmt.Errorf("core: loading %s: %w", l.name, err)
 			}
 		}
 	}
-	return db, nil
+	return nil
 }
 
 // Run reproduces one experiment by id (T1..T8, F1..F8) against a

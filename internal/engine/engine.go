@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -32,6 +33,10 @@ type Options struct {
 	Dir string
 	// PoolPages is the buffer pool capacity in pages (default 1024).
 	PoolPages int
+	// PoolShards overrides the buffer pool's lock-stripe count (a
+	// power of two; 0 derives it from PoolPages). Concurrency tests
+	// and benchmarks use it to force sharding on small pools.
+	PoolShards int
 	// DisableWAL turns off logging even for on-disk databases.
 	DisableWAL bool
 	// DefaultLayout is the Mini Directory storage structure used for
@@ -80,10 +85,12 @@ type DB struct {
 
 	exec *exec.Executor
 
-	// statsMu guards lastStmt (queries record it under the shared
-	// statement lock, so it needs its own).
-	statsMu  sync.Mutex
-	lastStmt StmtStats
+	// lastStmt holds the most recently finished statement's access
+	// counters. Queries record it under the shared statement lock, so
+	// it is an atomic pointer rather than a mutex-guarded field: the
+	// hot path never serializes on statistics bookkeeping and Stats()
+	// snapshots cannot tear.
+	lastStmt atomic.Pointer[StmtStats]
 
 	// quarMu guards the corruption-containment state: the set of
 	// quarantined objects and the out-of-service (degraded) indexes.
@@ -114,9 +121,13 @@ func Open(opts Options) (*DB, error) {
 	if opts.Retry.Tries == 0 {
 		opts.Retry = segment.DefaultRetry
 	}
+	pool := buffer.NewPool(opts.PoolPages)
+	if opts.PoolShards > 0 {
+		pool = buffer.NewPoolShards(opts.PoolPages, opts.PoolShards)
+	}
 	db := &DB{
 		opts:        opts,
-		pool:        buffer.NewPool(opts.PoolPages),
+		pool:        pool,
 		stores:      make(map[segment.ID]*subtuple.Store),
 		mgrs:        make(map[string]*object.Manager),
 		flats:       make(map[string]*flat.Store),
@@ -295,6 +306,16 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // Pool exposes the buffer pool (for statistics in experiments).
 func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Segments lists the registered segment IDs, the catalog's included
+// (for sizing reports in experiments and benchmarks).
+func (db *DB) Segments() []segment.ID {
+	out := make([]segment.ID, 0, len(db.stores))
+	for id := range db.stores {
+		out = append(out, id)
+	}
+	return out
+}
 
 // Log exposes the write-ahead log (nil when logging is disabled);
 // used by the crash-simulation invariant checker.

@@ -262,18 +262,19 @@ func (db *DB) DecodeCount() uint64 {
 }
 
 // noteStmtStats records the counters of the most recently finished
-// statement (retrievable with LastStmtStats).
+// statement (retrievable with LastStmtStats). Lock-free: concurrent
+// readers publish whole snapshots, so a reader never sees a torn mix
+// of two statements' counters.
 func (db *DB) noteStmtStats(s StmtStats) {
-	db.statsMu.Lock()
-	db.lastStmt = s
-	db.statsMu.Unlock()
+	db.lastStmt.Store(&s)
 }
 
 // LastStmtStats returns the access counters of the most recently
 // completed statement (for queries consumed through a Rows cursor,
 // the statement completes at Close).
 func (db *DB) LastStmtStats() StmtStats {
-	db.statsMu.Lock()
-	defer db.statsMu.Unlock()
-	return db.lastStmt
+	if s := db.lastStmt.Load(); s != nil {
+		return *s
+	}
+	return StmtStats{}
 }

@@ -38,9 +38,11 @@ type Store interface {
 	Close() error
 }
 
-// MemStore is an in-memory Store.
+// MemStore is an in-memory Store. Reads take a shared lock so
+// concurrent page faults on different pages do not serialize on the
+// store.
 type MemStore struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	pages [][]byte // index 0 unused
 }
 
@@ -49,8 +51,8 @@ func NewMemStore() *MemStore { return &MemStore{pages: make([][]byte, 1)} }
 
 // ReadPage implements Store.
 func (m *MemStore) ReadPage(no uint32, buf []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if no == 0 || int(no) >= len(m.pages) {
 		return fmt.Errorf("segment: read of unallocated page %d", no)
 	}
@@ -83,8 +85,8 @@ func (m *MemStore) WritePage(no uint32, buf []byte) error {
 
 // PageCount implements Store.
 func (m *MemStore) PageCount() uint32 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return uint32(len(m.pages) - 1)
 }
 
@@ -103,9 +105,11 @@ func (m *MemStore) Sync() error { return nil }
 func (m *MemStore) Close() error { return nil }
 
 // FileStore is a file-backed Store; page n lives at offset
-// (n-1)*page.Size.
+// (n-1)*page.Size. Reads take a shared lock: ReadAt is positioned
+// I/O, safe to issue concurrently, so parallel page faults overlap at
+// the file level too.
 type FileStore struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	f     *os.File
 	count uint32
 }
@@ -126,8 +130,8 @@ func OpenFileStore(path string) (*FileStore, error) {
 
 // ReadPage implements Store.
 func (s *FileStore) ReadPage(no uint32, buf []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if no == 0 || no > s.count {
 		return fmt.Errorf("segment: read of unallocated page %d", no)
 	}
@@ -156,8 +160,8 @@ func (s *FileStore) WritePage(no uint32, buf []byte) error {
 
 // PageCount implements Store.
 func (s *FileStore) PageCount() uint32 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.count
 }
 

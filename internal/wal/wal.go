@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/segment"
 )
@@ -81,7 +82,11 @@ type Log struct {
 	f       File
 	w       *bufio.Writer
 	nextLSN uint64 // == current file size including buffered bytes
-	flushed uint64 // LSN boundary known to be on stable storage
+	// flushed is the LSN boundary known to be on stable storage. It is
+	// written under mu but read atomically, so the buffer pool's
+	// write-ahead check (EnsureDurable) can confirm an already-durable
+	// LSN without serializing concurrent evictions on the log mutex.
+	flushed atomic.Uint64
 }
 
 // Open opens (or creates) the log file at path and positions appends
@@ -129,7 +134,7 @@ func OpenFile(f File) (*Log, error) {
 		return nil, err
 	}
 	l.nextLSN = end
-	l.flushed = end
+	l.flushed.Store(end)
 	l.w = bufio.NewWriter(f)
 	return l, nil
 }
@@ -182,16 +187,14 @@ func (l *Log) Sync() error {
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
-	l.flushed = l.nextLSN
+	l.flushed.Store(l.nextLSN)
 	return nil
 }
 
 // SyncedThrough returns the LSN boundary known durable; used by the
 // buffer pool flush hook to enforce the write-ahead rule.
 func (l *Log) SyncedThrough() uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.flushed
+	return l.flushed.Load()
 }
 
 // End returns the log's append position (one past the LSN of the last
@@ -202,15 +205,15 @@ func (l *Log) End() uint64 {
 	return l.nextLSN
 }
 
-// EnsureDurable syncs the log if lsn is not yet durable.
+// EnsureDurable syncs the log if lsn is not yet durable. The
+// already-durable check is a lock-free atomic load: dirty-page
+// evictions from independent buffer shards whose LSNs are long since
+// synced confirm the write-ahead rule without touching the log mutex.
 func (l *Log) EnsureDurable(lsn uint64) error {
-	l.mu.Lock()
-	needed := lsn >= l.flushed
-	l.mu.Unlock()
-	if needed {
-		return l.Sync()
+	if lsn < l.flushed.Load() {
+		return nil
 	}
-	return nil
+	return l.Sync()
 }
 
 // TruncateTail discards every record at or beyond the byte offset
@@ -234,8 +237,8 @@ func (l *Log) TruncateTail(off uint64) error {
 		return err
 	}
 	l.nextLSN = off
-	if l.flushed > off {
-		l.flushed = off
+	if l.flushed.Load() > off {
+		l.flushed.Store(off)
 	}
 	l.w.Reset(l.f)
 	return nil
@@ -255,13 +258,14 @@ func (l *Log) DiscardUnflushed() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.w.Reset(l.f)
-	if err := l.f.Truncate(int64(l.flushed)); err != nil {
+	flushed := l.flushed.Load()
+	if err := l.f.Truncate(int64(flushed)); err != nil {
 		return err
 	}
-	if _, err := l.f.Seek(int64(l.flushed), io.SeekStart); err != nil {
+	if _, err := l.f.Seek(int64(flushed), io.SeekStart); err != nil {
 		return err
 	}
-	l.nextLSN = l.flushed
+	l.nextLSN = flushed
 	return nil
 }
 
