@@ -197,6 +197,89 @@ func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
 	return db.eng.QueryRowsContext(ctx, q)
 }
 
+// --- transactions --------------------------------------------------------
+
+// Tx is a multi-statement transaction under snapshot isolation: every
+// read of a versioned table sees the database exactly as of Begin
+// (plus the transaction's own writes), writes are buffered and
+// applied atomically at Commit under first-writer-wins conflict
+// detection (ErrWriteConflict), and Rollback discards everything.
+// Unversioned tables keep no version chains, so transactional reads
+// of them see the current committed state; their writes still get the
+// same buffering, conflict detection and atomic commit.
+//
+// A Tx must not be shared between goroutines; any number of
+// transactions (and auto-commit statements) may run concurrently on
+// the same DB from different goroutines.
+//
+//	tx, _ := db.Begin()
+//	tx.Exec(`UPDATE x IN DEPARTMENTS SET BUDGET = 1 WHERE x.DNO = 314`)
+//	if err := tx.Commit(); errors.Is(err, aim.ErrWriteConflict) {
+//	    // a concurrent transaction won; retry
+//	}
+type Tx struct {
+	tx *engine.Txn
+}
+
+// ErrWriteConflict is returned (by Tx writes) when the object being
+// written was already written by a concurrent transaction — either
+// one still active, or one that committed after this transaction
+// began. The losing transaction should roll back and retry.
+var ErrWriteConflict = engine.ErrWriteConflict
+
+// ErrTxnDone is returned by operations on a committed or rolled-back
+// transaction.
+var ErrTxnDone = engine.ErrTxnDone
+
+// ErrTxnDDL is returned for DDL statements inside a transaction;
+// schema changes are auto-commit only.
+var ErrTxnDDL = engine.ErrTxnDDL
+
+// Begin starts a transaction at the current instant.
+func (db *DB) Begin() (*Tx, error) {
+	tx, err := db.eng.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{tx: tx}, nil
+}
+
+// Exec runs a script of statements inside the transaction. Writes are
+// buffered; a failing statement rolls back only its own effects and
+// the transaction stays usable.
+func (tx *Tx) Exec(script string) ([]Result, error) { return tx.tx.Exec(script) }
+
+// ExecContext is Exec with cancellation.
+func (tx *Tx) ExecContext(ctx context.Context, script string) ([]Result, error) {
+	return tx.tx.ExecContext(ctx, script)
+}
+
+// Query runs one SELECT at the transaction's snapshot, materialized.
+func (tx *Tx) Query(q string) (*Table, *TableType, error) { return tx.tx.Query(q) }
+
+// QueryRows runs one SELECT at the transaction's snapshot and returns
+// a streaming cursor; the result stays consistent even while other
+// transactions commit.
+func (tx *Tx) QueryRows(q string) (*Rows, error) { return tx.tx.QueryRows(q) }
+
+// QueryRowsContext is QueryRows with cancellation.
+func (tx *Tx) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
+	return tx.tx.QueryRowsContext(ctx, q)
+}
+
+// Commit atomically applies the transaction's writes and makes them
+// durable; all its versions carry one commit timestamp, so other
+// snapshots see either none or all of them.
+func (tx *Tx) Commit() error { return tx.tx.Commit() }
+
+// Rollback discards the transaction. After Commit it returns
+// ErrTxnDone (harmless in the usual defer tx.Rollback() pattern).
+func (tx *Tx) Rollback() error { return tx.tx.Rollback() }
+
+// SnapshotTS returns the transaction's begin timestamp (usable in
+// ASOF clauses to reproduce the snapshot after commit).
+func (tx *Tx) SnapshotTS() int64 { return tx.tx.SnapshotTS() }
+
 // StmtStats are the physical access counters of one statement: buffer
 // pool activity and subtuples decoded (see Stats).
 type StmtStats = engine.StmtStats

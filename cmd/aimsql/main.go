@@ -59,20 +59,32 @@ func main() {
 	}
 	defer db.Close()
 
+	s := &session{db: db}
 	if *script != "" {
 		data, err := os.ReadFile(*script)
 		if err != nil {
 			fatal(err)
 		}
-		if err := runScript(db, string(data)); err != nil {
+		if err := runScript(s, string(data)); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
 	fmt.Println("AIM-II NF² SQL shell — statements end with ';', \\q quits, \\h for help")
-	repl(db, os.Stdin)
+	repl(s, os.Stdin)
 }
+
+// session holds the shell's connection state: the database plus the
+// open transaction, if a BEGIN is pending. Statements inside a
+// transaction read its snapshot and buffer their writes until COMMIT.
+type session struct {
+	db *aim.DB
+	tx *aim.Tx
+}
+
+// inTxn reports whether a transaction is open.
+func (s *session) inTxn() bool { return s.tx != nil }
 
 // wrap adapts an engine handle opened by core.Office into the public
 // facade (same underlying type).
@@ -93,48 +105,99 @@ func execCtx() (context.Context, context.CancelFunc) {
 
 // runScript executes a script one statement at a time (each under its
 // own timeout), printing results as they arrive and stopping at the
-// first error. Script mode (-f) uses it: a failure exits nonzero.
-func runScript(db *aim.DB, script string) error {
+// first error. Script mode (-f) uses it: a failure exits nonzero. A
+// script that ends with a transaction still open rolls it back and
+// fails.
+func runScript(s *session, script string) error {
 	stmts, err := sql.ParseScript(script)
 	if err != nil {
 		return err
 	}
 	for _, st := range stmts {
-		if err := execStmt(db, st); err != nil {
+		if err := execStmt(s, st); err != nil {
+			if s.tx != nil {
+				s.tx.Rollback()
+				s.tx = nil
+			}
 			return err
 		}
+	}
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+		return fmt.Errorf("script ended with an open transaction (missing COMMIT or ROLLBACK); rolled back")
 	}
 	return nil
 }
 
 // runChunk executes one REPL input chunk statement by statement: an
 // error (including a timeout) is printed and the remaining statements
-// still run — a failed statement has been rolled back, so the session
-// is safe to continue.
-func runChunk(db *aim.DB, chunk string) {
+// still run — a failed statement has been rolled back (or, inside a
+// transaction, has discarded only its own buffered effects), so the
+// session is safe to continue.
+func runChunk(s *session, chunk string) {
 	stmts, err := sql.ParseScript(chunk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
 	for _, st := range stmts {
-		if err := execStmt(db, st); err != nil {
+		if err := execStmt(s, st); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
 }
 
-// execStmt runs one statement under its own timeout. SELECTs go
-// through the streaming cursor — each result tuple is printed as it
-// is produced, so the first rows of a long scan appear immediately;
-// everything else executes through the materializing API.
-func execStmt(db *aim.DB, st sql.Stmt) error {
+// execStmt runs one statement under its own timeout. BEGIN, COMMIT
+// and ROLLBACK manage the session transaction; SELECTs go through the
+// streaming cursor — each result tuple is printed as it is produced,
+// so the first rows of a long scan appear immediately; everything
+// else executes through the materializing API (the session
+// transaction's, when one is open).
+func execStmt(s *session, st sql.Stmt) error {
 	ctx, cancel := execCtx()
 	defer cancel()
-	if _, ok := st.Statement.(*sql.Select); ok {
-		return streamSelect(ctx, db, st.Text)
+	switch st.Statement.(type) {
+	case *sql.Begin:
+		if s.inTxn() {
+			return fmt.Errorf("BEGIN inside an open transaction (transactions do not nest)")
+		}
+		tx, err := s.db.Begin()
+		if err != nil {
+			return err
+		}
+		s.tx = tx
+		fmt.Println("transaction started")
+		return nil
+	case *sql.Commit:
+		if !s.inTxn() {
+			return fmt.Errorf("COMMIT without BEGIN")
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		fmt.Println("transaction committed")
+		return nil
+	case *sql.Rollback:
+		if !s.inTxn() {
+			return fmt.Errorf("ROLLBACK without BEGIN")
+		}
+		s.tx.Rollback()
+		s.tx = nil
+		fmt.Println("transaction rolled back")
+		return nil
+	case *sql.Select:
+		return streamSelect(ctx, s, st.Text)
 	}
-	results, err := db.ExecContext(ctx, st.Text)
+	var results []aim.Result
+	var err error
+	if s.inTxn() {
+		results, err = s.tx.ExecContext(ctx, st.Text)
+	} else {
+		results, err = s.db.ExecContext(ctx, st.Text)
+	}
 	for _, r := range results {
 		printResult(r)
 	}
@@ -142,8 +205,14 @@ func execStmt(db *aim.DB, st sql.Stmt) error {
 }
 
 // streamSelect prints a query's rows as they stream from the cursor.
-func streamSelect(ctx context.Context, db *aim.DB, text string) error {
-	rows, err := db.QueryRowsContext(ctx, text)
+func streamSelect(ctx context.Context, s *session, text string) error {
+	var rows *aim.Rows
+	var err error
+	if s.inTxn() {
+		rows, err = s.tx.QueryRowsContext(ctx, text)
+	} else {
+		rows, err = s.db.QueryRowsContext(ctx, text)
+	}
 	if err != nil {
 		return err
 	}
@@ -177,21 +246,38 @@ func printResult(r aim.Result) {
 	}
 }
 
-func repl(db *aim.DB, in io.Reader) {
+func repl(s *session, in io.Reader) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
-	prompt := "nf2> "
+	continuation := false
 	for {
-		fmt.Print(prompt)
+		switch {
+		case continuation:
+			fmt.Print("...> ")
+		case s.inTxn():
+			fmt.Print("txn> ")
+		default:
+			fmt.Print("nf2> ")
+		}
 		if !sc.Scan() {
 			fmt.Println()
+			if s.inTxn() {
+				s.tx.Rollback()
+				s.tx = nil
+				fmt.Fprintln(os.Stderr, "open transaction rolled back")
+			}
 			return
 		}
 		line := sc.Text()
 		trimmed := strings.TrimSpace(line)
 		switch trimmed {
 		case `\q`, `\quit`, "exit", "quit":
+			if s.inTxn() {
+				s.tx.Rollback()
+				s.tx = nil
+				fmt.Fprintln(os.Stderr, "open transaction rolled back")
+			}
 			return
 		case `\h`, `\help`:
 			printHelp()
@@ -200,13 +286,13 @@ func repl(db *aim.DB, in io.Reader) {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if !strings.Contains(line, ";") {
-			prompt = "...> "
+			continuation = true
 			continue
 		}
 		stmt := buf.String()
 		buf.Reset()
-		prompt = "nf2> "
-		runChunk(db, stmt)
+		continuation = false
+		runChunk(s, stmt)
 	}
 }
 
@@ -225,5 +311,6 @@ func printHelp() {
   ALTER TABLE t ADD path.to.NEWATTR INT|FLOAT|STRING|BOOL|TIME
   EXPLAIN SELECT ...                    show the chosen access paths
   SHOW TABLES;  DESCRIBE table;  DROP TABLE t;  DROP INDEX i
+  BEGIN;  COMMIT;  ROLLBACK             snapshot-isolated transactions
 `)
 }

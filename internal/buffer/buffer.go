@@ -34,6 +34,13 @@ type PageKey struct {
 
 // Frame is one buffered page. The Page view is valid while the frame
 // is pinned.
+//
+// Concurrent pinners of the same frame coordinate through the frame
+// latch (RLatch/Latch): readers of the page image take the shared
+// latch, mutators the exclusive one, each only for the duration of
+// one page operation. The latch is what lets snapshot readers stream
+// pages while a transaction commit writes them — there is no global
+// statement lock above it.
 type Frame struct {
 	Key   PageKey
 	Page  *page.Page
@@ -41,7 +48,21 @@ type Frame struct {
 	pins  int
 	dirty bool
 	lru   *list.Element
+
+	latch sync.RWMutex
 }
+
+// RLatch takes the frame's shared latch for reading the page image.
+func (f *Frame) RLatch() { f.latch.RLock() }
+
+// RUnlatch releases the shared latch.
+func (f *Frame) RUnlatch() { f.latch.RUnlock() }
+
+// Latch takes the frame's exclusive latch for mutating the page image.
+func (f *Frame) Latch() { f.latch.Lock() }
+
+// Unlatch releases the exclusive latch.
+func (f *Frame) Unlatch() { f.latch.Unlock() }
 
 // Stats counts buffer pool traffic. Fetches is the number of logical
 // page accesses (Pin calls); Reads and Writes count physical I/O to
@@ -421,11 +442,18 @@ func (p *Pool) writeBackLocked(sh *shard, f *Frame) error {
 	if st == nil {
 		return fmt.Errorf("buffer: segment %d not registered", f.Key.Seg)
 	}
+	// Seal mutates the page header and WritePage reads the whole image;
+	// both must exclude concurrent pinners of the frame. Latch holders
+	// never block on a shard mutex, so taking the latch under sh.mu
+	// cannot deadlock.
+	f.Latch()
 	f.Page.Seal(uint16(f.Key.Seg), f.Key.Page)
 	sh.stats.writes.Add(1)
 	if err := st.WritePage(f.Key.Page, f.buf); err != nil {
+		f.Unlatch()
 		return err
 	}
+	f.Unlatch()
 	sh.sealed[f.Key] = struct{}{}
 	f.dirty = false
 	return nil

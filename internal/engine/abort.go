@@ -47,7 +47,7 @@ func (e *PanicError) Error() string {
 // Without a WAL the rollback is best-effort: buffered page effects of
 // the failed statement cannot be undone, but the runtime structures
 // are still reloaded so the session stays internally consistent.
-// Callers must hold stmtMu exclusively.
+// Callers must hold applyMu and healMu exclusively.
 func (db *DB) rollbackStmt() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -74,16 +74,30 @@ func (db *DB) rollbackStmt() error {
 	return db.reloadRuntime()
 }
 
-// abortOn handles a failed mutating statement under the exclusive
-// statement lock: it rolls the engine back to the last commit and, if
-// even that fails, poisons the database so later statements fail fast
-// instead of running on corrupt state.
-func (db *DB) abortOn(stmtErr error) error {
+// abortLocked handles a failed mutating statement (or transaction
+// apply): it rolls the engine back to the last WAL commit and, if even
+// that fails, poisons the database so later statements fail fast
+// instead of running on corrupt state. The caller must hold applyMu
+// (and neither snapMu nor healMu); abortLocked takes the healMu
+// barrier itself, so every in-flight reader drains before the buffer
+// pool is invalidated and the runtime reloaded.
+func (db *DB) abortLocked(stmtErr error) error {
+	db.healMu.Lock()
+	defer db.healMu.Unlock()
 	if rbErr := db.rollbackStmt(); rbErr != nil {
-		db.fatalErr = fmt.Errorf("engine: statement rollback failed, database needs reopen: %v (statement error: %w)", rbErr, stmtErr)
-		return db.fatalErr
+		ferr := fmt.Errorf("engine: statement rollback failed, database needs reopen: %v (statement error: %w)", rbErr, stmtErr)
+		db.setFatal(ferr)
+		return ferr
 	}
 	return stmtErr
+}
+
+// abort is abortLocked for callers that do not yet hold applyMu (the
+// read paths healing after a recovered panic).
+func (db *DB) abort(stmtErr error) error {
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	return db.abortLocked(stmtErr)
 }
 
 // recoverPanic converts a recovered panic into a PanicError; install

@@ -54,6 +54,18 @@ func decodeDirChunk(raw []byte) (next page.TID, refs []page.TID, err error) {
 	return
 }
 
+// setDirHead publishes a new directory head via copy-on-write: the
+// caller's *catalog.Table may be shared with concurrent readers that
+// traverse it without locks, so the Table struct is never mutated in
+// place — a copy carries the new head into the catalog. Readers with
+// the stale pointer see the old head, which stays a valid chain start
+// (new heads link to old ones and next pointers never change).
+func (db *DB) setDirHead(t *catalog.Table, head page.TID) error {
+	t2 := *t
+	t2.DirHead = head
+	return db.cat.UpdateTable(&t2)
+}
+
 // dirAdd registers a new object root in the table's directory.
 func (db *DB) dirAdd(t *catalog.Table, ref page.TID) error {
 	st := db.stores[t.Seg]
@@ -62,8 +74,7 @@ func (db *DB) dirAdd(t *catalog.Table, ref page.TID) error {
 		if err != nil {
 			return err
 		}
-		t.DirHead = head
-		return db.cat.UpdateTable(t)
+		return db.setDirHead(t, head)
 	}
 	raw, err := st.Read(t.DirHead)
 	if err != nil {
@@ -82,8 +93,7 @@ func (db *DB) dirAdd(t *catalog.Table, ref page.TID) error {
 	if err != nil {
 		return err
 	}
-	t.DirHead = head
-	return db.cat.UpdateTable(t)
+	return db.setDirHead(t, head)
 }
 
 // dirRemove withdraws an object root from the directory.

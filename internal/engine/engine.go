@@ -64,15 +64,37 @@ type Options struct {
 // DB is one database instance.
 type DB struct {
 	mu sync.Mutex
-	// stmtMu serializes mutating statements against each other while
-	// letting queries run concurrently: the prototype is single-user
-	// in the paper's sense (no transaction interleaving), but the Go
-	// implementation is safe for concurrent readers.
-	stmtMu sync.RWMutex
-	opts   Options
-	pool   *buffer.Pool
-	log    *wal.Log
-	cat    *catalog.Catalog
+	// The engine's concurrency control is split into three locks so
+	// that readers can stream result rows while a writer commits:
+	//
+	//   - applyMu serializes all storage mutation: implicit (auto-
+	//     commit) DML statements, transaction commit application, DDL,
+	//     and statement rollback. Exactly one writer touches pages at a
+	//     time; readers never take it.
+	//   - snapMu orders commit publication against snapshot
+	//     acquisition: a writer holds it exclusively while its changes
+	//     become visible (so every version it writes carries one
+	//     timestamp), and Begin/read-snapshot acquisition samples the
+	//     clock under the shared side. A snapshot therefore sits
+	//     strictly before or strictly after any commit, never inside
+	//     one.
+	//   - healMu is the recovery barrier: every reader holds the shared
+	//     side for the duration of one page-visiting call (a Rows.Next,
+	//     a materializing query), and only statement rollback and DDL —
+	//     the operations that rebuild pages or runtime structures under
+	//     the readers' feet — take the exclusive side. A normal commit
+	//     never does, which is what lets an open cursor keep streaming
+	//     while a transaction commits.
+	//
+	// Lock order: applyMu ≻ snapMu and applyMu ≻ healMu; snapMu and
+	// healMu are never held together.
+	applyMu sync.Mutex
+	snapMu  sync.RWMutex
+	healMu  sync.RWMutex
+	opts    Options
+	pool    *buffer.Pool
+	log     *wal.Log
+	cat     *catalog.Catalog
 
 	stores map[segment.ID]*subtuple.Store
 	mgrs   map[string]*object.Manager
@@ -102,9 +124,33 @@ type DB struct {
 	// fatalErr poisons the database after a failed statement rollback:
 	// the live state can no longer be trusted, so every subsequent
 	// statement returns this error until the database is reopened.
-	// Guarded by stmtMu (written under the exclusive lock, read under
-	// either).
+	// Guarded by fatalMu; use fatal()/setFatal.
+	fatalMu  sync.RWMutex
 	fatalErr error
+
+	// Transaction manager state (see txn.go): the id counter, the
+	// active-transaction registry, the in-flight write locks for
+	// first-writer-wins conflict detection, and the commit stamps of
+	// recently written objects (pruned whenever no transaction is
+	// active). All guarded by txnMu.
+	txnMu      sync.Mutex
+	nextTxn    uint64
+	activeTxns map[uint64]*Txn
+	writeLocks map[wkey]uint64
+	lastWrite  map[wkey]int64
+}
+
+// fatal returns the poison error, if any.
+func (db *DB) fatal() error {
+	db.fatalMu.RLock()
+	defer db.fatalMu.RUnlock()
+	return db.fatalErr
+}
+
+func (db *DB) setFatal(err error) {
+	db.fatalMu.Lock()
+	db.fatalErr = err
+	db.fatalMu.Unlock()
 }
 
 // Open creates or reopens a database.
@@ -117,6 +163,28 @@ func Open(opts Options) (*DB, error) {
 	}
 	if opts.Clock == nil {
 		opts.Clock = func() int64 { return time.Now().UnixNano() }
+	}
+	// Snapshot isolation needs strictly increasing timestamps: a
+	// snapshot sampled before a commit timestamp was allocated must
+	// compare strictly smaller than it. Wrap the supplied clock so
+	// every reading is strictly greater than the previous one. The
+	// wrapper serializes calls under a mutex — Begin samples the clock
+	// from concurrent goroutines, so this also relieves the supplied
+	// clock (often a bare counter in tests) of being goroutine-safe.
+	{
+		base := opts.Clock
+		var mu sync.Mutex
+		var last int64
+		opts.Clock = func() int64 {
+			mu.Lock()
+			defer mu.Unlock()
+			t := base()
+			if t <= last {
+				t = last + 1
+			}
+			last = t
+			return t
+		}
 	}
 	if opts.Retry.Tries == 0 {
 		opts.Retry = segment.DefaultRetry
@@ -137,6 +205,9 @@ func Open(opts Options) (*DB, error) {
 		textByName:  make(map[string]*textindex.Index),
 		quar:        make(map[quarKey]*QuarantineError),
 		degraded:    make(map[string]string),
+		activeTxns:  make(map[uint64]*Txn),
+		writeLocks:  make(map[wkey]uint64),
+		lastWrite:   make(map[wkey]int64),
 	}
 	if (opts.Dir != "" || opts.OpenWALFile != nil) && !opts.DisableWAL {
 		var f wal.File

@@ -256,13 +256,16 @@ func (db *DB) detachIndex(name string) {
 // catalog.Tables).
 func (db *DB) Tables() []*catalog.Table { return db.cat.Tables() }
 
-// View runs fn holding the shared statement lock, so fn sees a
-// statement-consistent database while queries keep running and
-// mutating statements wait. The online scrubber uses it.
+// View runs fn with mutations excluded (applyMu) while participating
+// as a reader in the heal barrier, so fn sees a statement-consistent
+// database while queries keep running and mutating statements wait.
+// The online scrubber uses it.
 func (db *DB) View(fn func() error) error {
-	db.stmtMu.RLock()
-	defer db.stmtMu.RUnlock()
-	if err := db.fatalErr; err != nil {
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	db.healMu.RLock()
+	defer db.healMu.RUnlock()
+	if err := db.fatal(); err != nil {
 		return err
 	}
 	return fn()

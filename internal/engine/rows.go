@@ -13,14 +13,17 @@ import (
 
 // Rows is a streaming query cursor: result tuples are produced one
 // Next at a time, with only the paths the query needs fetched from
-// storage. The statement lock is acquired per Next call, not for the
-// cursor's lifetime, so an open (or abandoned) Rows never blocks
-// writers; the price is read-committed-per-row semantics — a
-// mutation committed between two Next calls can be visible to the
-// second one. No buffer pages are pinned between calls and none
-// survive Close, so a Rows abandoned without Close leaks nothing
-// (Close still should be called: it records the statement's access
-// statistics).
+// storage. Only the shared heal barrier is held per Next call — never
+// for the cursor's lifetime — so an open (or abandoned) Rows never
+// blocks writers, and writers (including transaction commits) never
+// block readers. A cursor opened on the auto-commit path has
+// read-committed-per-row semantics — a mutation committed between two
+// Next calls can be visible to the second one; a cursor opened inside
+// a transaction (Txn.QueryRows) reads versioned tables at the
+// transaction's snapshot instead. No buffer pages are pinned between
+// calls and none survive Close, so a Rows abandoned without Close
+// leaks nothing (Close still should be called: it records the
+// statement's access statistics).
 type Rows struct {
 	db   *DB
 	cur  *exec.Cursor
@@ -43,6 +46,12 @@ func (db *DB) QueryRows(q string) (*Rows, error) {
 // QueryRowsContext is QueryRows with cancellation: the context is
 // checked once per Next call.
 func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
+	return db.queryRows(ctx, db.exec, q)
+}
+
+// queryRows opens a streaming cursor through the given executor (the
+// DB's own, or a transaction's snapshot-reading one).
+func (db *DB) queryRows(ctx context.Context, ex *exec.Executor, q string) (*Rows, error) {
 	st, err := sql.ParseOne(q)
 	if err != nil {
 		return nil, err
@@ -52,18 +61,18 @@ func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
 		return nil, fmt.Errorf("engine: QueryRows requires a SELECT, got %T", st)
 	}
 	text := strings.TrimSpace(q)
-	db.stmtMu.RLock()
-	if ferr := db.fatalErr; ferr != nil {
-		db.stmtMu.RUnlock()
+	db.healMu.RLock()
+	if ferr := db.fatal(); ferr != nil {
+		db.healMu.RUnlock()
 		return nil, ferr
 	}
 	start := db.mark()
 	var cur *exec.Cursor
 	func() {
 		defer recoverPanic(text, &err)
-		cur, err = db.exec.OpenQuery(ctx, sel)
+		cur, err = ex.OpenQuery(ctx, sel)
 	}()
-	db.stmtMu.RUnlock()
+	db.healMu.RUnlock()
 	if err != nil {
 		return nil, db.healIfPanic(err)
 	}
@@ -76,9 +85,7 @@ func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
 func (db *DB) healIfPanic(err error) error {
 	var pe *PanicError
 	if errors.As(err, &pe) {
-		db.stmtMu.Lock()
-		err = db.abortOn(err)
-		db.stmtMu.Unlock()
+		err = db.abort(err)
 	}
 	return err
 }
@@ -90,9 +97,9 @@ func (r *Rows) Next() bool {
 	if r.closed || r.err != nil {
 		return false
 	}
-	r.db.stmtMu.RLock()
-	if ferr := r.db.fatalErr; ferr != nil {
-		r.db.stmtMu.RUnlock()
+	r.db.healMu.RLock()
+	if ferr := r.db.fatal(); ferr != nil {
+		r.db.healMu.RUnlock()
 		r.err = ferr
 		r.Close()
 		return false
@@ -104,7 +111,7 @@ func (r *Rows) Next() bool {
 		defer recoverPanic(r.text, &err)
 		tup, ok, err = r.cur.Next()
 	}()
-	r.db.stmtMu.RUnlock()
+	r.db.healMu.RUnlock()
 	if err != nil {
 		r.err = r.db.healIfPanic(err)
 		r.Close()
@@ -196,10 +203,10 @@ func (r *Rows) Close() error {
 		return nil
 	}
 	r.closed = true
-	r.db.stmtMu.RLock()
+	r.db.healMu.RLock()
 	r.cur.Close()
 	stats := r.db.since(r.start)
-	r.db.stmtMu.RUnlock()
+	r.db.healMu.RUnlock()
 	stats.Rows = r.rows
 	r.db.noteStmtStats(stats)
 	return nil

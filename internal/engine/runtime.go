@@ -192,21 +192,28 @@ func (db *DB) Refs(table string) ([]page.TID, error) {
 
 // Insert adds a tuple to a table, maintaining all indexes.
 func (db *DB) Insert(table string, tup model.Tuple) error {
+	_, err := db.insertTuple(table, tup)
+	return err
+}
+
+// insertTuple is Insert returning the new tuple's reference (the
+// transaction apply path needs it to translate synthetic refs).
+func (db *DB) insertTuple(table string, tup model.Tuple) (page.TID, error) {
 	t, ok := db.cat.Table(table)
 	if !ok {
-		return fmt.Errorf("engine: no table %q", table)
+		return page.TID{}, fmt.Errorf("engine: no table %q", table)
 	}
 	if err := model.Conform(t.Type, tup); err != nil {
-		return err
+		return page.TID{}, err
 	}
 	if t.Kind == catalog.Flat {
 		tid, err := db.flats[table].Insert(tup)
 		if err != nil {
-			return err
+			return page.TID{}, err
 		}
 		for _, ix := range db.indexes[table] {
 			if err := ix.AddFlat(tid, tup, t.Type); err != nil {
-				return err
+				return page.TID{}, err
 			}
 		}
 		for _, ti := range db.textIdx[table] {
@@ -215,17 +222,17 @@ func (db *DB) Insert(table string, tup model.Tuple) error {
 				ti.Add(string(s), index.Addr{TID: tid})
 			}
 		}
-		return nil
+		return tid, nil
 	}
 	m := db.mgrs[table]
 	ref, err := m.Insert(t.Type, tup)
 	if err != nil {
-		return err
+		return page.TID{}, err
 	}
 	if err := db.dirAdd(t, ref); err != nil {
-		return db.guardDir(table, err)
+		return page.TID{}, db.guardDir(table, err)
 	}
-	return db.guardRead(table, ref, db.indexObject(t, ref, true))
+	return ref, db.guardRead(table, ref, db.indexObject(t, ref, true))
 }
 
 // indexObject adds (or removes) one object's entries in all indexes.

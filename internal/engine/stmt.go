@@ -23,9 +23,10 @@ type Result struct {
 	Message string
 }
 
-// Exec parses and runs a script of semicolon-separated statements,
-// committing after each one (the prototype is a single-user system
-// with statement-level transactions).
+// Exec parses and runs a script of semicolon-separated statements.
+// Outside an explicit transaction each statement auto-commits; a
+// BEGIN ... COMMIT/ROLLBACK bracket inside the script runs its
+// statements as one snapshot-isolated transaction.
 func (db *DB) Exec(script string) ([]Result, error) {
 	return db.ExecContext(context.Background(), script)
 }
@@ -33,19 +34,66 @@ func (db *DB) Exec(script string) ([]Result, error) {
 // ExecContext is Exec with cancellation: long scans check the context
 // once per tuple binding, so cancellation and deadlines fail the
 // current statement promptly (and, for mutating statements, roll it
-// back like any other statement failure).
+// back like any other statement failure). A script that ends with a
+// transaction still open rolls it back and reports an error.
 func (db *DB) ExecContext(ctx context.Context, script string) ([]Result, error) {
 	stmts, err := sql.ParseScript(script)
 	if err != nil {
 		return nil, err
 	}
 	var results []Result
+	var tx *Txn
+	defer func() {
+		if tx != nil {
+			tx.Rollback()
+		}
+	}()
 	for _, st := range stmts {
-		res, err := db.execOne(ctx, st.Statement, st.Text)
+		switch st.Statement.(type) {
+		case *sql.Begin:
+			if tx != nil {
+				return results, fmt.Errorf("engine: BEGIN inside an open transaction (transactions do not nest)")
+			}
+			if tx, err = db.Begin(); err != nil {
+				return results, err
+			}
+			results = append(results, Result{Message: "transaction started"})
+			continue
+		case *sql.Commit:
+			if tx == nil {
+				return results, fmt.Errorf("engine: COMMIT without BEGIN")
+			}
+			t := tx
+			tx = nil
+			if err := t.Commit(); err != nil {
+				return results, err
+			}
+			results = append(results, Result{Message: "transaction committed"})
+			continue
+		case *sql.Rollback:
+			if tx == nil {
+				return results, fmt.Errorf("engine: ROLLBACK without BEGIN")
+			}
+			tx.Rollback()
+			tx = nil
+			results = append(results, Result{Message: "transaction rolled back"})
+			continue
+		}
+		var res Result
+		if tx != nil {
+			res, err = tx.execOne(ctx, st.Statement, st.Text)
+		} else {
+			res, err = db.execOne(ctx, st.Statement, st.Text)
+		}
 		if err != nil {
 			return results, err
 		}
 		results = append(results, res)
+	}
+	if tx != nil {
+		tx.Rollback()
+		tx = nil
+		return results, fmt.Errorf("engine: script ended with an open transaction (missing COMMIT or ROLLBACK); rolled back")
 	}
 	return results, nil
 }
@@ -88,11 +136,13 @@ func (db *DB) ExecStmt(st sql.Statement) (Result, error) {
 	return db.execOne(context.Background(), st, fmt.Sprintf("%T", st))
 }
 
-// execOne runs one statement with full fault containment: read-only
-// statements share the statement lock; mutating statements take it
-// exclusively, commit on success, and roll back to the pre-statement
-// state on any error or recovered panic — the next statement sees
-// only committed data, without a reopen.
+// execOne runs one auto-commit statement with full fault containment:
+// read-only statements hold only the shared heal barrier, so any
+// number can stream concurrently (even while a transaction commits);
+// mutating statements serialize on applyMu, commit on success, and
+// roll back to the pre-statement state on any error or recovered
+// panic — the next statement sees only committed data, without a
+// reopen.
 func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Result, error) {
 	readOnly := false
 	switch st.(type) {
@@ -100,22 +150,20 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 		readOnly = true
 	}
 	if readOnly {
-		db.stmtMu.RLock()
-		if err := db.fatalErr; err != nil {
-			db.stmtMu.RUnlock()
+		db.healMu.RLock()
+		if err := db.fatal(); err != nil {
+			db.healMu.RUnlock()
 			return Result{}, err
 		}
 		start := db.mark()
 		res, err := db.runStmt(ctx, st, text)
-		db.stmtMu.RUnlock()
+		db.healMu.RUnlock()
 		var pe *PanicError
 		if errors.As(err, &pe) {
 			// A recovered panic may have leaked pins or left partial
 			// in-memory state even though the statement read nothing;
-			// heal under the exclusive lock.
-			db.stmtMu.Lock()
-			err = db.abortOn(err)
-			db.stmtMu.Unlock()
+			// heal under the exclusive barrier.
+			err = db.abort(err)
 		}
 		if err == nil {
 			s := db.since(start)
@@ -124,23 +172,56 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 		}
 		return res, err
 	}
-	db.stmtMu.Lock()
-	defer db.stmtMu.Unlock()
-	if err := db.fatalErr; err != nil {
+	switch st.(type) {
+	case *sql.Begin, *sql.Commit, *sql.Rollback:
+		return Result{}, fmt.Errorf("engine: BEGIN/COMMIT/ROLLBACK take effect inside Exec scripts or via DB.Begin")
+	}
+	ddl := false
+	switch st.(type) {
+	case *sql.CreateTable, *sql.DropTable, *sql.CreateIndex, *sql.DropIndex, *sql.AlterTableAdd:
+		ddl = true
+	}
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	if err := db.fatal(); err != nil {
 		return Result{}, err
 	}
 	start := db.mark()
-	res, err := db.runStmt(ctx, st, text)
-	if err == nil {
-		// A failed commit aborts the statement like any other error:
-		// its records never became durable, so the rollback discards
-		// them and the engine returns to the pre-statement state.
-		if cerr := db.Commit(); cerr != nil {
-			err = fmt.Errorf("engine: commit: %w", cerr)
+	var res Result
+	var err error
+	if ddl {
+		// DDL rewrites the in-memory runtime (managers, stores, index
+		// maps) that readers traverse without page latches, so it
+		// drains them via the heal barrier. New transactions cannot
+		// begin either — Begin samples its snapshot under the shared
+		// side of the same barrier.
+		db.healMu.Lock()
+		res, err = db.runStmt(ctx, st, text)
+		if err == nil {
+			if cerr := db.Commit(); cerr != nil {
+				err = fmt.Errorf("engine: commit: %w", cerr)
+			}
 		}
+		db.healMu.Unlock()
+	} else {
+		// DML mutates latched pages only; concurrent cursors keep
+		// streaming. snapMu is held across statement plus commit so a
+		// transaction snapshot never lands inside the statement's
+		// write window.
+		db.snapMu.Lock()
+		res, err = db.runStmt(ctx, st, text)
+		if err == nil {
+			// A failed commit aborts the statement like any other error:
+			// its records never became durable, so the rollback discards
+			// them and the engine returns to the pre-statement state.
+			if cerr := db.Commit(); cerr != nil {
+				err = fmt.Errorf("engine: commit: %w", cerr)
+			}
+		}
+		db.snapMu.Unlock()
 	}
 	if err != nil {
-		return Result{}, db.abortOn(err)
+		return Result{}, db.abortLocked(err)
 	}
 	s := db.since(start)
 	s.Rows = res.Count

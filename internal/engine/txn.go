@@ -1,0 +1,468 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/wal"
+)
+
+// Transaction errors.
+var (
+	// ErrWriteConflict reports first-writer-wins conflict detection: the
+	// object a transaction tried to write was modified by another
+	// transaction that is still active or that committed after this
+	// transaction's snapshot was taken. The losing transaction should be
+	// rolled back and retried.
+	ErrWriteConflict = errors.New("engine: write conflict: object modified by a concurrent transaction")
+	// ErrTxnDone reports an operation on a committed or rolled-back
+	// transaction.
+	ErrTxnDone = errors.New("engine: transaction already committed or rolled back")
+	// ErrTxnDDL reports a DDL statement inside an explicit transaction;
+	// schema changes are auto-commit only.
+	ErrTxnDDL = errors.New("engine: DDL statements are not allowed inside a transaction")
+)
+
+// wkey identifies one write-conflict unit: a whole stored object (or
+// flat tuple) of one table. Conflict detection is at object
+// granularity — two transactions updating different subtuples of the
+// same complex object still conflict.
+type wkey struct {
+	table string
+	ref   page.TID
+}
+
+// synthBase is the first synthetic page number handed to refs of
+// tuples inserted inside a transaction but not yet applied. Real
+// segments are orders of magnitude smaller, so the ranges cannot
+// collide; the synthetic refs are translated to real TIDs at commit.
+const synthBase uint32 = 1 << 31
+
+// txOpKind enumerates the buffered logical operations.
+type txOpKind uint8
+
+const (
+	opInsert txOpKind = iota + 1
+	opDelete
+	opUpdateAtoms
+	opInsertMember
+	opDeleteMember
+)
+
+// txOp is one buffered write. A transaction mutates no storage until
+// commit: its statements append ops here and maintain the pending
+// read-your-own-writes images; Commit replays the ops against the
+// engine under the apply lock.
+type txOp struct {
+	kind  txOpKind
+	table string
+	ref   page.TID // synthetic for tuples inserted by this transaction
+	steps []object.Step
+	attr  int
+	pos   int
+	vals  []model.Value
+	tup   model.Tuple
+}
+
+// pendingObj is the transaction-local image of one written object:
+// what this transaction's own reads see. Values are immutable once
+// stored (writers replace the whole entry), so statement-level
+// rollback can snapshot the map shallowly.
+type pendingObj struct {
+	tup      model.Tuple // nil when deleted
+	deleted  bool
+	inserted bool // created by this transaction (synthetic ref)
+}
+
+// Txn is one multi-statement transaction running under snapshot
+// isolation. Reads of versioned tables see the database exactly as of
+// the transaction's begin timestamp (plus the transaction's own
+// writes); writes are buffered and applied atomically at Commit, all
+// stamped with one commit timestamp. Unversioned tables keep no
+// history, so reads of them inside a transaction see the current
+// committed state (still never another transaction's uncommitted
+// writes); their writes get the same buffering, conflict detection
+// and atomic commit as versioned ones.
+//
+// A Txn is not safe for concurrent use by multiple goroutines.
+type Txn struct {
+	db     *DB
+	id     uint64
+	snapTS int64
+	done   bool
+
+	exec    *exec.Executor
+	ops     []txOp
+	pending map[wkey]*pendingObj
+	order   []wkey // insertion order of pending keys, for stable scans
+	locked  map[wkey]bool
+	synth   uint32
+}
+
+// Begin starts a transaction. The snapshot timestamp is sampled under
+// the shared side of snapMu, so it can never land inside another
+// transaction's commit window.
+func (db *DB) Begin() (*Txn, error) {
+	db.healMu.RLock()
+	defer db.healMu.RUnlock()
+	if err := db.fatal(); err != nil {
+		return nil, err
+	}
+	db.snapMu.RLock()
+	ts := db.opts.Clock()
+	db.snapMu.RUnlock()
+	tx := &Txn{
+		db:      db,
+		snapTS:  ts,
+		pending: make(map[wkey]*pendingObj),
+		locked:  make(map[wkey]bool),
+	}
+	tx.exec = &exec.Executor{RT: &txnRuntime{tx: tx}, Plan: plan.Choose}
+	db.txnMu.Lock()
+	db.nextTxn++
+	tx.id = db.nextTxn
+	db.activeTxns[tx.id] = tx
+	db.txnMu.Unlock()
+	return tx, nil
+}
+
+// ID returns the transaction's id (stamped into every version it
+// creates and into its WAL commit record).
+func (tx *Txn) ID() uint64 { return tx.id }
+
+// SnapshotTS returns the transaction's begin (snapshot) timestamp.
+func (tx *Txn) SnapshotTS() int64 { return tx.snapTS }
+
+// registerWrite claims the conflict unit for this transaction:
+// first-writer-wins, detected immediately (no waiting). It fails with
+// ErrWriteConflict when another active transaction holds the object's
+// write lock, or when a transaction committed a write to the object
+// after this transaction's snapshot.
+func (tx *Txn) registerWrite(k wkey) error {
+	if tx.locked[k] {
+		return nil
+	}
+	db := tx.db
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	if holder, held := db.writeLocks[k]; held && holder != tx.id {
+		return fmt.Errorf("%w (object %v of %s, held by transaction %d)", ErrWriteConflict, k.ref, k.table, holder)
+	}
+	if ts, ok := db.lastWrite[k]; ok && ts > tx.snapTS {
+		return fmt.Errorf("%w (object %v of %s, committed at %d after snapshot %d)", ErrWriteConflict, k.ref, k.table, ts, tx.snapTS)
+	}
+	db.writeLocks[k] = tx.id
+	tx.locked[k] = true
+	return nil
+}
+
+// finish unregisters the transaction and releases its write locks.
+// committed carries the commit timestamp to stamp into lastWrite (0
+// for rollback). When the last active transaction finishes, the
+// commit-stamp map is pruned — no snapshot can be older than any
+// transaction that begins afterwards.
+func (tx *Txn) finish(commitTS int64) {
+	db := tx.db
+	db.txnMu.Lock()
+	for k := range tx.locked {
+		if db.writeLocks[k] == tx.id {
+			delete(db.writeLocks, k)
+		}
+		if commitTS != 0 {
+			db.lastWrite[k] = commitTS
+		}
+	}
+	delete(db.activeTxns, tx.id)
+	if len(db.activeTxns) == 0 {
+		db.lastWrite = make(map[wkey]int64)
+	}
+	db.txnMu.Unlock()
+	tx.done = true
+}
+
+// Rollback discards the transaction: its buffered writes never touched
+// storage, so this is pure bookkeeping. Idempotent after Commit in the
+// database/sql style: rolling back a finished transaction returns
+// ErrTxnDone.
+func (tx *Txn) Rollback() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	tx.finish(0)
+	return nil
+}
+
+// Commit applies the transaction's buffered writes atomically and
+// makes them durable. All versions written carry the transaction's id
+// and one commit timestamp, taken under the exclusive side of snapMu —
+// a concurrent snapshot sees either none or all of the transaction.
+// On an apply error the engine rolls back to the last commit (the
+// standard statement-abort path) and the transaction fails.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnDone
+	}
+	db := tx.db
+	if len(tx.ops) == 0 {
+		// Read-only transaction: nothing to apply or log.
+		tx.finish(0)
+		return nil
+	}
+	db.applyMu.Lock()
+	defer db.applyMu.Unlock()
+	if err := db.fatal(); err != nil {
+		tx.finish(0)
+		return err
+	}
+
+	db.snapMu.Lock()
+	commitTS := db.opts.Clock()
+	for _, st := range db.stores {
+		st.SetApply(tx.id, commitTS)
+	}
+	err := db.applyOps(tx)
+	if err == nil {
+		err = db.commitWAL(tx.id, commitTS)
+	}
+	for _, st := range db.stores {
+		st.ClearApply()
+	}
+	db.snapMu.Unlock()
+
+	if err != nil {
+		// The partial application is wiped by rolling back to the last
+		// WAL commit. (Between releasing snapMu and the rollback taking
+		// the heal barrier there is a small window in which a new
+		// snapshot could glimpse the doomed writes; the failure path
+		// trades that edge for a deadlock-free lock order.)
+		err = db.abortLocked(fmt.Errorf("engine: transaction %d commit: %w", tx.id, err))
+		tx.finish(0)
+		return err
+	}
+	tx.finish(commitTS)
+	return nil
+}
+
+// applyOps replays the transaction's buffered writes against the
+// storage layer (with index maintenance), translating synthetic refs
+// of tuples the transaction inserted to the real TIDs they receive.
+// Ops that target a synthetic ref are skipped: the insert applies the
+// final pending image, which already folds them in, and inserts of
+// objects deleted again before commit are elided entirely.
+func (db *DB) applyOps(tx *Txn) error {
+	for _, op := range tx.ops {
+		k := wkey{op.table, op.ref}
+		if op.ref.Page >= synthBase {
+			if op.kind != opInsert {
+				continue
+			}
+			p := tx.pending[k]
+			if p == nil || p.deleted {
+				continue
+			}
+			if _, err := db.insertTuple(op.table, p.tup); err != nil {
+				return err
+			}
+			continue
+		}
+		var err error
+		switch op.kind {
+		case opDelete:
+			err = db.Delete(op.table, op.ref)
+		case opUpdateAtoms:
+			err = db.UpdateAtoms(op.table, op.ref, op.steps, op.vals)
+		case opInsertMember:
+			err = db.InsertMember(op.table, op.ref, op.steps, op.attr, op.tup)
+		case opDeleteMember:
+			err = db.DeleteMember(op.table, op.ref, op.steps, op.attr, op.pos)
+		default:
+			err = fmt.Errorf("engine: unknown buffered op %d", op.kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commitWAL appends a transaction commit record (carrying the id and
+// commit timestamp) and forces the log. A no-op without a WAL.
+func (db *DB) commitWAL(txn uint64, ts int64) error {
+	if db.log == nil {
+		return nil
+	}
+	if _, err := db.log.Append(&wal.Record{Op: wal.OpCommit, Payload: wal.CommitPayload(txn, ts)}); err != nil {
+		return err
+	}
+	return db.log.Sync()
+}
+
+// --- statement surface --------------------------------------------------
+
+// Exec parses and runs a script of statements inside the transaction.
+// DML buffers; queries see the snapshot plus the transaction's own
+// writes. A failing statement rolls back only that statement's
+// buffered effects — the transaction stays usable.
+func (tx *Txn) Exec(script string) ([]Result, error) {
+	return tx.ExecContext(context.Background(), script)
+}
+
+// ExecContext is Exec with cancellation.
+func (tx *Txn) ExecContext(ctx context.Context, script string) ([]Result, error) {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, st := range stmts {
+		res, err := tx.execOne(ctx, st.Statement, st.Text)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Query runs one SELECT at the transaction's snapshot.
+func (tx *Txn) Query(q string) (*model.Table, *model.TableType, error) {
+	st, err := sql.ParseOne(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: Query requires a SELECT, got %T", st)
+	}
+	res, err := tx.execOne(context.Background(), sel, strings.TrimSpace(q))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Table, res.Type, nil
+}
+
+// QueryRows runs one SELECT at the transaction's snapshot and returns
+// a streaming cursor. The cursor stays consistent even if other
+// transactions commit while it is open — it reads the version chains
+// as of the snapshot timestamp.
+func (tx *Txn) QueryRows(q string) (*Rows, error) {
+	return tx.QueryRowsContext(context.Background(), q)
+}
+
+// QueryRowsContext is QueryRows with cancellation.
+func (tx *Txn) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
+	if tx.done {
+		return nil, ErrTxnDone
+	}
+	return tx.db.queryRows(ctx, tx.exec, q)
+}
+
+// execOne runs one parsed statement inside the transaction.
+func (tx *Txn) execOne(ctx context.Context, st sql.Statement, text string) (Result, error) {
+	if tx.done {
+		return Result{}, ErrTxnDone
+	}
+	db := tx.db
+	db.healMu.RLock()
+	defer db.healMu.RUnlock()
+	if err := db.fatal(); err != nil {
+		return Result{}, err
+	}
+	// Statement-level rollback: snapshot the buffered state so a failed
+	// statement discards only its own ops (pendingObj values are
+	// immutable, so a shallow map copy suffices).
+	opsMark := len(tx.ops)
+	savedPending := make(map[wkey]*pendingObj, len(tx.pending))
+	for k, v := range tx.pending {
+		savedPending[k] = v
+	}
+	savedOrder := append([]wkey(nil), tx.order...)
+
+	res, err := tx.runStmt(ctx, st, text)
+	if err != nil {
+		tx.ops = tx.ops[:opsMark]
+		tx.pending = savedPending
+		tx.order = savedOrder
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// The statement only read committed pages and buffered
+			// in-memory writes, but a recovered panic may still have
+			// leaked pins; heal like the auto-commit read path does.
+			db.healMu.RUnlock()
+			err = db.abort(err)
+			db.healMu.RLock()
+		}
+		return Result{}, err
+	}
+	return res, nil
+}
+
+func (tx *Txn) runStmt(ctx context.Context, st sql.Statement, text string) (res Result, err error) {
+	defer recoverPanic(text, &err)
+	switch st := st.(type) {
+	case *sql.Select:
+		tbl, tt, err := tx.exec.Query(ctx, st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Table: tbl, Type: tt, Count: tbl.Len()}, nil
+	case *sql.Insert:
+		n, err := tx.exec.ExecInsert(ctx, st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) inserted", n)}, nil
+	case *sql.Delete:
+		n, err := tx.exec.ExecDelete(ctx, st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) deleted", n)}, nil
+	case *sql.Update:
+		n, err := tx.exec.ExecUpdate(ctx, st)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) updated", n)}, nil
+	case *sql.Begin:
+		return Result{}, fmt.Errorf("engine: transactions do not nest")
+	case *sql.Commit, *sql.Rollback:
+		return Result{}, fmt.Errorf("engine: use Txn.Commit/Txn.Rollback to end a transaction")
+	case *sql.CreateTable, *sql.DropTable, *sql.CreateIndex, *sql.DropIndex, *sql.AlterTableAdd:
+		return Result{}, ErrTxnDDL
+	case *sql.ShowTables, *sql.Describe, *sql.Explain:
+		// Catalog inspection reads current metadata; harmless in a
+		// transaction. Delegate to the auto-commit reader path.
+		return tx.db.execStmtLocked(ctx, st)
+	}
+	return Result{}, fmt.Errorf("engine: unsupported statement %T in transaction", st)
+}
+
+// newSynthRef mints a transaction-local ref for an inserted tuple.
+func (tx *Txn) newSynthRef() page.TID {
+	tx.synth++
+	return page.TID{Page: synthBase + tx.synth}
+}
+
+// visibleTS returns the as-of timestamp transaction reads of a table
+// use: the caller's explicit ASOF if given, else the snapshot
+// timestamp for versioned tables, else 0 (current state — unversioned
+// tables keep no history to read).
+func (tx *Txn) visibleTS(t *catalog.Table, asof int64) int64 {
+	if asof != 0 {
+		return asof
+	}
+	if t.Versioned {
+		return tx.snapTS
+	}
+	return 0
+}

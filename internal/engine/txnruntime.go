@@ -1,0 +1,453 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/index"
+	"repro/internal/model"
+	"repro/internal/object"
+	"repro/internal/page"
+	"repro/internal/subtuple"
+	"repro/internal/textindex"
+)
+
+// txnRuntime is the storage interface a transaction's executor runs
+// against. Reads of versioned tables are redirected to the
+// transaction's snapshot timestamp (the ordinary ASOF version-chain
+// walk — snapshot isolation costs nothing the time-travel machinery
+// does not already pay), overlaid with the transaction's own buffered
+// writes; writes go to the buffer instead of storage. Explicit ASOF
+// reads keep their user-specified instant and skip the overlay: they
+// are historical queries, not reads of the transaction's world.
+type txnRuntime struct {
+	tx *Txn
+}
+
+// Table implements exec.Runtime.
+func (rt *txnRuntime) Table(name string) (*catalog.Table, bool) { return rt.tx.db.cat.Table(name) }
+
+// Indexes implements exec.Runtime. Transactions read through full
+// scans only: index entries reflect current committed state, not the
+// snapshot, and know nothing of the transaction's buffered writes.
+func (rt *txnRuntime) Indexes(string) []*index.Index { return nil }
+
+// TextIndexes implements exec.Runtime (nil for the same reason as
+// Indexes).
+func (rt *txnRuntime) TextIndexes(string) []*textindex.Index { return nil }
+
+// ParseTime implements exec.Runtime.
+func (rt *txnRuntime) ParseTime(v model.Value) (int64, error) { return exec.ParseTimeValue(v) }
+
+// TName implements exec.Runtime.
+func (rt *txnRuntime) TName(t *catalog.Table, ref page.TID, steps []object.Step) (string, error) {
+	if ref.Page >= synthBase {
+		return "", fmt.Errorf("engine: TNAME of a tuple inserted in this transaction is unavailable before commit")
+	}
+	return (*runtime)(rt.tx.db).TName(t, ref, steps)
+}
+
+// ScanTable implements exec.Runtime: the committed snapshot with the
+// transaction's deletes filtered, updates substituted, and inserts
+// appended.
+func (rt *txnRuntime) ScanTable(t *catalog.Table, asof int64, fn func(ref page.TID, tup model.Tuple) error) error {
+	tx := rt.tx
+	overlay := asof == 0
+	err := tx.db.ScanTable(t, tx.visibleTS(t, asof), func(ref page.TID, tup model.Tuple) error {
+		if overlay {
+			if p, ok := tx.pending[wkey{t.Name, ref}]; ok {
+				if p.deleted {
+					return nil
+				}
+				return fn(ref, p.tup.Clone())
+			}
+		}
+		return fn(ref, tup)
+	})
+	if err != nil || !overlay {
+		return err
+	}
+	return tx.scanPendingInserts(t, fn)
+}
+
+// scanPendingInserts streams the transaction's not-yet-committed
+// inserts into a table, in insertion order.
+func (tx *Txn) scanPendingInserts(t *catalog.Table, fn func(ref page.TID, tup model.Tuple) error) error {
+	for _, k := range tx.order {
+		if k.table != t.Name || k.ref.Page < synthBase {
+			continue
+		}
+		p := tx.pending[k]
+		if p == nil || p.deleted {
+			continue
+		}
+		if err := fn(k.ref, p.tup.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRef implements exec.Runtime.
+func (rt *txnRuntime) ReadRef(t *catalog.Table, ref page.TID, asof int64) (model.Tuple, error) {
+	tx := rt.tx
+	if asof == 0 {
+		if p, ok := tx.pending[wkey{t.Name, ref}]; ok {
+			if p.deleted {
+				return nil, subtuple.ErrNotFound
+			}
+			return p.tup.Clone(), nil
+		}
+		if ref.Page >= synthBase {
+			return nil, subtuple.ErrNotFound
+		}
+	}
+	return tx.db.ReadRef(t, ref, tx.visibleTS(t, asof))
+}
+
+// OpenRef implements exec.Runtime. Buffered images are returned whole;
+// projection pruning is an optimization for stored objects only.
+func (rt *txnRuntime) OpenRef(t *catalog.Table, ref page.TID, asof int64, ps *object.PathSet) (model.Tuple, error) {
+	tx := rt.tx
+	if asof == 0 {
+		if p, ok := tx.pending[wkey{t.Name, ref}]; ok {
+			if p.deleted {
+				return nil, subtuple.ErrNotFound
+			}
+			return p.tup.Clone(), nil
+		}
+		if ref.Page >= synthBase {
+			return nil, subtuple.ErrNotFound
+		}
+	}
+	return tx.db.OpenRef(t, ref, tx.visibleTS(t, asof), ps)
+}
+
+// OpenScan implements exec.Runtime: the stored-table cursor wrapped
+// with the transaction's overlay.
+func (rt *txnRuntime) OpenScan(t *catalog.Table, asof int64, ps *object.PathSet) (exec.ScanCursor, error) {
+	tx := rt.tx
+	overlay := asof == 0
+	under, err := tx.db.OpenScan(t, tx.visibleTS(t, asof), ps)
+	if err != nil {
+		return nil, err
+	}
+	if !overlay {
+		return under, nil
+	}
+	// Snapshot the synthetic refs now; entries stay in tx.order for the
+	// transaction's lifetime, and deletes are re-checked per Next.
+	var pend []page.TID
+	for _, k := range tx.order {
+		if k.table == t.Name && k.ref.Page >= synthBase {
+			pend = append(pend, k.ref)
+		}
+	}
+	return &txnScanCursor{tx: tx, t: t, under: under, pend: pend}, nil
+}
+
+// txnScanCursor overlays a transaction's buffered writes onto a
+// stored-table cursor: committed tuples stream through (substituted or
+// suppressed when the transaction wrote them), then the transaction's
+// own inserts follow.
+type txnScanCursor struct {
+	tx    *Txn
+	t     *catalog.Table
+	under exec.ScanCursor // nil once exhausted
+	pend  []page.TID
+	i     int
+}
+
+func (c *txnScanCursor) Next() (page.TID, model.Tuple, bool, error) {
+	for c.under != nil {
+		ref, tup, ok, err := c.under.Next()
+		if err != nil {
+			return page.TID{}, nil, false, err
+		}
+		if !ok {
+			c.under.Close()
+			c.under = nil
+			break
+		}
+		if p, hit := c.tx.pending[wkey{c.t.Name, ref}]; hit {
+			if p.deleted {
+				continue
+			}
+			return ref, p.tup.Clone(), true, nil
+		}
+		return ref, tup, true, nil
+	}
+	for c.i < len(c.pend) {
+		ref := c.pend[c.i]
+		c.i++
+		p := c.tx.pending[wkey{c.t.Name, ref}]
+		if p == nil || p.deleted {
+			continue
+		}
+		return ref, p.tup.Clone(), true, nil
+	}
+	return page.TID{}, nil, false, nil
+}
+
+func (c *txnScanCursor) Close() error {
+	if c.under != nil {
+		err := c.under.Close()
+		c.under = nil
+		return err
+	}
+	return nil
+}
+
+// --- buffered writes ----------------------------------------------------
+
+// setPending records the new image of one object, keeping insertion
+// order for stable scans. Entries are replaced whole, never mutated:
+// statement-level rollback restores a shallow copy of the map.
+func (tx *Txn) setPending(k wkey, p *pendingObj) {
+	if _, ok := tx.pending[k]; !ok {
+		tx.order = append(tx.order, k)
+	}
+	tx.pending[k] = p
+}
+
+// baseImage returns a private copy of the object's current image in
+// this transaction: the buffered one if the transaction wrote it, else
+// the committed image at the snapshot.
+func (tx *Txn) baseImage(t *catalog.Table, k wkey) (model.Tuple, error) {
+	if p, ok := tx.pending[k]; ok {
+		if p.deleted {
+			return nil, subtuple.ErrNotFound
+		}
+		return p.tup.Clone(), nil
+	}
+	if k.ref.Page >= synthBase {
+		return nil, subtuple.ErrNotFound
+	}
+	tup, err := tx.db.ReadRef(t, k.ref, tx.visibleTS(t, 0))
+	if err != nil {
+		return nil, err
+	}
+	return tup.Clone(), nil
+}
+
+// wasInserted reports whether the pending entry (if any) belongs to a
+// tuple this transaction created.
+func (tx *Txn) wasInserted(k wkey) bool {
+	p := tx.pending[k]
+	return p != nil && p.inserted
+}
+
+// InsertTuple implements exec.Runtime: the tuple gets a synthetic ref
+// and lives in the buffer until commit. A brand-new tuple cannot
+// conflict with anything, so no write lock is taken.
+func (rt *txnRuntime) InsertTuple(t *catalog.Table, tup model.Tuple) error {
+	tx := rt.tx
+	if err := model.Conform(t.Type, tup); err != nil {
+		return err
+	}
+	ref := tx.newSynthRef()
+	k := wkey{t.Name, ref}
+	tx.setPending(k, &pendingObj{tup: tup.Clone(), inserted: true})
+	tx.ops = append(tx.ops, txOp{kind: opInsert, table: t.Name, ref: ref})
+	return nil
+}
+
+// DeleteTuple implements exec.Runtime.
+func (rt *txnRuntime) DeleteTuple(t *catalog.Table, ref page.TID) error {
+	tx := rt.tx
+	k := wkey{t.Name, ref}
+	if ref.Page >= synthBase {
+		if _, err := tx.baseImage(t, k); err != nil {
+			return err
+		}
+		// Deleting a tuple inserted in this transaction elides the
+		// insert at commit; no stored object is touched.
+		tx.setPending(k, &pendingObj{deleted: true, inserted: true})
+		return nil
+	}
+	if err := tx.registerWrite(k); err != nil {
+		return err
+	}
+	if _, err := tx.baseImage(t, k); err != nil {
+		return err
+	}
+	tx.setPending(k, &pendingObj{deleted: true})
+	tx.ops = append(tx.ops, txOp{kind: opDelete, table: t.Name, ref: ref})
+	return nil
+}
+
+// UpdateAtoms implements exec.Runtime.
+func (rt *txnRuntime) UpdateAtoms(t *catalog.Table, ref page.TID, steps []object.Step, vals []model.Value) error {
+	tx := rt.tx
+	k := wkey{t.Name, ref}
+	if ref.Page < synthBase {
+		if err := tx.registerWrite(k); err != nil {
+			return err
+		}
+	}
+	img, err := tx.baseImage(t, k)
+	if err != nil {
+		return err
+	}
+	if err := applyUpdateAtoms(t, img, steps, vals); err != nil {
+		return err
+	}
+	tx.setPending(k, &pendingObj{tup: img, inserted: tx.wasInserted(k)})
+	if ref.Page < synthBase {
+		tx.ops = append(tx.ops, txOp{
+			kind: opUpdateAtoms, table: t.Name, ref: ref,
+			steps: append([]object.Step(nil), steps...),
+			vals:  append([]model.Value(nil), vals...),
+		})
+	}
+	return nil
+}
+
+// InsertMember implements exec.Runtime.
+func (rt *txnRuntime) InsertMember(t *catalog.Table, ref page.TID, steps []object.Step, attr int, member model.Tuple) error {
+	tx := rt.tx
+	k := wkey{t.Name, ref}
+	if ref.Page < synthBase {
+		if err := tx.registerWrite(k); err != nil {
+			return err
+		}
+	}
+	img, err := tx.baseImage(t, k)
+	if err != nil {
+		return err
+	}
+	if err := applyInsertMember(t, img, steps, attr, member); err != nil {
+		return err
+	}
+	tx.setPending(k, &pendingObj{tup: img, inserted: tx.wasInserted(k)})
+	if ref.Page < synthBase {
+		tx.ops = append(tx.ops, txOp{
+			kind: opInsertMember, table: t.Name, ref: ref,
+			steps: append([]object.Step(nil), steps...),
+			attr:  attr, tup: member.Clone(),
+		})
+	}
+	return nil
+}
+
+// DeleteMember implements exec.Runtime.
+func (rt *txnRuntime) DeleteMember(t *catalog.Table, ref page.TID, steps []object.Step, attr, pos int) error {
+	tx := rt.tx
+	k := wkey{t.Name, ref}
+	if ref.Page < synthBase {
+		if err := tx.registerWrite(k); err != nil {
+			return err
+		}
+	}
+	img, err := tx.baseImage(t, k)
+	if err != nil {
+		return err
+	}
+	if err := applyDeleteMember(t, img, steps, attr, pos); err != nil {
+		return err
+	}
+	tx.setPending(k, &pendingObj{tup: img, inserted: tx.wasInserted(k)})
+	if ref.Page < synthBase {
+		tx.ops = append(tx.ops, txOp{
+			kind: opDeleteMember, table: t.Name, ref: ref,
+			steps: append([]object.Step(nil), steps...),
+			attr:  attr, pos: pos,
+		})
+	}
+	return nil
+}
+
+// --- logical DML on buffered images -------------------------------------
+//
+// These mirror the semantics of the storage-level mutations
+// (object.Manager and flat.Store) on in-memory tuples, so a
+// transaction's reads of its own writes agree exactly with what commit
+// will apply.
+
+// navigate descends a tuple image along steps, returning the addressed
+// (sub)tuple and its level's type.
+func navigate(tt *model.TableType, tup model.Tuple, steps []object.Step) (model.Tuple, *model.TableType, error) {
+	cur, lt := tup, tt
+	for _, s := range steps {
+		if s.Attr < 0 || s.Attr >= len(lt.Attrs) || lt.Attrs[s.Attr].Type.Kind != model.KindTable {
+			return nil, nil, fmt.Errorf("engine: step attribute %d is not a subtable", s.Attr)
+		}
+		sub, ok := cur[s.Attr].(*model.Table)
+		if !ok {
+			return nil, nil, fmt.Errorf("engine: subtable attribute %d is null", s.Attr)
+		}
+		if s.Pos < 0 || s.Pos >= len(sub.Tuples) {
+			return nil, nil, fmt.Errorf("engine: member position %d out of range (%d members)", s.Pos, len(sub.Tuples))
+		}
+		cur = sub.Tuples[s.Pos]
+		lt = lt.Attrs[s.Attr].Type.Table
+	}
+	return cur, lt, nil
+}
+
+// applyUpdateAtoms overwrites the atomic attributes of the level at
+// steps in place. For flat tables vals covers all attributes; for
+// complex ones it matches the level's AtomicIndexes order. Nulls
+// overwrite, as in the stored form.
+func applyUpdateAtoms(t *catalog.Table, img model.Tuple, steps []object.Step, vals []model.Value) error {
+	if t.Kind == catalog.Flat {
+		if len(vals) != len(img) {
+			return fmt.Errorf("engine: update has %d values, tuple %d attributes", len(vals), len(img))
+		}
+		copy(img, vals)
+		return nil
+	}
+	cur, lt, err := navigate(t.Type, img, steps)
+	if err != nil {
+		return err
+	}
+	ai := lt.AtomicIndexes()
+	if len(vals) != len(ai) {
+		return fmt.Errorf("engine: update has %d values, level has %d atomic attributes", len(vals), len(ai))
+	}
+	for j, i := range ai {
+		cur[i] = vals[j]
+	}
+	return nil
+}
+
+// applyInsertMember appends a member to the subtable at steps/attr.
+func applyInsertMember(t *catalog.Table, img model.Tuple, steps []object.Step, attr int, member model.Tuple) error {
+	cur, lt, err := navigate(t.Type, img, steps)
+	if err != nil {
+		return err
+	}
+	if attr < 0 || attr >= len(lt.Attrs) || lt.Attrs[attr].Type.Kind != model.KindTable {
+		return fmt.Errorf("engine: attribute %d is not a subtable", attr)
+	}
+	st := lt.Attrs[attr].Type.Table
+	if err := model.Conform(st, member); err != nil {
+		return err
+	}
+	sub, ok := cur[attr].(*model.Table)
+	if !ok {
+		sub = &model.Table{Ordered: st.Ordered}
+		cur[attr] = sub
+	}
+	sub.Append(member.Clone())
+	return nil
+}
+
+// applyDeleteMember removes the member at pos of the subtable at
+// steps/attr.
+func applyDeleteMember(t *catalog.Table, img model.Tuple, steps []object.Step, attr, pos int) error {
+	cur, lt, err := navigate(t.Type, img, steps)
+	if err != nil {
+		return err
+	}
+	if attr < 0 || attr >= len(lt.Attrs) || lt.Attrs[attr].Type.Kind != model.KindTable {
+		return fmt.Errorf("engine: attribute %d is not a subtable", attr)
+	}
+	sub, ok := cur[attr].(*model.Table)
+	if !ok || pos < 0 || pos >= len(sub.Tuples) {
+		return fmt.Errorf("engine: member position %d out of range", pos)
+	}
+	sub.Tuples = append(sub.Tuples[:pos], sub.Tuples[pos+1:]...)
+	return nil
+}

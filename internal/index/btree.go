@@ -21,6 +21,7 @@ package index
 import (
 	"bytes"
 	"fmt"
+	"sync"
 
 	"repro/internal/page"
 )
@@ -114,7 +115,13 @@ func (*inner) isNode() {}
 // BTree is an in-memory B+-tree from byte keys to address lists.
 // Keys are produced by model.EncodeKeyValue, so byte order equals
 // value order and range scans deliver keys in value order.
+//
+// The tree is safe for concurrent use: lookups and range scans take a
+// shared lock, mutations an exclusive one, so index reads proceed in
+// parallel with each other and with concurrent statements on other
+// tables while DML on the indexed table maintains its entries.
 type BTree struct {
+	mu      sync.RWMutex
 	root    node
 	first   *leaf
 	entries int // number of (key, addr) pairs
@@ -128,13 +135,23 @@ func NewBTree() *BTree {
 }
 
 // Len returns the number of (key, address) pairs in the tree.
-func (t *BTree) Len() int { return t.entries }
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.entries
+}
 
 // Keys returns the number of distinct keys.
-func (t *BTree) Keys() int { return t.keys }
+func (t *BTree) Keys() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.keys
+}
 
 // Insert adds addr to the address list of key.
 func (t *BTree) Insert(key []byte, addr Addr) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	k := append([]byte(nil), key...)
 	midKey, sibling := t.insert(t.root, k, addr)
 	if sibling != nil {
@@ -196,6 +213,8 @@ func (t *BTree) insert(n node, key []byte, addr Addr) ([]byte, node) {
 // drop the key from the leaf (without structural rebalancing; the
 // tree shrinks fully only when rebuilt).
 func (t *BTree) Delete(key []byte, addr Addr) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	l, i := t.findLeaf(key)
 	if l == nil {
 		return false
@@ -218,14 +237,17 @@ func (t *BTree) Delete(key []byte, addr Addr) bool {
 	return false
 }
 
-// Search returns the address list of key (nil if absent). The
-// returned slice must not be modified.
+// Search returns the address list of key (nil if absent). The slice
+// is the caller's: a copy, so later mutations of the tree cannot
+// reach into it.
 func (t *BTree) Search(key []byte) []Addr {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	l, i := t.findLeaf(key)
 	if l == nil {
 		return nil
 	}
-	return l.posts[i]
+	return append([]Addr(nil), l.posts[i]...)
 }
 
 func (t *BTree) findLeaf(key []byte) (*leaf, int) {
@@ -246,8 +268,11 @@ func (t *BTree) findLeaf(key []byte) (*leaf, int) {
 
 // Range calls fn for every key in [lo, hi] (inclusive; nil lo means
 // from the smallest key, nil hi means to the largest) in ascending
-// key order. fn returning false stops the scan.
+// key order. fn returning false stops the scan. fn runs under the
+// tree's shared lock and must not mutate the tree.
 func (t *BTree) Range(lo, hi []byte, fn func(key []byte, addrs []Addr) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var l *leaf
 	var i int
 	if lo == nil {

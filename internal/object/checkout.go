@@ -56,7 +56,9 @@ func (m *Manager) Export(ref Ref) (*Snapshot, error) {
 			return nil, err
 		}
 		img := make([]byte, page.Size)
+		f.RLatch()
 		copy(img, f.Page.Bytes())
+		f.RUnlatch()
 		m.st.Pool().Unpin(f, false)
 		snap.Pages = append(snap.Pages, img)
 		if pg == ref.Page {

@@ -295,3 +295,21 @@ type AlterTableAdd struct {
 }
 
 func (*AlterTableAdd) stmt() {}
+
+// Begin starts a multi-statement transaction: every statement until
+// the matching Commit or Rollback runs against one snapshot, and its
+// writes become visible to other sessions only at Commit.
+type Begin struct{}
+
+func (*Begin) stmt() {}
+
+// Commit ends the current transaction, publishing its writes
+// atomically.
+type Commit struct{}
+
+func (*Commit) stmt() {}
+
+// Rollback ends the current transaction, discarding its writes.
+type Rollback struct{}
+
+func (*Rollback) stmt() {}

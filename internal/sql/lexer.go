@@ -69,6 +69,7 @@ var keywords = map[string]bool{
 	"DISTINCT": true, "ORDER": true, "BY": true, "ASC": true, "DESC": true,
 	"COUNT": true, "SHOW": true, "TABLES": true, "DESCRIBE": true,
 	"TNAME": true, "PICK": true, "EXPLAIN": true, "ALTER": true, "ADD": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "TRANSACTION": true, "WORK": true,
 }
 
 var symbols = []string{

@@ -166,6 +166,21 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return &Describe{Name: name}, nil
 	case "ALTER":
 		return p.parseAlter()
+	case "BEGIN":
+		p.next()
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &Begin{}, nil
+	case "COMMIT":
+		p.next()
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &Commit{}, nil
+	case "ROLLBACK":
+		p.next()
+		p.acceptKw("TRANSACTION")
+		p.acceptKw("WORK")
+		return &Rollback{}, nil
 	}
 	return nil, p.errorf("unexpected keyword %s", t.Text)
 }

@@ -101,6 +101,8 @@ func (c *Cursor) loadPage() error {
 		return err
 	}
 	defer c.s.pool.Unpin(f, false)
+	f.RLatch()
+	defer f.RUnlatch()
 	n := f.Page.NumSlots()
 	for sl := 0; sl < n; sl++ {
 		rec, err := f.Page.Read(uint16(sl))

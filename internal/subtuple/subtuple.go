@@ -66,6 +66,17 @@ type Store struct {
 	candidates []uint32 // pages known to have reclaimed space
 
 	nDecoded atomic.Uint64 // records decoded since store creation
+
+	// applyTxn/applyTS are the transaction apply context: while a
+	// transaction's write set is applied (always under the engine's
+	// exclusive apply lock), every version written is stamped with the
+	// creator/deleter transaction id and carries the transaction's
+	// single commit timestamp instead of a fresh clock reading — the
+	// whole transaction becomes visible to snapshot readers atomically,
+	// at one instant. Zero means "no transaction": timestamps come from
+	// the clock and versions are stamped txn 0.
+	applyTxn atomic.Uint64
+	applyTS  atomic.Int64
 }
 
 // Config configures a Store.
@@ -107,8 +118,29 @@ func (s *Store) Versioned() bool { return s.versioned }
 // around a statement to obtain per-statement figures.
 func (s *Store) DecodeCount() uint64 { return s.nDecoded.Load() }
 
-// now returns the version timestamp for the current operation.
-func (s *Store) now() int64 { return s.clock() }
+// now returns the version timestamp for the current operation: the
+// transaction commit timestamp while an apply context is set, a fresh
+// clock reading otherwise.
+func (s *Store) now() int64 {
+	if ts := s.applyTS.Load(); ts != 0 {
+		return ts
+	}
+	return s.clock()
+}
+
+// SetApply installs the transaction apply context (see applyTxn).
+// Callers must serialize SetApply/ClearApply with all mutating
+// operations — the engine does so under its exclusive apply lock.
+func (s *Store) SetApply(txn uint64, ts int64) {
+	s.applyTxn.Store(txn)
+	s.applyTS.Store(ts)
+}
+
+// ClearApply removes the transaction apply context.
+func (s *Store) ClearApply() {
+	s.applyTxn.Store(0)
+	s.applyTS.Store(0)
+}
 
 // --- low-level page operations, WAL-logged -------------------------
 
@@ -118,8 +150,10 @@ func (s *Store) logAndApply(op wal.Op, pageNo uint32, apply func(p *page.Page) (
 	if err != nil {
 		return 0, err
 	}
+	f.Latch()
 	sl, err := apply(f.Page)
 	if err != nil {
+		f.Unlatch()
 		s.pool.Unpin(f, false)
 		return 0, err
 	}
@@ -127,11 +161,13 @@ func (s *Store) logAndApply(op wal.Op, pageNo uint32, apply func(p *page.Page) (
 		rec := &wal.Record{Op: op, Seg: s.seg, Page: pageNo, Slot: sl, Payload: payload}
 		lsn, err := s.log.Append(rec)
 		if err != nil {
+			f.Unlatch()
 			s.pool.Unpin(f, true)
 			return 0, err
 		}
 		f.Page.SetLSN(lsn)
 	}
+	f.Unlatch()
 	s.pool.Unpin(f, true)
 	return sl, nil
 }
@@ -165,6 +201,8 @@ func (s *Store) readRaw(t page.TID) ([]byte, error) {
 		return nil, err
 	}
 	defer s.pool.Unpin(f, false)
+	f.RLatch()
+	defer f.RUnlatch()
 	if !f.Page.Initialized() {
 		// An allocated page can never legitimately revert to the
 		// uninitialized (all-zero) state: a reference into one means the
@@ -217,6 +255,8 @@ func (s *Store) PageEmpty(pageNo uint32) (bool, error) {
 		return false, err
 	}
 	defer s.pool.Unpin(f, false)
+	f.RLatch()
+	defer f.RUnlatch()
 	return f.Page.Empty(), nil
 }
 
@@ -228,6 +268,8 @@ func (s *Store) FreeOnPage(pageNo uint32) (int, error) {
 		return 0, err
 	}
 	defer s.pool.Unpin(f, false)
+	f.RLatch()
+	defer f.RUnlatch()
 	return f.Page.FreeSpace(), nil
 }
 
@@ -271,12 +313,15 @@ func (s *Store) insertRawAnywhere(rec []byte) (page.TID, error) {
 
 // encodeBody wraps a payload with version header and, when too large,
 // spills it into an overflow chain. extraFlags is fOld for version
-// records.
-func (s *Store) encodeBody(payload []byte, versioned bool, fromTS int64, prev page.TID, extraFlags byte) ([]byte, error) {
+// records. txn is the creating (or, for tombstones, deleting)
+// transaction id stamped into the version header; 0 for writes
+// outside any transaction.
+func (s *Store) encodeBody(payload []byte, versioned bool, fromTS int64, txn uint64, prev page.TID, extraFlags byte) ([]byte, error) {
 	hdr := []byte{extraFlags}
 	if versioned {
 		hdr[0] |= fVer
 		hdr = binary.AppendVarint(hdr, fromTS)
+		hdr = binary.AppendUvarint(hdr, txn)
 		hdr = page.AppendTID(hdr, prev)
 	}
 	if len(hdr)+len(payload) <= maxRecord {
@@ -310,6 +355,7 @@ func (s *Store) encodeBody(payload []byte, versioned bool, fromTS int64, prev pa
 type decoded struct {
 	flags   byte
 	fromTS  int64
+	txn     uint64 // creator (tombstones: deleter) transaction id
 	prev    page.TID
 	payload []byte // assembled (chunks resolved)
 }
@@ -327,6 +373,12 @@ func (s *Store) decode(rec []byte) (*decoded, error) {
 			return nil, dberr.Corruptf("subtuple: corrupt version header")
 		}
 		d.fromTS = ts
+		p = p[n:]
+		txn, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, dberr.Corruptf("subtuple: corrupt version header")
+		}
+		d.txn = txn
 		p = p[n:]
 		prev, err := page.DecodeTID(p)
 		if err != nil {
@@ -392,6 +444,8 @@ func (s *Store) freeOverflow(rec []byte) error {
 	p := rec[1:]
 	if rec[0]&fVer != 0 {
 		_, n := binary.Varint(p)
+		p = p[n:]
+		_, n = binary.Uvarint(p) // txn stamp
 		p = p[n+page.EncodedTIDLen:]
 	}
 	_, n := binary.Uvarint(p)
@@ -467,7 +521,7 @@ func (s *Store) resolve(t page.TID) (page.TID, []byte, error) {
 // Insert stores a new subtuple anywhere in the segment and returns
 // its stable TID.
 func (s *Store) Insert(data []byte) (page.TID, error) {
-	rec, err := s.encodeBody(data, s.versioned, s.tsOrZero(), page.TID{}, 0)
+	rec, err := s.encodeBody(data, s.versioned, s.tsOrZero(), s.applyTxn.Load(), page.TID{}, 0)
 	if err != nil {
 		return page.TID{}, err
 	}
@@ -486,7 +540,7 @@ func (s *Store) tsOrZero() int64 {
 // complex-object clustering strategy of §4.1 (try the object's own
 // pages first).
 func (s *Store) InsertOnPage(pageNo uint32, data []byte) (page.TID, error) {
-	rec, err := s.encodeBody(data, s.versioned, s.tsOrZero(), page.TID{}, 0)
+	rec, err := s.encodeBody(data, s.versioned, s.tsOrZero(), s.applyTxn.Load(), page.TID{}, 0)
 	if err != nil {
 		return page.TID{}, err
 	}
@@ -571,8 +625,9 @@ func (s *Store) Update(t page.TID, data []byte) error {
 	prev := page.TID{}
 	fromTS := int64(0)
 	if s.versioned {
-		// Preserve the old payload as an fOld version record.
-		oldRec, err := s.encodeBody(old.payload, true, old.fromTS, old.prev, fOld)
+		// Preserve the old payload as an fOld version record, keeping
+		// its original creator transaction stamp.
+		oldRec, err := s.encodeBody(old.payload, true, old.fromTS, old.txn, old.prev, fOld)
 		if err != nil {
 			return err
 		}
@@ -582,18 +637,15 @@ func (s *Store) Update(t page.TID, data []byte) error {
 		}
 		fromTS = s.now()
 	}
-	if err := s.freeOverflow(raw); err != nil {
-		return err
-	}
 	moved := old.flags & fMoved
-	rec, err := s.encodeBody(data, s.versioned, fromTS, prev, moved)
+	rec, err := s.encodeBody(data, s.versioned, fromTS, s.applyTxn.Load(), prev, moved)
 	if err != nil {
 		return err
 	}
 	err = s.pageUpdate(loc, rec)
 	if errors.Is(err, page.ErrNoSpace) {
 		// Relocate and leave (or retarget) a forwarding stub.
-		rec2, err2 := s.encodeBody(data, s.versioned, fromTS, prev, moved|fMoved)
+		rec2, err2 := s.encodeBody(data, s.versioned, fromTS, s.applyTxn.Load(), prev, moved|fMoved)
 		if err2 != nil {
 			return err2
 		}
@@ -601,11 +653,20 @@ func (s *Store) Update(t page.TID, data []byte) error {
 		if err2 != nil {
 			return err2
 		}
-		stub := []byte{fFwd}
-		stub = page.AppendTID(stub, nt)
-		return s.pageUpdate(loc, stub)
+		stub := page.AppendTID([]byte{fFwd}, nt)
+		if err2 := s.pageUpdate(loc, stub); err2 != nil {
+			return err2
+		}
+		// The old head's overflow chunks are released only after the new
+		// head is in place, narrowing the window in which a concurrent
+		// snapshot reader holding the old head bytes could chase freed
+		// chunks (the old payload itself lives on in the version record).
+		return s.freeOverflow(raw)
 	}
-	return err
+	if err != nil {
+		return err
+	}
+	return s.freeOverflow(raw)
 }
 
 // Delete removes the subtuple. In a versioned store a tombstone keeps
@@ -624,7 +685,7 @@ func (s *Store) Delete(t page.TID) error {
 		return ErrNotFound
 	}
 	if s.versioned {
-		oldRec, err := s.encodeBody(old.payload, true, old.fromTS, old.prev, fOld)
+		oldRec, err := s.encodeBody(old.payload, true, old.fromTS, old.txn, old.prev, fOld)
 		if err != nil {
 			return err
 		}
@@ -632,13 +693,16 @@ func (s *Store) Delete(t page.TID) error {
 		if err != nil {
 			return err
 		}
-		if err := s.freeOverflow(raw); err != nil {
-			return err
-		}
 		tomb := []byte{fVer | fTomb | (old.flags & fMoved)}
 		tomb = binary.AppendVarint(tomb, s.now())
+		tomb = binary.AppendUvarint(tomb, s.applyTxn.Load())
 		tomb = page.AppendTID(tomb, prev)
-		return s.pageUpdate(loc, tomb)
+		if err := s.pageUpdate(loc, tomb); err != nil {
+			return err
+		}
+		// Free the old head's overflow chain only once the tombstone is
+		// in place (the payload survives in the version record).
+		return s.freeOverflow(raw)
 	}
 	if err := s.freeOverflow(raw); err != nil {
 		return err
@@ -681,9 +745,11 @@ func (s *Store) Scan(fn func(t page.TID, data []byte) error) error {
 		if err != nil {
 			return err
 		}
+		f.RLatch()
 		if !f.Page.Initialized() {
 			// A zeroed allocated page would otherwise scan as "no
 			// records" — silent row loss rather than a detected fault.
+			f.RUnlatch()
 			s.pool.Unpin(f, false)
 			return dberr.Corruptf("subtuple: allocated page %d.%d is uninitialized (zeroed?)", s.seg, pg)
 		}
@@ -705,6 +771,7 @@ func (s *Store) Scan(fn func(t page.TID, data []byte) error) error {
 			copy(cp, rec)
 			items = append(items, item{uint16(sl), cp})
 		}
+		f.RUnlatch()
 		s.pool.Unpin(f, false)
 		for _, it := range items {
 			d, err := s.decode(it.raw)
@@ -745,7 +812,9 @@ func (s *Store) ScanAsOf(ts int64, fn func(t page.TID, data []byte) error) error
 		if err != nil {
 			return err
 		}
+		f.RLatch()
 		if !f.Page.Initialized() {
+			f.RUnlatch()
 			s.pool.Unpin(f, false)
 			return dberr.Corruptf("subtuple: allocated page %d.%d is uninitialized (zeroed?)", s.seg, pg)
 		}
@@ -761,6 +830,7 @@ func (s *Store) ScanAsOf(ts int64, fn func(t page.TID, data []byte) error) error
 			}
 			slots = append(slots, uint16(sl))
 		}
+		f.RUnlatch()
 		s.pool.Unpin(f, false)
 		for _, sl := range slots {
 			tid := page.TID{Page: pg, Slot: sl}
@@ -782,6 +852,7 @@ func (s *Store) ScanAsOf(ts int64, fn func(t page.TID, data []byte) error) error
 // Version is one state in a subtuple's history.
 type Version struct {
 	FromTS  int64
+	Txn     uint64 // transaction that created this state (0 = none recorded)
 	Payload []byte
 	Deleted bool // tombstone: the subtuple did not exist from FromTS on
 }
@@ -804,7 +875,7 @@ func (s *Store) History(t page.TID) ([]Version, error) {
 	var out []Version
 	seen := make(map[page.TID]bool)
 	for {
-		v := Version{FromTS: d.fromTS, Deleted: d.flags&fTomb != 0}
+		v := Version{FromTS: d.fromTS, Txn: d.txn, Deleted: d.flags&fTomb != 0}
 		if !v.Deleted {
 			v.Payload = d.payload
 		}

@@ -16,6 +16,7 @@ package textindex
 import (
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 
 	"repro/internal/index"
@@ -27,12 +28,14 @@ import (
 const boundary = '\x01'
 
 // Index is a word-fragment text index over one string attribute of a
-// table.
+// table. It is safe for concurrent use: searches take a shared lock,
+// Add/Remove an exclusive one.
 type Index struct {
 	Name  string
 	Table string
 	Path  []string // attribute path, as for value indexes
 
+	mu sync.RWMutex
 	// postings: word -> addresses of the (sub)objects whose attribute
 	// value contains the word.
 	postings map[string][]index.Addr
@@ -52,12 +55,19 @@ func New(name, table string, path []string) *Index {
 }
 
 // Words returns the vocabulary size.
-func (ix *Index) Words() int { return len(ix.postings) }
+func (ix *Index) Words() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.postings)
+}
 
 // Walk visits every posting list in sorted word order; the scrubber
 // uses it to compare a live index against a freshly built shadow. The
-// callback must not retain or mutate addrs.
+// callback must not retain or mutate addrs, and must not mutate the
+// index (it runs under the shared lock).
 func (ix *Index) Walk(fn func(word string, addrs []index.Addr)) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	words := make([]string, 0, len(ix.postings))
 	for w := range ix.postings {
 		words = append(words, w)
@@ -69,7 +79,11 @@ func (ix *Index) Walk(fn func(word string, addrs []index.Addr)) {
 }
 
 // Fragments returns the number of distinct fragments.
-func (ix *Index) Fragments() int { return len(ix.fragments) }
+func (ix *Index) Fragments() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.fragments)
+}
 
 // Tokenize splits a text into lowercase words (letter/digit runs).
 func Tokenize(text string) []string {
@@ -109,6 +123,8 @@ func fragmentsOf(word string) []string {
 
 // Add indexes the text under the given address.
 func (ix *Index) Add(text string, addr index.Addr) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	seen := map[string]bool{}
 	for _, w := range Tokenize(text) {
 		if seen[w] {
@@ -131,6 +147,8 @@ func (ix *Index) Add(text string, addr index.Addr) {
 
 // Remove withdraws the text's contribution under the address.
 func (ix *Index) Remove(text string, addr index.Addr) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	seen := map[string]bool{}
 	for _, w := range Tokenize(text) {
 		if seen[w] {
@@ -190,6 +208,12 @@ func matchRunes(mask, word []rune) bool {
 // filtering for the mask (before verification). Exposed so the
 // experiments can report the filter's selectivity.
 func (ix *Index) CandidateWords(mask string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.candidateWordsLocked(mask)
+}
+
+func (ix *Index) candidateWordsLocked(mask string) []string {
 	mask = strings.ToLower(mask)
 	// Split the mask at wildcards into literal runs; anchor the first
 	// and last runs when the mask does not start/end with '*'.
@@ -270,6 +294,8 @@ func (ix *Index) CandidateWords(mask string) []string {
 // word matching the mask. A mask without wildcards is an exact word
 // search.
 func (ix *Index) Search(mask string) []index.Addr {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	var out []index.Addr
 	seen := map[string]bool{}
 	addrKey := func(a index.Addr) string {
@@ -279,7 +305,7 @@ func (ix *Index) Search(mask string) []index.Addr {
 		}
 		return k
 	}
-	for _, w := range ix.CandidateWords(mask) {
+	for _, w := range ix.candidateWordsLocked(mask) {
 		if !MatchMask(mask, w) {
 			continue
 		}

@@ -64,6 +64,33 @@ type Record struct {
 	Payload []byte
 }
 
+// CommitPayload encodes the transaction id and commit timestamp a
+// transaction's OpCommit record carries. Recovery does not need it —
+// a commit record's mere presence makes the preceding operations
+// durable — but the stamps let offline tools (and tests) attribute
+// each committed batch to its transaction.
+func CommitPayload(txn uint64, ts int64) []byte {
+	b := binary.AppendUvarint(nil, txn)
+	return binary.AppendVarint(b, ts)
+}
+
+// DecodeCommitPayload parses a CommitPayload. A nil/empty payload
+// (the pre-transaction commit format) decodes as (0, 0, true).
+func DecodeCommitPayload(p []byte) (txn uint64, ts int64, ok bool) {
+	if len(p) == 0 {
+		return 0, 0, true
+	}
+	txn, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	ts, m := binary.Varint(p[n:])
+	if m <= 0 {
+		return 0, 0, false
+	}
+	return txn, ts, true
+}
+
 // File is the backing storage of a log: an append-position writer
 // with random-access reads. *os.File implements it; crash-simulation
 // harnesses substitute fault-injecting implementations.
