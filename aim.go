@@ -40,6 +40,7 @@ package aim
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/buffer"
 	"repro/internal/dberr"
@@ -115,6 +116,18 @@ type Options struct {
 	// Clock supplies timestamps for versioned tables (default
 	// wall-clock nanoseconds).
 	Clock func() int64
+	// WALSegmentBytes bounds each WAL segment file; once a checkpoint
+	// passes a segment, the file is recycled. 0 uses the default
+	// (4 MiB); negative keeps the log in one unbounded file.
+	WALSegmentBytes int64
+	// CheckpointEvery starts a background checkpointer with the given
+	// period. 0 disables it; Checkpoint can always be called directly.
+	CheckpointEvery time.Duration
+	// GroupCommitWait is the extra time a group-commit leader waits for
+	// concurrent committers to join its fsync when some are already
+	// pending. 0 means leaders never dally; a lone committer never
+	// waits either way.
+	GroupCommitWait time.Duration
 }
 
 // DB is a database handle.
@@ -128,12 +141,15 @@ type Result = engine.Result
 // Open opens (or creates) a database.
 func Open(opts Options) (*DB, error) {
 	eng, err := engine.Open(engine.Options{
-		Dir:           opts.Dir,
-		PoolPages:     opts.PoolPages,
-		PoolShards:    opts.PoolShards,
-		DisableWAL:    opts.DisableWAL,
-		DefaultLayout: opts.DefaultLayout,
-		Clock:         opts.Clock,
+		Dir:             opts.Dir,
+		PoolPages:       opts.PoolPages,
+		PoolShards:      opts.PoolShards,
+		DisableWAL:      opts.DisableWAL,
+		DefaultLayout:   opts.DefaultLayout,
+		Clock:           opts.Clock,
+		WALSegmentBytes: opts.WALSegmentBytes,
+		CheckpointEvery: opts.CheckpointEvery,
+		GroupCommitWait: opts.GroupCommitWait,
 	})
 	if err != nil {
 		return nil, err
@@ -295,12 +311,31 @@ type Stats struct {
 	// LastStatement is the access counters of the most recently
 	// completed statement.
 	LastStatement StmtStats
+	// WAL is the durability subsystem's counters: retained segments,
+	// checkpoint horizon, replay-tail bounds, fsyncs, checkpoints.
+	// Zero when logging is off.
+	WAL WALStats
 }
+
+// WALStats are the write-ahead log and checkpoint counters.
+type WALStats = engine.WALStats
 
 // Stats returns the database access statistics.
 func (db *DB) Stats() Stats {
-	return Stats{Buffer: db.eng.Pool().Stats(), LastStatement: db.eng.LastStmtStats()}
+	return Stats{
+		Buffer:        db.eng.Pool().Stats(),
+		LastStatement: db.eng.LastStmtStats(),
+		WAL:           db.eng.WALStats(),
+	}
 }
+
+// Checkpoint writes a fuzzy checkpoint: all dirty pages are flushed
+// (WAL first, per the write-ahead rule), a checkpoint record marking
+// the new replay horizon is forced to the log, and WAL segments wholly
+// below the horizon are recycled. After it returns, reopening the
+// database replays only the log tail written since this call. Without
+// a WAL it degrades to a plain flush of the dirty pages.
+func (db *DB) Checkpoint() error { return db.eng.WALCheckpoint() }
 
 // Now returns the database clock's current timestamp, usable in ASOF
 // clauses.

@@ -35,8 +35,19 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "how long each throughput rung runs (with -clients)")
 	iolat := flag.Duration("iolat", 150*time.Microsecond, "simulated device latency per physical page read (with -clients)")
 	out := flag.String("out", "BENCH_5.json", "throughput report path (with -clients; empty disables the file)")
+	writers := flag.Int("writers", 0, "group-commit write mode: measure a 1..N concurrent-writer ladder (commits/s, latency, fsyncs)")
+	groupWait := flag.Duration("groupwait", 200*time.Microsecond, "group-commit leader wait (with -writers)")
+	fsyncLat := flag.Duration("fsynclat", 2*time.Millisecond, "simulated device latency per WAL fsync (with -writers)")
+	wout := flag.String("wout", "BENCH_7.json", "write-ladder report path (with -writers; empty disables the file)")
 	flag.Parse()
 
+	if *writers > 0 {
+		if err := runWriteLadder(*writers, *duration, *groupWait, *fsyncLat, *wout, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aimbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *clients > 0 {
 		if err := runThroughput(*clients, *scale, *duration, *iolat, *out, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "aimbench:", err)

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// Write-throughput mode (-writers): measures how group commit
+// amortizes fsyncs as concurrent auto-commit writers pile onto one
+// leader's sync. A ladder of writer counts (1, N/2, N) drives
+// single-row INSERTs — each acknowledged only after its commit record
+// is durable — against one disk-backed database per rung, with a
+// simulated per-fsync device latency (like the read bench's -iolat),
+// so the numbers show the protocol rather than the benchmark host's
+// page cache. The report (BENCH_7.json) records commits/second,
+// p50/p99 acknowledge latency and the fsync count per rung: with
+// group commit working, commits grow much faster than fsyncs up the
+// ladder (commits/fsync > 1), because statements keep executing —
+// and appending — while the leader's fsync is in flight.
+
+// slowWALStorage injects device latency into every segment-file
+// fsync; writes stay at memory speed so fsync dominates, as on a real
+// disk.
+type slowWALStorage struct {
+	wal.Storage
+	lat time.Duration
+}
+
+func (s *slowWALStorage) Open(name string) (wal.File, error) {
+	f, err := s.Storage.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowWALFile{File: f, lat: s.lat}, nil
+}
+
+type slowWALFile struct {
+	wal.File
+	lat time.Duration
+}
+
+func (f *slowWALFile) Sync() error {
+	if f.lat > 0 {
+		time.Sleep(f.lat)
+	}
+	return f.File.Sync()
+}
+
+// writePoint is one rung of the writer ladder.
+type writePoint struct {
+	Writers  int     `json:"writers"`
+	Commits  int     `json:"commits"`
+	QPS      float64 `json:"qps"`
+	P50ms    float64 `json:"p50_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	Fsyncs   uint64  `json:"fsyncs"`
+	PerFsync float64 `json:"commits_per_fsync"`
+}
+
+// writeReport is the JSON artifact of one write-ladder run.
+type writeReport struct {
+	Bench         string       `json:"bench"`
+	Workload      string       `json:"workload"`
+	DurationSec   float64      `json:"duration_s"`
+	GroupWaitUs   float64      `json:"group_commit_wait_us"`
+	FsyncLatUs    float64      `json:"fsync_latency_us"`
+	Points        []writePoint `json:"points"`
+	SpeedupMaxVs1 float64      `json:"speedup_max_vs_1"`
+}
+
+// runWriteLadder measures the writer ladder and writes the JSON
+// report to outPath ("" prints to stdout only).
+func runWriteLadder(maxWriters int, duration, groupWait, fsyncLat time.Duration, outPath string, w io.Writer) error {
+	if maxWriters < 1 {
+		return fmt.Errorf("writeladder: -writers must be >= 1, got %d", maxWriters)
+	}
+	ladder := []int{1}
+	if half := maxWriters / 2; half > 1 {
+		ladder = append(ladder, half)
+	}
+	if maxWriters > 1 {
+		ladder = append(ladder, maxWriters)
+	}
+
+	rep := writeReport{
+		Bench:       "BENCH_7 group-commit write throughput",
+		Workload:    "concurrent single-row auto-commit INSERTs (disk-backed WAL, simulated fsync latency)",
+		DurationSec: duration.Seconds(),
+		GroupWaitUs: float64(groupWait) / float64(time.Microsecond),
+		FsyncLatUs:  float64(fsyncLat) / float64(time.Microsecond),
+	}
+	fmt.Fprintf(w, "\n================ group-commit write throughput (%s per rung) ================\n\n", duration)
+	fmt.Fprintf(w, "workload: single-row INSERTs, acknowledged after fsync; leader wait %s, fsync latency %s\n\n", groupWait, fsyncLat)
+	fmt.Fprintf(w, "%8s %10s %12s %10s %10s %10s %14s\n", "writers", "commits", "commits/s", "p50 ms", "p99 ms", "fsyncs", "commits/fsync")
+	for _, writers := range ladder {
+		pt, err := measureWritePoint(writers, duration, groupWait, fsyncLat)
+		if err != nil {
+			return err
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(w, "%8d %10d %12.1f %10.3f %10.3f %10d %14.2f\n",
+			pt.Writers, pt.Commits, pt.QPS, pt.P50ms, pt.P99ms, pt.Fsyncs, pt.PerFsync)
+	}
+	if base := rep.Points[0].QPS; base > 0 {
+		last := rep.Points[len(rep.Points)-1]
+		rep.SpeedupMaxVs1 = last.QPS / base
+		fmt.Fprintf(w, "\nspeedup at %d writers vs 1: %.2fx\n", last.Writers, rep.SpeedupMaxVs1)
+	}
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writeladder: writing report: %w", err)
+		}
+		fmt.Fprintf(w, "report written to %s\n", outPath)
+	}
+	return nil
+}
+
+// measureWritePoint runs one rung: a fresh disk-backed database,
+// `writers` goroutines inserting disjoint keys until the deadline.
+// Fresh state per rung keeps the table small and the fsync count
+// attributable to the rung alone.
+func measureWritePoint(writers int, duration, groupWait, fsyncLat time.Duration) (writePoint, error) {
+	dir, err := os.MkdirTemp("", "aimbench-writes-*")
+	if err != nil {
+		return writePoint{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.Open(engine.Options{
+		Dir:             dir,
+		GroupCommitWait: groupWait,
+		OpenWALStorage: func() (wal.Storage, error) {
+			return &slowWALStorage{Storage: wal.NewDirStorage(dir), lat: fsyncLat}, nil
+		},
+	})
+	if err != nil {
+		return writePoint{}, err
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE COMMITS (ID INT, W INT)`); err != nil {
+		return writePoint{}, err
+	}
+	syncs0 := db.WALStats().Syncs
+
+	deadline := time.Now().Add(duration)
+	lats := make([][]time.Duration, writers)
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for c := 0; c < writers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				stmt := fmt.Sprintf(`INSERT INTO COMMITS VALUES (%d, %d)`, c*1_000_000+i, c)
+				start := time.Now()
+				if _, err := db.Exec(stmt); err != nil {
+					errs[c] = fmt.Errorf("writer %d: %v", c, err)
+					return
+				}
+				lats[c] = append(lats[c], time.Since(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return writePoint{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pt := writePoint{
+		Writers: writers,
+		Commits: len(all),
+		QPS:     float64(len(all)) / duration.Seconds(),
+		P50ms:   percentileMs(all, 0.50),
+		P99ms:   percentileMs(all, 0.99),
+		Fsyncs:  db.WALStats().Syncs - syncs0,
+	}
+	if pt.Fsyncs > 0 {
+		pt.PerFsync = float64(pt.Commits) / float64(pt.Fsyncs)
+	}
+	return pt, nil
+}

@@ -84,12 +84,18 @@ func Open(st *subtuple.Store) (*Catalog, error) {
 		nextSeg: MetaSegment + 1,
 	}
 	self := page.TID{Page: 1, Slot: 0}
-	raw, err := st.Read(self)
-	if err != nil && !errors.Is(err, subtuple.ErrNotFound) && st.PageCount() >= 1 {
-		// The meta segment has pages, so a catalog record should be
-		// there: a corrupt (or unreadable) one must surface, not
-		// silently bootstrap an empty catalog over the damage.
-		return nil, fmt.Errorf("catalog: read catalog record: %w", err)
+	// An empty meta segment cannot hold a catalog record — bootstrap
+	// without probing it, so a transient read fault on a fresh store
+	// can never masquerade as "no catalog yet".
+	raw, err := []byte(nil), error(subtuple.ErrNotFound)
+	if st.PageCount() >= 1 {
+		raw, err = st.Read(self)
+		if err != nil && !errors.Is(err, subtuple.ErrNotFound) {
+			// The meta segment has pages, so a catalog record should be
+			// there: a corrupt (or unreadable) one must surface, not
+			// silently bootstrap an empty catalog over the damage.
+			return nil, fmt.Errorf("catalog: read catalog record: %w", err)
+		}
 	}
 	if err == nil {
 		var p persisted

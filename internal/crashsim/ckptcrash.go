@@ -1,0 +1,377 @@
+package crashsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// Checkpoint and segmented-log crash points: these harnesses run the
+// seeded workload on a log split into tiny segments (so rolls are
+// frequent), write fuzzy checkpoints at a fixed statement cadence, and
+// crash at seeded I/O budgets. Because segment creation, removal,
+// every log write and every sync are all failpoints, the budget sweep
+// lands inside segment switches, inside the checkpoint's flush and
+// record write, and inside recycling — the recovered database must be
+// indistinguishable from a clean replay of the committed statements no
+// matter which of those the crash interrupts.
+
+// ckptSegmentBytes keeps simulated segments tiny so every run rolls
+// many times.
+const ckptSegmentBytes = 8 << 10
+
+// ckptEvery is the checkpoint cadence of the faulted run, in
+// statements.
+const ckptEvery = 6
+
+// openCkptSession opens an engine on the session's segmented,
+// fault-injecting WAL storage.
+func openCkptSession(s *Session, clock func() int64, poolPages int) (*engine.DB, error) {
+	return engine.Open(engine.Options{
+		PoolPages:       poolPages,
+		Clock:           clock,
+		OpenStore:       s.OpenStore,
+		OpenWALStorage:  s.OpenWALStorage,
+		WALSegmentBytes: ckptSegmentBytes,
+	})
+}
+
+// CkptTotalOps measures the mutating I/O operations of a crash-free
+// checkpointing run, for sweeping crash budgets.
+func CkptTotalOps(wseed int64) (int64, error) {
+	w := NewWorkload(wseed, stmtCount)
+	var clk atomic.Int64
+	clock := func() int64 { return clk.Add(1) }
+	d := NewDisk()
+	s := d.Open(1, -1)
+	eng, err := openCkptSession(s, clock, 8)
+	if err != nil {
+		return 0, err
+	}
+	for i, stmt := range append(append([]string{}, w.Setup...), w.Stmts...) {
+		if _, err := eng.Exec(stmt); err != nil {
+			return 0, fmt.Errorf("crashsim: ckpt probe statement failed: %w\n%s", err, stmt)
+		}
+		if (i+1)%ckptEvery == 0 {
+			if err := eng.WALCheckpoint(); err != nil {
+				return 0, fmt.Errorf("crashsim: ckpt probe checkpoint after %d: %w", i, err)
+			}
+		}
+	}
+	if err := eng.Close(); err != nil {
+		return 0, err
+	}
+	return s.Ops(), nil
+}
+
+// RunCkptCrash executes one crash-recover-verify cycle on the
+// segmented, checkpointing configuration, crashing at the budget-th
+// mutating I/O operation (with recBudget >= 0 the first recovery is
+// crashed too and retried). The verification is the same as RunCrash —
+// invariants, state equivalence against a clean replay, ASOF history,
+// continued usability — plus checkpoint bookkeeping: after recovery a
+// fresh checkpoint must establish a one-segment chain whose replay
+// tail starts at the checkpoint record.
+func RunCkptCrash(wseed, budget, recBudget int64) error {
+	w := NewWorkload(wseed, stmtCount)
+	all := append(append([]string{}, w.Setup...), w.Stmts...)
+	var clk atomic.Int64
+	clock := func() int64 { return clk.Add(1) }
+
+	d := NewDisk()
+	s := d.Open(wseed*47+budget, budget)
+	committed := 0
+	inFlight := false
+	var snaps []snapshot
+	eng, err := openCkptSession(s, clock, 8)
+	if err != nil {
+		if !s.Crashed() {
+			return fmt.Errorf("crashsim: ckpt initial open failed without a crash: %w", err)
+		}
+	} else {
+	loop:
+		for i, stmt := range all {
+			if _, err := eng.Exec(stmt); err != nil {
+				if !s.Crashed() {
+					return fmt.Errorf("crashsim: ckpt statement %d failed without a crash: %w\n%s", i, err, stmt)
+				}
+				inFlight = true
+				break
+			}
+			committed++
+			switch snap, err := histSnapshot(eng, clk.Add(1)); {
+			case err != nil:
+				if !s.Crashed() {
+					return fmt.Errorf("crashsim: ckpt snapshot after statement %d failed without a crash: %w", i, err)
+				}
+				break loop
+			case snap != nil:
+				snaps = append(snaps, *snap)
+			}
+			if (i+1)%ckptEvery == 0 {
+				// A crash inside the checkpoint interrupts no statement:
+				// the state to recover is exactly the committed prefix.
+				if err := eng.WALCheckpoint(); err != nil {
+					if !s.Crashed() {
+						return fmt.Errorf("crashsim: checkpoint after statement %d failed without a crash: %w", i, err)
+					}
+					break loop
+				}
+			}
+		}
+		if !s.Crashed() {
+			if err := eng.Close(); err != nil && !s.Crashed() {
+				return fmt.Errorf("crashsim: ckpt clean close failed: %w", err)
+			}
+		}
+	}
+
+	// Recover; with recBudget >= 0 the first attempt is itself crashed
+	// and retried — recovery over segments must be idempotent too.
+	if recBudget >= 0 {
+		rs := d.Open(wseed*59+budget+1, recBudget)
+		if _, err := openCkptSession(rs, clock, 8); err != nil && !rs.Crashed() {
+			return fmt.Errorf("crashsim: ckpt budgeted recovery failed without a crash: %w", err)
+		}
+	}
+	rs := d.Open(wseed*83+budget+7, -1)
+	eng2, err := openCkptSession(rs, clock, 64)
+	if err != nil {
+		return fmt.Errorf("crashsim: ckpt recovery failed: %w", err)
+	}
+
+	if err := CheckInvariants(eng2); err != nil {
+		return err
+	}
+
+	// State equivalence against the committed replay (or, for an
+	// in-flight statement, the replay including it).
+	refA, err := replayEngine(all[:committed], clock)
+	if err != nil {
+		return err
+	}
+	diffA := compareState(eng2, refA)
+	if diffA != "" {
+		if !inFlight {
+			return fmt.Errorf("crashsim: ckpt-recovered state differs from committed replay: %s", diffA)
+		}
+		refB, err := replayEngine(all[:committed+1], clock)
+		if err != nil {
+			return err
+		}
+		if diffB := compareState(eng2, refB); diffB != "" {
+			return fmt.Errorf("crashsim: ckpt-recovered state matches neither replay\nwithout in-flight: %s\nwith in-flight: %s", diffA, diffB)
+		}
+	}
+
+	// ASOF history across checkpoints: recycling must never eat
+	// versions a snapshot needs — versions live in pages, not the log,
+	// so every pre-crash snapshot must still be reproducible.
+	for _, sn := range snaps {
+		t, ok := eng2.Catalog().Table("HIST")
+		if !ok {
+			return fmt.Errorf("crashsim: HIST vanished despite a recorded snapshot")
+		}
+		rows, err := tableRows(eng2, t, sn.ts)
+		if err != nil {
+			return fmt.Errorf("crashsim: ckpt ASOF %d scan: %w", sn.ts, err)
+		}
+		if !model.TableEqual(rows, sn.rows) {
+			return fmt.Errorf("crashsim: HIST ASOF %d differs from the snapshot taken before the crash", sn.ts)
+		}
+	}
+
+	// Checkpoint bookkeeping on the recovered handle: a fresh
+	// checkpoint must leave a one-segment chain whose replay tail is
+	// the checkpoint record.
+	if err := eng2.WALCheckpoint(); err != nil {
+		return fmt.Errorf("crashsim: post-recovery checkpoint: %w", err)
+	}
+	ws := eng2.WALStats()
+	if ws.End > 0 && ws.CheckpointLSN == 0 {
+		return fmt.Errorf("crashsim: post-recovery checkpoint left no checkpoint LSN (stats %+v)", ws)
+	}
+	if ws.CheckpointLSN > 0 {
+		if ws.TailStart != ws.CheckpointLSN-1 {
+			return fmt.Errorf("crashsim: replay tail %d does not start at the checkpoint record %d", ws.TailStart, ws.CheckpointLSN)
+		}
+		if ws.Segments != 1 {
+			return fmt.Errorf("crashsim: %d segments retained after checkpoint, want 1", ws.Segments)
+		}
+	}
+
+	// The recovered database must remain fully usable across another
+	// clean cycle.
+	if _, ok := eng2.Catalog().Table("EMP"); !ok {
+		if _, err := eng2.Exec(w.Setup[0]); err != nil {
+			return fmt.Errorf("crashsim: ckpt post-recovery create: %w", err)
+		}
+	}
+	if _, err := eng2.Exec(`INSERT INTO EMP VALUES (999999, 'POST', 1)`); err != nil {
+		return fmt.Errorf("crashsim: ckpt post-recovery insert: %w", err)
+	}
+	if err := eng2.Close(); err != nil {
+		return fmt.Errorf("crashsim: ckpt post-recovery close: %w", err)
+	}
+	fs := d.Open(wseed*107+budget+11, -1)
+	eng3, err := openCkptSession(fs, clock, 64)
+	if err != nil {
+		return fmt.Errorf("crashsim: ckpt reopen after recovery: %w", err)
+	}
+	if err := CheckInvariants(eng3); err != nil {
+		return fmt.Errorf("crashsim: ckpt after clean reopen: %w", err)
+	}
+	t, _ := eng3.Catalog().Table("EMP")
+	rows, err := tableRows(eng3, t, 0)
+	if err != nil {
+		return err
+	}
+	for _, tup := range rows.Tuples {
+		if v, ok := tup[0].(model.Int); ok && int64(v) == 999999 {
+			return nil
+		}
+	}
+	return fmt.Errorf("crashsim: ckpt post-recovery insert not visible after reopen")
+}
+
+// --- group commit under crashes ------------------------------------------
+
+// gcRowsPerWriter is how many inserts each concurrent committer
+// attempts in the group-commit crash harness.
+const gcRowsPerWriter = 20
+
+// gcSetup creates the table the concurrent committers write.
+const gcSetup = `CREATE TABLE GC (ID INT, W INT)`
+
+// GCTotalOps measures the mutating I/O operations of a crash-free
+// group-commit run.
+func GCTotalOps(writers int) (int64, error) {
+	var clk atomic.Int64
+	clock := func() int64 { return clk.Add(1) }
+	d := NewDisk()
+	s := d.Open(1, -1)
+	acked, err := runGCSession(s, clock, writers)
+	if err != nil {
+		return 0, err
+	}
+	want := writers * gcRowsPerWriter
+	if len(acked) != want {
+		return 0, fmt.Errorf("crashsim: crash-free group-commit run acked %d/%d inserts", len(acked), want)
+	}
+	return s.Ops(), nil
+}
+
+// RunGroupCommitCrash crashes a run with several concurrent
+// auto-commit writers batching onto shared fsyncs, then verifies the
+// fundamental acknowledgement contract across recovery: every insert
+// whose Exec returned success is present, every present row was
+// actually attempted, and no row is duplicated. (No statement-order
+// oracle exists — the interleaving is scheduler-dependent — so the
+// check is exactly the contract group commit must not weaken.)
+func RunGroupCommitCrash(seed, budget int64, writers int) error {
+	var clk atomic.Int64
+	clock := func() int64 { return clk.Add(1) }
+	d := NewDisk()
+	s := d.Open(seed*53+budget, budget)
+	acked, err := runGCSession(s, clock, writers)
+	if err != nil && !s.Crashed() {
+		return fmt.Errorf("crashsim: group-commit run failed without a crash: %w", err)
+	}
+
+	rs := d.Open(seed*71+budget+5, -1)
+	eng2, err := openCkptSession(rs, clock, 64)
+	if err != nil {
+		return fmt.Errorf("crashsim: group-commit recovery failed: %w", err)
+	}
+	defer eng2.Close()
+	if err := CheckInvariants(eng2); err != nil {
+		return err
+	}
+	present := make(map[int64]int)
+	if t, ok := eng2.Catalog().Table("GC"); ok {
+		rows, err := tableRows(eng2, t, 0)
+		if err != nil {
+			return err
+		}
+		for _, tup := range rows.Tuples {
+			id, ok := tup[0].(model.Int)
+			if !ok {
+				return fmt.Errorf("crashsim: GC row with non-int ID %v", tup[0])
+			}
+			present[int64(id)]++
+		}
+	}
+	for id, n := range present {
+		if n != 1 {
+			return fmt.Errorf("crashsim: GC row %d present %d times after recovery", id, n)
+		}
+		w, j := id/1000, id%1000
+		if w < 0 || w >= int64(writers) || j >= gcRowsPerWriter {
+			return fmt.Errorf("crashsim: GC row %d was never attempted", id)
+		}
+	}
+	for id := range acked {
+		if present[id] == 0 {
+			return fmt.Errorf("crashsim: insert of GC row %d was acknowledged but is gone after recovery", id)
+		}
+	}
+	return nil
+}
+
+// runGCSession runs the concurrent-committer workload on one session
+// and returns the set of acknowledged row IDs. The returned error is
+// the first statement failure (nil when everything committed and the
+// engine closed cleanly).
+func runGCSession(s *Session, clock func() int64, writers int) (map[int64]bool, error) {
+	acked := make(map[int64]bool)
+	eng, err := engine.Open(engine.Options{
+		PoolPages:       8,
+		Clock:           clock,
+		OpenStore:       s.OpenStore,
+		OpenWALStorage:  s.OpenWALStorage,
+		WALSegmentBytes: ckptSegmentBytes,
+		GroupCommitWait: 100 * time.Microsecond,
+	})
+	if err != nil {
+		return acked, err
+	}
+	if _, err := eng.Exec(gcSetup); err != nil {
+		return acked, err
+	}
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < gcRowsPerWriter; j++ {
+				id := int64(w*1000 + j)
+				_, err := eng.Exec(fmt.Sprintf(`INSERT INTO GC VALUES (%d, %d)`, id, w))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				acked[id] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return acked, firstErr
+	}
+	if err := eng.Close(); err != nil {
+		return acked, err
+	}
+	return acked, nil
+}

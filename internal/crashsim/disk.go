@@ -29,15 +29,16 @@ type segImage struct {
 // file. A Disk outlives the sessions that run on it; opening a new
 // session first settles the unsynced writes of the previous one.
 type Disk struct {
-	mu   sync.Mutex
-	segs map[segment.ID]*segImage
-	wal  []byte
-	sess *Session
+	mu      sync.Mutex
+	segs    map[segment.ID]*segImage
+	wal     []byte            // single-file log (OpenWALFile sessions)
+	walSegs map[string][]byte // segmented log files (OpenWALStorage sessions)
+	sess    *Session
 }
 
 // NewDisk returns an empty disk.
 func NewDisk() *Disk {
-	return &Disk{segs: make(map[segment.ID]*segImage)}
+	return &Disk{segs: make(map[segment.ID]*segImage), walSegs: make(map[string][]byte)}
 }
 
 // Session is one process lifetime on the disk: it sees the durable
@@ -55,6 +56,9 @@ type Session struct {
 	counts map[segment.ID]uint32            // visible segment extents
 	wal    []byte                           // full visible log content
 	synced int                              // durable log prefix length
+
+	walSegFiles map[string]*sessWALSeg // segmented log: session view per file
+	walRemoved  map[string]bool        // segmented log: removals pending settle
 }
 
 // Open settles the previous session (if any) using outcomes drawn
@@ -65,12 +69,14 @@ func (d *Disk) Open(seed, budget int64) *Session {
 	defer d.mu.Unlock()
 	d.settleLocked(rand.New(rand.NewSource(seed*7919 + 13)))
 	s := &Session{
-		d:      d,
-		inj:    NewInjector(seed, budget),
-		stores: make(map[segment.ID]*faultStore),
-		pend:   make(map[segment.ID]map[uint32][]byte),
-		counts: make(map[segment.ID]uint32),
-		wal:    append([]byte(nil), d.wal...),
+		d:           d,
+		inj:         NewInjector(seed, budget),
+		stores:      make(map[segment.ID]*faultStore),
+		pend:        make(map[segment.ID]map[uint32][]byte),
+		counts:      make(map[segment.ID]uint32),
+		wal:         append([]byte(nil), d.wal...),
+		walSegFiles: make(map[string]*sessWALSeg),
+		walRemoved:  make(map[string]bool),
 	}
 	s.synced = len(s.wal)
 	d.sess = s
@@ -133,6 +139,42 @@ func (d *Disk) settleLocked(rng *rand.Rand) {
 		keep = s.synced + rng.Intn(len(s.wal)-s.synced+1)
 	}
 	d.wal = append([]byte(nil), s.wal[:keep]...)
+
+	// Segmented log files. Removals settle first: after a crash each
+	// one independently reached the directory or not (an unsynced
+	// metadata operation). Then the surviving content of every file the
+	// session touched: a file created but never synced may vanish
+	// entirely; otherwise the synced prefix survives plus a seeded
+	// portion of the unsynced tail.
+	removed := make([]string, 0, len(s.walRemoved))
+	for name := range s.walRemoved {
+		removed = append(removed, name)
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		if !crashed || rng.Intn(2) == 1 {
+			delete(d.walSegs, name)
+		}
+	}
+	names := make([]string, 0, len(s.walSegFiles))
+	for name := range s.walSegFiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ws := s.walSegFiles[name]
+		if !crashed {
+			d.walSegs[name] = append([]byte(nil), ws.data...)
+			continue
+		}
+		if ws.created && ws.synced == 0 && rng.Intn(2) == 1 {
+			// The create itself never reached the directory.
+			delete(d.walSegs, name)
+			continue
+		}
+		k := ws.synced + rng.Intn(len(ws.data)-ws.synced+1)
+		d.walSegs[name] = append([]byte(nil), ws.data[:k]...)
+	}
 }
 
 func (d *Disk) segLocked(id segment.ID) *segImage {

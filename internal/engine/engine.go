@@ -53,8 +53,35 @@ type Options struct {
 	OpenStore func(id segment.ID) (segment.Store, error)
 	// OpenWALFile, when set, supplies the backing file of the
 	// write-ahead log instead of the default file under Dir. When set,
-	// the WAL is enabled even for databases without a directory.
+	// the WAL is enabled even for databases without a directory. A
+	// single-file log never rolls segments and never recycles.
 	OpenWALFile func() (wal.File, error)
+	// OpenWALStorage, when set, supplies the segment-file namespace of
+	// the write-ahead log instead of the default directory layout
+	// under Dir. When set, the WAL is enabled even for databases
+	// without a directory; takes precedence over OpenWALFile. Used by
+	// the crash-simulation harness to make segment creation and
+	// retirement crash points.
+	OpenWALStorage func() (wal.Storage, error)
+	// WALSegmentBytes bounds the size of one WAL segment file: the log
+	// rolls to a new segment when a record would cross the bound, and
+	// whole segments below the checkpoint horizon are retired by
+	// WALCheckpoint. Zero means DefaultWALSegmentBytes; negative
+	// disables rolling (one unbounded segment). Ignored for
+	// single-file logs (OpenWALFile).
+	WALSegmentBytes int64
+	// CheckpointEvery starts a background goroutine that writes a
+	// fuzzy checkpoint (flush dirty pages, log an OpCheckpoint record,
+	// recycle dead segments) at this interval. Zero disables the
+	// background checkpointer; WALCheckpoint can still be called
+	// explicitly.
+	CheckpointEvery time.Duration
+	// GroupCommitWait is the longest a group-commit leader dallies for
+	// stragglers before issuing the batch fsync. Zero means commits
+	// only batch when they genuinely overlap (a lone committer never
+	// waits); larger values trade single-writer latency for fewer
+	// fsyncs under write-heavy concurrency.
+	GroupCommitWait time.Duration
 	// Retry bounds the automatic retries of transient store and log
 	// faults (errors implementing segment.TransientError). The zero
 	// value means segment.DefaultRetry; Tries: 1 disables retries.
@@ -138,6 +165,22 @@ type DB struct {
 	activeTxns map[uint64]*Txn
 	writeLocks map[wkey]uint64
 	lastWrite  map[wkey]int64
+
+	// applying is true while a transaction commit replays its buffered
+	// ops through the runtime mutators; those calls must not re-enter
+	// auto-commit conflict detection. stmtWrites collects the conflict
+	// keys an auto-commit statement wrote, published to lastWrite when
+	// the statement commits. Both are guarded by applyMu.
+	applying   bool
+	stmtWrites []wkey
+
+	// Background checkpointer state (see ckpt.go): stop channel, done
+	// channel, checkpoint counter and last failure.
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
+	ckptAtEnd   uint64 // log end when the last checkpoint was written
+	checkpoints atomic.Uint64
+	ckptErr     atomic.Pointer[string]
 }
 
 // fatal returns the poison error, if any.
@@ -209,18 +252,33 @@ func Open(opts Options) (*DB, error) {
 		writeLocks:  make(map[wkey]uint64),
 		lastWrite:   make(map[wkey]int64),
 	}
-	if (opts.Dir != "" || opts.OpenWALFile != nil) && !opts.DisableWAL {
-		var f wal.File
+	if (opts.Dir != "" || opts.OpenWALFile != nil || opts.OpenWALStorage != nil) && !opts.DisableWAL {
+		segBytes := opts.WALSegmentBytes
+		if segBytes == 0 {
+			segBytes = DefaultWALSegmentBytes
+		}
+		if segBytes < 0 {
+			segBytes = 0
+		}
+		cfg := wal.Config{SegmentBytes: segBytes, Retry: opts.Retry}
+		var log *wal.Log
 		var err error
-		if opts.OpenWALFile != nil {
+		switch {
+		case opts.OpenWALStorage != nil:
+			var st wal.Storage
+			st, err = opts.OpenWALStorage()
+			if err == nil {
+				log, err = wal.OpenStorage(st, cfg)
+			}
+		case opts.OpenWALFile != nil:
+			var f wal.File
 			f, err = opts.OpenWALFile()
-		} else {
-			f, err = wal.OpenPathFile(filepath.Join(opts.Dir, "wal.log"))
+			if err == nil {
+				log, err = wal.OpenFile(wal.WithRetry(f, opts.Retry))
+			}
+		default:
+			log, err = wal.OpenDir(opts.Dir, cfg)
 		}
-		if err != nil {
-			return nil, err
-		}
-		log, err := wal.OpenFile(wal.WithRetry(f, opts.Retry))
 		if err != nil {
 			return nil, err
 		}
@@ -235,8 +293,10 @@ func Open(opts Options) (*DB, error) {
 		return nil, err
 	}
 	if db.log != nil {
+		// Only the replay tail's segments are needed before recovery;
+		// everything else is attached from the catalog afterwards.
 		segs := map[segment.ID]bool{}
-		if err := db.log.Replay(func(r wal.Record) error {
+		if err := db.log.ReplayTail(func(r wal.Record) error {
 			if r.Seg != 0 {
 				segs[r.Seg] = true
 			}
@@ -258,6 +318,11 @@ func Open(opts Options) (*DB, error) {
 	}
 	if err := db.reloadRuntime(); err != nil {
 		return nil, err
+	}
+	if db.log != nil && opts.CheckpointEvery > 0 {
+		db.ckptStop = make(chan struct{})
+		db.ckptDone = make(chan struct{})
+		go db.checkpointLoop(opts.CheckpointEvery)
 	}
 	return db, nil
 }
@@ -432,11 +497,19 @@ func (db *DB) Commit() error {
 	return db.log.Sync()
 }
 
-// Checkpoint flushes all dirty pages to the segment files.
+// Checkpoint flushes all dirty pages to the segment files. It does
+// not write a WAL checkpoint record — the scrubber calls it from
+// inside read barriers where the apply lock must not be taken; see
+// WALCheckpoint (ckpt.go) for the recovery-bounding fuzzy checkpoint.
 func (db *DB) Checkpoint() error { return db.pool.FlushAll() }
 
 // Close checkpoints and closes the database.
 func (db *DB) Close() error {
+	if db.ckptStop != nil {
+		close(db.ckptStop)
+		<-db.ckptDone
+		db.ckptStop = nil
+	}
 	if err := db.Commit(); err != nil {
 		return err
 	}

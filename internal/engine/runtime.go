@@ -274,6 +274,9 @@ func (db *DB) Delete(table string, ref page.TID) error {
 	if err := db.quarCheck(table, ref); err != nil {
 		return err
 	}
+	if err := db.autoConflict(table, ref); err != nil {
+		return err
+	}
 	if t.Kind == catalog.Flat {
 		fs := db.flats[table]
 		tup, err := fs.Read(ref)
@@ -310,6 +313,9 @@ func (db *DB) UpdateAtoms(table string, ref page.TID, steps []object.Step, vals 
 		return fmt.Errorf("engine: no table %q", table)
 	}
 	if err := db.quarCheck(table, ref); err != nil {
+		return err
+	}
+	if err := db.autoConflict(table, ref); err != nil {
 		return err
 	}
 	if t.Kind == catalog.Flat {
@@ -370,6 +376,9 @@ func (db *DB) InsertMember(table string, ref page.TID, steps []object.Step, attr
 	if err := db.quarCheck(table, ref); err != nil {
 		return err
 	}
+	if err := db.autoConflict(table, ref); err != nil {
+		return err
+	}
 	if err := db.indexObject(t, ref, false); err != nil {
 		return db.guardRead(table, ref, err)
 	}
@@ -391,6 +400,9 @@ func (db *DB) DeleteMember(table string, ref page.TID, steps []object.Step, attr
 		return fmt.Errorf("engine: table %q is flat; subtable DML needs an NF² table", table)
 	}
 	if err := db.quarCheck(table, ref); err != nil {
+		return err
+	}
+	if err := db.autoConflict(table, ref); err != nil {
 		return err
 	}
 	if err := db.indexObject(t, ref, false); err != nil {

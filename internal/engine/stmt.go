@@ -182,8 +182,8 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 		ddl = true
 	}
 	db.applyMu.Lock()
-	defer db.applyMu.Unlock()
 	if err := db.fatal(); err != nil {
+		db.applyMu.Unlock()
 		return Result{}, err
 	}
 	start := db.mark()
@@ -194,7 +194,8 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 		// maps) that readers traverse without page latches, so it
 		// drains them via the heal barrier. New transactions cannot
 		// begin either — Begin samples its snapshot under the shared
-		// side of the same barrier.
+		// side of the same barrier. DDL commits synchronously: it is
+		// rare enough that joining a group-commit batch buys nothing.
 		db.healMu.Lock()
 		res, err = db.runStmt(ctx, st, text)
 		if err == nil {
@@ -203,28 +204,60 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 			}
 		}
 		db.healMu.Unlock()
-	} else {
-		// DML mutates latched pages only; concurrent cursors keep
-		// streaming. snapMu is held across statement plus commit so a
-		// transaction snapshot never lands inside the statement's
-		// write window.
-		db.snapMu.Lock()
-		res, err = db.runStmt(ctx, st, text)
-		if err == nil {
-			// A failed commit aborts the statement like any other error:
-			// its records never became durable, so the rollback discards
-			// them and the engine returns to the pre-statement state.
-			if cerr := db.Commit(); cerr != nil {
-				err = fmt.Errorf("engine: commit: %w", cerr)
-			}
+		if err != nil {
+			err = db.abortLocked(err)
+			db.applyMu.Unlock()
+			return Result{}, err
 		}
-		db.snapMu.Unlock()
+		s := db.since(start)
+		s.Rows = res.Count
+		db.applyMu.Unlock()
+		db.noteStmtStats(s)
+		return res, nil
 	}
+	// DML mutates latched pages only; concurrent cursors keep
+	// streaming. snapMu is held across statement plus commit-record
+	// append so a transaction snapshot never lands inside the
+	// statement's write window.
+	db.stmtWrites = db.stmtWrites[:0]
+	var end, epoch uint64
+	db.snapMu.Lock()
+	res, err = db.runStmt(ctx, st, text)
+	if err == nil {
+		// The commit record is appended while the statement's locks are
+		// held but synced only after they drop, so overlapping
+		// committers share one fsync (group commit). A failed append
+		// aborts the statement like any other error.
+		end, epoch, err = db.appendCommit(nil)
+		if err != nil {
+			err = fmt.Errorf("engine: commit: %w", err)
+		} else {
+			db.publishStmtWrites()
+		}
+	}
+	db.snapMu.Unlock()
 	if err != nil {
-		return Result{}, db.abortLocked(err)
+		err = db.abortLocked(err)
+		db.applyMu.Unlock()
+		return Result{}, err
 	}
 	s := db.since(start)
 	s.Rows = res.Count
+	db.applyMu.Unlock()
+	// Establish durability outside the apply lock. The statement's
+	// effects are already visible to readers, but it is acknowledged
+	// only once its commit record is on disk.
+	if derr := db.waitCommitDurable(end, epoch); derr != nil {
+		lost, aerr := db.abandonCommit(end)
+		if lost {
+			if aerr != nil {
+				derr = fmt.Errorf("%v (discarding the record: %v)", derr, aerr)
+			}
+			return Result{}, db.abort(fmt.Errorf("engine: commit: %w", derr))
+		}
+		// An overlapping sync made the record durable after all: the
+		// commit stands.
+	}
 	db.noteStmtStats(s)
 	return res, nil
 }

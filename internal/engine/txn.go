@@ -218,25 +218,28 @@ func (tx *Txn) Commit() error {
 		return nil
 	}
 	db.applyMu.Lock()
-	defer db.applyMu.Unlock()
 	if err := db.fatal(); err != nil {
+		db.applyMu.Unlock()
 		tx.finish(0)
 		return err
 	}
 
+	db.applying = true
 	db.snapMu.Lock()
 	commitTS := db.opts.Clock()
 	for _, st := range db.stores {
 		st.SetApply(tx.id, commitTS)
 	}
 	err := db.applyOps(tx)
+	var end, epoch uint64
 	if err == nil {
-		err = db.commitWAL(tx.id, commitTS)
+		end, epoch, err = db.appendTxnCommit(tx.id, commitTS)
 	}
 	for _, st := range db.stores {
 		st.ClearApply()
 	}
 	db.snapMu.Unlock()
+	db.applying = false
 
 	if err != nil {
 		// The partial application is wiped by rolling back to the last
@@ -245,8 +248,25 @@ func (tx *Txn) Commit() error {
 		// snapshot could glimpse the doomed writes; the failure path
 		// trades that edge for a deadlock-free lock order.)
 		err = db.abortLocked(fmt.Errorf("engine: transaction %d commit: %w", tx.id, err))
+		db.applyMu.Unlock()
 		tx.finish(0)
 		return err
+	}
+	db.applyMu.Unlock()
+	// Establish durability outside the apply lock (group commit): the
+	// transaction's effects are visible, but it is acknowledged only
+	// once its commit record is on disk.
+	if derr := db.waitCommitDurable(end, epoch); derr != nil {
+		lost, aerr := db.abandonCommit(end)
+		if lost {
+			if aerr != nil {
+				derr = fmt.Errorf("%v (discarding the record: %v)", derr, aerr)
+			}
+			err := db.abort(fmt.Errorf("engine: transaction %d commit: %w", tx.id, derr))
+			tx.finish(0)
+			return err
+		}
+		// An overlapping sync made the record durable after all.
 	}
 	tx.finish(commitTS)
 	return nil
@@ -294,16 +314,59 @@ func (db *DB) applyOps(tx *Txn) error {
 	return nil
 }
 
-// commitWAL appends a transaction commit record (carrying the id and
-// commit timestamp) and forces the log. A no-op without a WAL.
-func (db *DB) commitWAL(txn uint64, ts int64) error {
+// appendTxnCommit appends the transaction's commit record (carrying
+// the id and commit timestamp) without forcing the log; the caller
+// establishes durability with waitCommitDurable after releasing its
+// locks. A no-op without a WAL.
+func (db *DB) appendTxnCommit(txn uint64, ts int64) (end, epoch uint64, err error) {
 	if db.log == nil {
+		return 0, 0, nil
+	}
+	return db.log.AppendCommit(wal.CommitPayload(txn, ts))
+}
+
+// autoConflict enrolls an auto-commit DML write in first-writer-wins
+// conflict detection. The runtime mutators call it before touching the
+// object (skipped while a transaction commit replays its own buffered
+// ops — the transaction already holds those locks). An object
+// write-locked by an active transaction fails the statement with
+// ErrWriteConflict immediately; otherwise the key is collected so the
+// statement's commit can stamp it into lastWrite, where transactions
+// with older snapshots will find it.
+func (db *DB) autoConflict(table string, ref page.TID) error {
+	if db.applying {
 		return nil
 	}
-	if _, err := db.log.Append(&wal.Record{Op: wal.OpCommit, Payload: wal.CommitPayload(txn, ts)}); err != nil {
-		return err
+	k := wkey{table, ref}
+	db.txnMu.Lock()
+	defer db.txnMu.Unlock()
+	if holder, held := db.writeLocks[k]; held {
+		return fmt.Errorf("%w (object %v of %s, held by transaction %d)", ErrWriteConflict, k.ref, k.table, holder)
 	}
-	return db.log.Sync()
+	db.stmtWrites = append(db.stmtWrites, k)
+	return nil
+}
+
+// publishStmtWrites stamps the objects a successful auto-commit
+// statement wrote into lastWrite, under the statement's exclusive
+// snapMu — a transaction whose snapshot predates this commit will
+// conflict if it later writes one of them. With no transaction active
+// the stamps are skipped: no snapshot old enough to race can exist
+// (Begin samples its timestamp after snapMu is released), and finish
+// would only have to prune them again.
+func (db *DB) publishStmtWrites() {
+	if len(db.stmtWrites) == 0 {
+		return
+	}
+	db.txnMu.Lock()
+	if len(db.activeTxns) > 0 {
+		ts := db.opts.Clock()
+		for _, k := range db.stmtWrites {
+			db.lastWrite[k] = ts
+		}
+	}
+	db.txnMu.Unlock()
+	db.stmtWrites = db.stmtWrites[:0]
 }
 
 // --- statement surface --------------------------------------------------

@@ -428,3 +428,128 @@ func TestTxnHierarchicalWrites(t *testing.T) {
 		t.Errorf("after commit: %d members, want 2", got)
 	}
 }
+
+// TestAutoCommitWriteConflict: auto-commit statements are first-class
+// participants in first-writer-wins conflict detection. An auto-commit
+// write to an object a transaction holds the write lock on fails with
+// ErrWriteConflict, and an auto-commit commit stamps the object's
+// last-write timestamp so an older-snapshot transaction writing it
+// afterwards conflicts too.
+func TestAutoCommitWriteConflict(t *testing.T) {
+	db := openBank(t)
+
+	// Lock-held variant: t1's buffered write blocks the auto-commit.
+	t1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t1.Exec(`UPDATE x IN ACCOUNTS SET BAL = 110 WHERE x.ID = 1`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.Exec(`UPDATE x IN ACCOUNTS SET BAL = 120 WHERE x.ID = 1`)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("auto-commit write to locked object: err = %v, want ErrWriteConflict", err)
+	}
+	// The failed statement rolled back; the database stays usable and
+	// other objects stay writable.
+	if _, err := db.Exec(`UPDATE x IN ACCOUNTS SET BAL = 220 WHERE x.ID = 2`); err != nil {
+		t.Fatalf("auto-commit on another object after conflict: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := balance(t, db, 1); got != 110 {
+		t.Errorf("BAL(1) = %d, want 110 (t1's write, auto-commit rolled back)", got)
+	}
+	if got := balance(t, db, 2); got != 220 {
+		t.Errorf("BAL(2) = %d, want 220", got)
+	}
+
+	// Committed-after-snapshot variant: the auto-commit stamps the
+	// object's last write, so t2 (whose snapshot predates it) must not
+	// silently overwrite it even though no lock is held anymore.
+	t2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Rollback()
+	if _, err := db.Exec(`UPDATE x IN ACCOUNTS SET BAL = 130 WHERE x.ID = 1`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = t2.Exec(`UPDATE x IN ACCOUNTS SET BAL = 140 WHERE x.ID = 1`)
+	if !errors.Is(err, ErrWriteConflict) {
+		t.Fatalf("txn write after conflicting auto-commit: err = %v, want ErrWriteConflict", err)
+	}
+	if got := balance(t, db, 1); got != 130 {
+		t.Errorf("BAL(1) = %d, want 130 (no lost update)", got)
+	}
+}
+
+// TestTxnUnversionedCurrentCommitted pins the documented semantics of
+// reading an unversioned table inside a transaction: no history is
+// kept, so the read sees the current committed state — later commits
+// by others become visible mid-transaction — but never another
+// transaction's uncommitted writes.
+func TestTxnUnversionedCurrentCommitted(t *testing.T) {
+	db := openBank(t)
+	mustExec(t, db, `CREATE TABLE PLAIN (ID INT, V INT)`)
+	mustExec(t, db, `INSERT INTO PLAIN VALUES (1, 10)`)
+
+	readV := func(q queryier) int64 {
+		t.Helper()
+		tbl, _, err := q.Query(`SELECT x.V FROM x IN PLAIN WHERE x.ID = 1`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Len() != 1 {
+			t.Fatalf("PLAIN id 1: %d rows, want 1", tbl.Len())
+		}
+		return int64(tbl.Tuples[0][0].(model.Int))
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	if got := readV(tx); got != 10 {
+		t.Fatalf("initial read: V = %d, want 10", got)
+	}
+
+	// A committed auto-commit update is visible to the open
+	// transaction: unversioned tables read current-committed, not the
+	// snapshot.
+	mustExec(t, db, `UPDATE x IN PLAIN SET V = 20 WHERE x.ID = 1`)
+	if got := readV(tx); got != 20 {
+		t.Errorf("after concurrent commit: V = %d, want 20 (current committed)", got)
+	}
+
+	// Another transaction's uncommitted write stays invisible.
+	t2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := t2.Exec(`UPDATE x IN PLAIN SET V = 30 WHERE x.ID = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if got := readV(tx); got != 20 {
+		t.Errorf("dirty read of unversioned table: V = %d, want 20", got)
+	}
+	if err := t2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readV(tx); got != 20 {
+		t.Errorf("after rollback: V = %d, want 20", got)
+	}
+
+	// Versioned tables in the same transaction still read the
+	// snapshot: the bank balances predate the transaction, so a
+	// concurrent auto-commit update stays invisible.
+	mustExec(t, db, `UPDATE x IN ACCOUNTS SET BAL = 150 WHERE x.ID = 1`)
+	if got := balance(t, tx, 1); got != 100 {
+		t.Errorf("versioned read inside txn: BAL(1) = %d, want 100 (snapshot)", got)
+	}
+	if got := balance(t, db, 1); got != 150 {
+		t.Errorf("versioned read outside txn: BAL(1) = %d, want 150", got)
+	}
+}

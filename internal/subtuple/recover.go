@@ -4,38 +4,51 @@ import (
 	"fmt"
 
 	"repro/internal/buffer"
+	"repro/internal/page"
 	"repro/internal/segment"
 	"repro/internal/wal"
 )
 
 // Recover replays the write-ahead log onto the segments registered in
-// the pool. The log is complete — it is never truncated except at the
-// torn tail, so it holds the full history of every page since its
-// allocation. Recovery exploits that in three passes:
+// the pool. Replay is bounded: it starts at the last complete
+// checkpoint record (wal.ReplayTail), because a checkpoint is only
+// written after every page state the earlier records describe has
+// been flushed. The tail is self-contained for the pages it touches —
+// the first modification of a page in a checkpoint era logs a
+// full-page image of its committed state — so a page that must be
+// wiped can be rebuilt from the tail alone, in three passes:
 //
-//  1. scan the log for the last commit LSN and the set of touched
-//     pages;
+//  1. scan the tail for the last commit horizon (a commit record or
+//     the checkpoint itself — a checkpoint is only written when
+//     everything before it is committed and durable) and the set of
+//     touched pages;
 //  2. wipe every touched page whose stored image cannot be trusted:
 //     a failed checksum (torn page write at the crash) or a page LSN
 //     beyond the last commit (an uncommitted change stolen to disk by
 //     buffer eviction — the redo-only scheme has no undo, so the page
-//     is instead rebuilt from scratch);
-//  3. redo all committed page operations in log order, skipping
-//     records the page LSN proves were already applied.
+//     is instead rebuilt);
+//  3. redo the tail in log order: full-page images restore a wiped
+//     page's committed base state, then committed page operations
+//     apply on top, with the page LSN proving which records already
+//     took effect.
 //
-// Afterwards all pages are flushed so the result is durable.
+// Afterwards all pages are flushed, and only then is the uncommitted
+// log tail truncated away — truncating first would destroy the very
+// images a crash during the flush would need on the next attempt, so
+// the order makes recovery idempotent under recovery crashes.
 func Recover(log *wal.Log, pool *buffer.Pool) error {
-	// Pass 1: last commit LSN and touched pages, in first-use order.
+	// Pass 1: last commit horizon and touched pages, in first-use
+	// order.
 	lastCommit := uint64(0)
-	commitEnd := uint64(0) // byte offset just past the last commit record
+	commitEnd := uint64(0) // byte offset just past the last commit/checkpoint record
 	var touched []buffer.PageKey
 	seen := make(map[buffer.PageKey]bool)
-	err := log.Replay(func(r wal.Record) error {
+	err := log.ReplayTail(func(r wal.Record) error {
 		switch r.Op {
-		case wal.OpCommit:
+		case wal.OpCommit, wal.OpCheckpoint:
 			lastCommit = r.LSN
 			commitEnd = (r.LSN - 1) + uint64(r.Size())
-		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
+		case wal.OpInsert, wal.OpUpdate, wal.OpDelete, wal.OpPageImage:
 			k := buffer.PageKey{Seg: r.Seg, Page: r.Page}
 			if !seen[k] {
 				seen[k] = true
@@ -47,19 +60,14 @@ func Recover(log *wal.Log, pool *buffer.Pool) error {
 	if err != nil {
 		return err
 	}
-	// Drop the uncommitted tail from the log. Leaving those records in
-	// place would be a latent bug: the next statement's commit record
-	// lands after them, so a later recovery would replay them as
-	// committed, resurrecting the crashed statement's partial effects.
-	if err := log.TruncateTail(commitEnd); err != nil {
-		return err
-	}
 	if len(touched) == 0 {
-		return nil // empty or control-only log: nothing to redo or undo
+		// Empty or control-only tail: nothing to redo or undo, just
+		// drop any trailing uncommitted bytes.
+		return log.TruncateTail(commitEnd)
 	}
 
 	// Pass 2: discard untrustworthy page images. A wiped page is
-	// rebuilt below from the full log.
+	// rebuilt below from the tail.
 	for _, k := range touched {
 		if err := ensurePage(pool, k.Seg, k.Page); err != nil {
 			return err
@@ -74,14 +82,14 @@ func Recover(log *wal.Log, pool *buffer.Pool) error {
 		pool.Unpin(f, true)
 	}
 
-	// Pass 3: redo committed page operations.
-	err = log.Replay(func(r wal.Record) error {
-		if r.LSN > lastCommit {
+	// Pass 3: redo the tail.
+	err = log.ReplayTail(func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpInsert, wal.OpUpdate, wal.OpDelete, wal.OpPageImage:
+		default:
 			return nil
 		}
-		switch r.Op {
-		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
-		default:
+		if r.Op != wal.OpPageImage && r.LSN > lastCommit {
 			return nil
 		}
 		f, err := pool.Pin(buffer.PageKey{Seg: r.Seg, Page: r.Page})
@@ -89,6 +97,26 @@ func Recover(log *wal.Log, pool *buffer.Pool) error {
 			return err
 		}
 		defer pool.Unpin(f, true)
+		if r.Op == wal.OpPageImage {
+			// An image always holds committed pre-statement state, even
+			// when the statement that logged it never committed — it
+			// was captured before the statement changed anything. An
+			// uncommitted image therefore restores the page to the
+			// commit horizon, never past it.
+			if len(r.Payload) != page.Size {
+				return fmt.Errorf("subtuple: page image %v.%d has %d bytes", r.Seg, r.Page, len(r.Payload))
+			}
+			eff := r.LSN
+			if eff > lastCommit {
+				eff = lastCommit
+			}
+			if f.Page.LSN() >= eff {
+				return nil
+			}
+			copy(f.Page.Bytes(), r.Payload)
+			f.Page.SetLSN(eff)
+			return nil
+		}
 		if f.Page.LSN() >= r.LSN {
 			return nil // already applied before the crash
 		}
@@ -112,7 +140,15 @@ func Recover(log *wal.Log, pool *buffer.Pool) error {
 	if err != nil {
 		return err
 	}
-	return pool.FlushAll()
+	if err := pool.FlushAll(); err != nil {
+		return err
+	}
+	// Drop the uncommitted tail from the log — after the flush, see
+	// above. Leaving those records in place would be a latent bug: the
+	// next statement's commit record lands after them, so a later
+	// recovery would replay them as committed, resurrecting the
+	// crashed statement's partial effects.
+	return log.TruncateTail(commitEnd)
 }
 
 // ensurePage extends the segment until the page exists, formatting

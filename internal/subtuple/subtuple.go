@@ -151,6 +151,18 @@ func (s *Store) logAndApply(op wal.Op, pageNo uint32, apply func(p *page.Page) (
 		return 0, err
 	}
 	f.Latch()
+	// First modification of a page in a checkpoint era: log a full
+	// image of its committed pre-statement state, so bounded recovery
+	// can rebuild the page from the checkpoint tail alone if it has to
+	// wipe it. A virgin page (nothing ever applied, no slots) needs no
+	// image — the wipe reproduces it exactly.
+	if s.log != nil && (f.Page.LSN() != 0 || f.Page.NumSlots() != 0) {
+		if err := s.log.EnsureImaged(s.seg, pageNo, f.Page.Bytes()); err != nil {
+			f.Unlatch()
+			s.pool.Unpin(f, false)
+			return 0, err
+		}
+	}
 	sl, err := apply(f.Page)
 	if err != nil {
 		f.Unlatch()
