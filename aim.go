@@ -40,6 +40,7 @@ package aim
 
 import (
 	"context"
+	"reflect"
 	"time"
 
 	"repro/internal/buffer"
@@ -213,6 +214,141 @@ func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
 	return db.eng.QueryRowsContext(ctx, q)
 }
 
+// --- prepared statements -------------------------------------------------
+
+// Stmt is a prepared statement: parsed once, planned once, executed
+// any number of times with different arguments bound to its `?`
+// placeholders (positional, in order of appearance). Re-execution
+// performs no parser and no planner work — the plan is reused until a
+// schema or index change invalidates it, at which point the next
+// execution transparently re-plans from the kept parse tree. A Stmt
+// is safe for concurrent use.
+//
+//	stmt, _ := db.Prepare(`SELECT x.MGRNO FROM x IN DEPARTMENTS WHERE x.DNO = ?`)
+//	for _, dno := range []int{314, 315} {
+//	    rows, _, _ := stmt.Query(dno)
+//	    ...
+//	}
+type Stmt struct {
+	ps *engine.PreparedStmt
+}
+
+// Prepare parses and plans one statement, which may contain `?`
+// placeholders in any expression position (WHERE comparisons, INSERT
+// values, SET clauses). Unknown tables and type errors surface here
+// rather than at execution.
+func (db *DB) Prepare(q string) (*Stmt, error) {
+	ps, err := db.eng.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{ps: ps}, nil
+}
+
+// coerceArg converts a Go argument value to a model value: int/int64
+// → INT, float64 → FLOAT, string → STRING, bool → BOOL, time.Time →
+// TIME, nil → NULL; model values pass through.
+func coerceArg(a any) (Value, error) {
+	switch x := a.(type) {
+	case nil:
+		return model.Null{}, nil
+	case model.Value:
+		return x, nil
+	case int:
+		return model.Int(x), nil
+	case int64:
+		return model.Int(x), nil
+	case float64:
+		return model.Float(x), nil
+	case string:
+		return model.Str(x), nil
+	case bool:
+		return model.Bool(x), nil
+	case time.Time:
+		return model.TimeOf(x), nil
+	}
+	return nil, errBadArg{a}
+}
+
+type errBadArg struct{ a any }
+
+func (e errBadArg) Error() string {
+	return "aim: unsupported argument type " + typeName(e.a)
+}
+
+func typeName(a any) string { return reflect.TypeOf(a).String() }
+
+func coerceArgs(args []any) ([]Value, error) {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		v, err := coerceArg(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Exec runs the prepared statement with the given arguments (one per
+// `?`) and commits it.
+func (s *Stmt) Exec(args ...any) (Result, error) {
+	return s.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with cancellation.
+func (s *Stmt) ExecContext(ctx context.Context, args ...any) (Result, error) {
+	vals, err := coerceArgs(args)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.ps.ExecContext(ctx, vals...)
+}
+
+// Query runs the prepared SELECT with the given arguments,
+// materialized.
+func (s *Stmt) Query(args ...any) (*Table, *TableType, error) {
+	return s.QueryContext(context.Background(), args...)
+}
+
+// QueryContext is Query with cancellation.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Table, *TableType, error) {
+	vals, err := coerceArgs(args)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.ps.QueryContext(ctx, vals...)
+}
+
+// QueryRows runs the prepared SELECT with the given arguments and
+// returns a streaming cursor.
+func (s *Stmt) QueryRows(args ...any) (*Rows, error) {
+	return s.QueryRowsContext(context.Background(), args...)
+}
+
+// QueryRowsContext is QueryRows with cancellation.
+func (s *Stmt) QueryRowsContext(ctx context.Context, args ...any) (*Rows, error) {
+	vals, err := coerceArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.ps.QueryRowsContext(ctx, vals...)
+}
+
+// Explain renders the statement's bound access plan — chosen indexes,
+// operators, fetch sets per range variable — without executing
+// anything, and reports whether the plan came from the shared plan
+// cache.
+func (s *Stmt) Explain() (plan []string, fromCache bool, err error) {
+	return s.ps.Explain()
+}
+
+// NumParams returns the number of `?` placeholders.
+func (s *Stmt) NumParams() int { return s.ps.NumParams() }
+
+// Text returns the statement's SQL text.
+func (s *Stmt) Text() string { return s.ps.Text() }
+
 // --- transactions --------------------------------------------------------
 
 // Tx is a multi-statement transaction under snapshot isolation: every
@@ -283,6 +419,62 @@ func (tx *Tx) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
 	return tx.tx.QueryRowsContext(ctx, q)
 }
 
+// TxStmt is a prepared statement bound to one transaction: the parse
+// is reused, reads see the transaction's snapshot plus its own
+// buffered writes, and writes join the transaction's buffer.
+//
+//	stmt, _ := db.Prepare(`UPDATE x IN DEPARTMENTS SET BUDGET = ? WHERE x.DNO = ?`)
+//	tx, _ := db.Begin()
+//	tx.Stmt(stmt).Exec(500000, 314)
+//	tx.Commit()
+type TxStmt struct {
+	tx *engine.Txn
+	ps *engine.PreparedStmt
+}
+
+// Stmt binds a prepared statement to the transaction.
+func (tx *Tx) Stmt(s *Stmt) *TxStmt { return &TxStmt{tx: tx.tx, ps: s.ps} }
+
+// Exec runs the statement inside the transaction with the given
+// arguments.
+func (s *TxStmt) Exec(args ...any) (Result, error) {
+	return s.ExecContext(context.Background(), args...)
+}
+
+// ExecContext is Exec with cancellation.
+func (s *TxStmt) ExecContext(ctx context.Context, args ...any) (Result, error) {
+	vals, err := coerceArgs(args)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.tx.ExecPrepared(ctx, s.ps, vals...)
+}
+
+// Query runs the prepared SELECT at the transaction's snapshot,
+// materialized.
+func (s *TxStmt) Query(args ...any) (*Table, *TableType, error) {
+	res, err := s.Exec(args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Table, res.Type, nil
+}
+
+// QueryRows runs the prepared SELECT at the transaction's snapshot
+// and returns a streaming cursor.
+func (s *TxStmt) QueryRows(args ...any) (*Rows, error) {
+	return s.QueryRowsContext(context.Background(), args...)
+}
+
+// QueryRowsContext is QueryRows with cancellation.
+func (s *TxStmt) QueryRowsContext(ctx context.Context, args ...any) (*Rows, error) {
+	vals, err := coerceArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.tx.QueryRowsPrepared(ctx, s.ps, vals...)
+}
+
 // Commit atomically applies the transaction's writes and makes them
 // durable; all its versions carry one commit timestamp, so other
 // snapshots see either none or all of them.
@@ -315,7 +507,15 @@ type Stats struct {
 	// checkpoint horizon, replay-tail bounds, fsyncs, checkpoints.
 	// Zero when logging is off.
 	WAL WALStats
+	// PlanCache is the shared statement-plan cache's counters: hits
+	// (executions that skipped parse and bind entirely), misses
+	// (fresh binds) and invalidations (plans discarded because DDL or
+	// an index change moved the catalog epoch).
+	PlanCache PlanCacheStats
 }
+
+// PlanCacheStats are the plan cache counters (see Stats.PlanCache).
+type PlanCacheStats = engine.PlanCacheStats
 
 // WALStats are the write-ahead log and checkpoint counters.
 type WALStats = engine.WALStats
@@ -326,6 +526,7 @@ func (db *DB) Stats() Stats {
 		Buffer:        db.eng.Pool().Stats(),
 		LastStatement: db.eng.LastStmtStats(),
 		WAL:           db.eng.WALStats(),
+		PlanCache:     db.eng.PlanCacheStats(),
 	}
 }
 

@@ -39,8 +39,17 @@ func main() {
 	groupWait := flag.Duration("groupwait", 200*time.Microsecond, "group-commit leader wait (with -writers)")
 	fsyncLat := flag.Duration("fsynclat", 2*time.Millisecond, "simulated device latency per WAL fsync (with -writers)")
 	wout := flag.String("wout", "BENCH_7.json", "write-ladder report path (with -writers; empty disables the file)")
+	prepared := flag.Int("prepared", 0, "prepared-statement mode: measure a prepared-vs-unprepared point-query ladder up to N clients")
+	pout := flag.String("pout", "BENCH_8.json", "prepared-ladder report path (with -prepared; empty disables the file)")
 	flag.Parse()
 
+	if *prepared > 0 {
+		if err := runPreparedLadder(*prepared, *scale, *duration, *pout, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aimbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *writers > 0 {
 		if err := runWriteLadder(*writers, *duration, *groupWait, *fsyncLat, *wout, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "aimbench:", err)

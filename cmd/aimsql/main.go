@@ -59,7 +59,7 @@ func main() {
 	}
 	defer db.Close()
 
-	s := &session{db: db}
+	s := &session{db: db.Engine()}
 	if *script != "" {
 		data, err := os.ReadFile(*script)
 		if err != nil {
@@ -78,9 +78,12 @@ func main() {
 // session holds the shell's connection state: the database plus the
 // open transaction, if a BEGIN is pending. Statements inside a
 // transaction read its snapshot and buffer their writes until COMMIT.
+// The session works on the engine handle directly so each input chunk
+// is parsed exactly once — the parsed statements drive execution, the
+// txn> prompt logic, and the streaming output alike.
 type session struct {
-	db *aim.DB
-	tx *aim.Tx
+	db *engine.DB
+	tx *engine.Txn
 }
 
 // inTxn reports whether a transaction is open.
@@ -189,29 +192,32 @@ func execStmt(s *session, st sql.Stmt) error {
 		fmt.Println("transaction rolled back")
 		return nil
 	case *sql.Select:
-		return streamSelect(ctx, s, st.Text)
+		return streamSelect(ctx, s, st)
 	}
-	var results []aim.Result
+	// Execute the already-parsed statement — no re-parse.
+	var res aim.Result
 	var err error
 	if s.inTxn() {
-		results, err = s.tx.ExecContext(ctx, st.Text)
+		res, err = s.tx.ExecStmtContext(ctx, st)
 	} else {
-		results, err = s.db.ExecContext(ctx, st.Text)
+		res, err = s.db.ExecStmtContext(ctx, st)
 	}
-	for _, r := range results {
-		printResult(r)
+	if err != nil {
+		return err
 	}
-	return err
+	printResult(res)
+	return nil
 }
 
-// streamSelect prints a query's rows as they stream from the cursor.
-func streamSelect(ctx context.Context, s *session, text string) error {
+// streamSelect prints a query's rows as they stream from the cursor,
+// reusing the chunk's parse.
+func streamSelect(ctx context.Context, s *session, st sql.Stmt) error {
 	var rows *aim.Rows
 	var err error
 	if s.inTxn() {
-		rows, err = s.tx.QueryRowsContext(ctx, text)
+		rows, err = s.tx.QueryRowsStmt(ctx, st)
 	} else {
-		rows, err = s.db.QueryRowsContext(ctx, text)
+		rows, err = s.db.QueryRowsStmt(ctx, st)
 	}
 	if err != nil {
 		return err

@@ -51,7 +51,11 @@ func (db *DB) CreateTable(name string, tt *model.TableType, opts TableOptions) e
 	if err := db.attachTable(t); err != nil {
 		return err
 	}
-	return db.cat.AddTable(t)
+	if err := db.cat.AddTable(t); err != nil {
+		return err
+	}
+	db.bumpEpoch()
+	return nil
 }
 
 // DropTable removes a table, its data structures and its indexes.
@@ -78,6 +82,7 @@ func (db *DB) DropTable(name string) error {
 	}
 	delete(db.textIdx, name)
 	_ = t
+	db.bumpEpoch()
 	return nil
 }
 
@@ -106,6 +111,7 @@ func (db *DB) CreateIndex(name, table string, path []string, using string) error
 		db.cat.DropIndex(name)
 		return err
 	}
+	db.bumpEpoch()
 	return nil
 }
 
@@ -121,6 +127,7 @@ func (db *DB) CreateTextIndex(name, table string, path []string) error {
 		db.cat.DropIndex(name)
 		return err
 	}
+	db.bumpEpoch()
 	return nil
 }
 
@@ -154,6 +161,7 @@ func (db *DB) DropIndex(name string) error {
 			}
 		}
 	}
+	db.bumpEpoch()
 	return nil
 }
 
@@ -229,12 +237,23 @@ func (db *DB) RebuildIndex(name string) error {
 	if !ok {
 		return fmt.Errorf("engine: no index %q", name)
 	}
+	// Swap the incarnations under the heal barrier: aimdoctor (and
+	// tests) rebuild while readers stream, and those readers resolve
+	// indexes by name from the maps buildIndex rewrites. The barrier
+	// order matches the statement path (healMu before db.mu).
+	db.healMu.Lock()
+	db.mu.Lock()
 	db.detachIndex(name)
-	if err := db.buildIndex(def); err != nil {
+	err := db.buildIndex(def)
+	db.mu.Unlock()
+	db.healMu.Unlock()
+	if err != nil {
 		db.noteDegraded(name, err)
+		db.bumpEpoch()
 		return err
 	}
 	db.clearDegraded(name)
+	db.bumpEpoch()
 	return nil
 }
 
@@ -338,5 +357,9 @@ func (db *DB) AlterTableAdd(table string, path []string, typ model.Type) error {
 		return err
 	}
 	// Flat stores cache the type; rewire.
-	return db.attachTable(t)
+	if err := db.attachTable(t); err != nil {
+		return err
+	}
+	db.bumpEpoch()
+	return nil
 }

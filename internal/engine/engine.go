@@ -181,7 +181,26 @@ type DB struct {
 	ckptAtEnd   uint64 // log end when the last checkpoint was written
 	checkpoints atomic.Uint64
 	ckptErr     atomic.Pointer[string]
+
+	// epoch is the catalog epoch: every change to what a plan may have
+	// bound against — DDL, index create/drop/rebuild, index
+	// quarantine/degradation, runtime reload — bumps it, detaching
+	// every cached plan (see plancache.go). The epoch is a freshness
+	// mechanism, not the safety mechanism: a prepared plan re-resolves
+	// its chosen indexes by name at execute time, so even a plan raced
+	// by a bump can never touch a detached index.
+	epoch atomic.Uint64
+	// plans is the shared plan cache, keyed by normalized SQL.
+	plans *planCache
 }
+
+// CatalogEpoch returns the current catalog epoch. A plan bound under
+// an older epoch is stale and must be re-bound before use.
+func (db *DB) CatalogEpoch() uint64 { return db.epoch.Load() }
+
+// bumpEpoch advances the catalog epoch, lazily invalidating every
+// cached plan.
+func (db *DB) bumpEpoch() { db.epoch.Add(1) }
 
 // fatal returns the poison error, if any.
 func (db *DB) fatal() error {
@@ -251,6 +270,7 @@ func Open(opts Options) (*DB, error) {
 		activeTxns:  make(map[uint64]*Txn),
 		writeLocks:  make(map[wkey]uint64),
 		lastWrite:   make(map[wkey]int64),
+		plans:       newPlanCache(planCacheLimit),
 	}
 	if (opts.Dir != "" || opts.OpenWALFile != nil || opts.OpenWALStorage != nil) && !opts.DisableWAL {
 		segBytes := opts.WALSegmentBytes
@@ -368,6 +388,9 @@ func (db *DB) reloadRuntime() error {
 		}
 	}
 	db.exec = &exec.Executor{RT: (*runtime)(db), Plan: plan.Choose}
+	// The whole runtime was just rebuilt; any plan bound before now may
+	// reference stale structures.
+	db.bumpEpoch()
 	return nil
 }
 

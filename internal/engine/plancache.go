@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/plan"
+)
+
+// planCacheLimit bounds the shared plan cache. Eviction is LRU; the
+// limit exists to keep a workload of many distinct statements from
+// growing the cache without bound, not as a tuning knob.
+const planCacheLimit = 256
+
+// planCache is the shared statement-plan cache: normalized SQL text →
+// bound plan. Every entry carries the catalog epoch it was bound
+// under; a lookup whose entry is stale (epoch behind the live one)
+// evicts it and counts an invalidation — DDL and index changes do not
+// walk the cache, they just bump the epoch (see DB.bumpEpoch). Cached
+// plans are immutable and shared: a hit hands out the same *Prepared
+// to any number of concurrent executions.
+type planCache struct {
+	mu      sync.Mutex
+	limit   int
+	entries map[string]*plan.Prepared
+	order   []string // LRU order, least recent first
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func newPlanCache(limit int) *planCache {
+	return &planCache{limit: limit, entries: make(map[string]*plan.Prepared)}
+}
+
+// get returns the cached plan for key if it was bound under exactly
+// the given epoch. A stale entry is evicted and counted as an
+// invalidation (plus the miss).
+func (c *planCache) get(key string, epoch uint64) (*plan.Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	if p.Epoch != epoch {
+		delete(c.entries, key)
+		c.removeOrder(key)
+		c.invalidations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.touch(key)
+	c.hits.Add(1)
+	return p, true
+}
+
+// put stores a freshly bound plan, evicting the least recently used
+// entry when full. An existing entry for the same key is replaced
+// (last bind wins; both were bound under the same epoch or the older
+// one is stale anyway).
+func (c *planCache) put(key string, p *plan.Prepared) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		c.entries[key] = p
+		c.touch(key)
+		return
+	}
+	if len(c.entries) >= c.limit {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = p
+	c.order = append(c.order, key)
+}
+
+// touch moves key to the most-recently-used end.
+func (c *planCache) touch(key string) {
+	c.removeOrder(key)
+	c.order = append(c.order, key)
+}
+
+func (c *planCache) removeOrder(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// len returns the current number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// PlanCacheStats reports the shared plan cache's counters.
+type PlanCacheStats struct {
+	// Hits counts lookups served by a cached, epoch-current plan
+	// (parse and bind both skipped for that execution).
+	Hits uint64
+	// Misses counts lookups that had to bind (including those caused
+	// by invalidations).
+	Misses uint64
+	// Invalidations counts cached plans discarded because the catalog
+	// epoch moved under them (DDL, index create/drop, quarantine).
+	Invalidations uint64
+	// Entries is the current number of cached plans.
+	Entries int
+}
+
+// PlanCacheStats returns a snapshot of the plan cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:          db.plans.hits.Load(),
+		Misses:        db.plans.misses.Load(),
+		Invalidations: db.plans.invalidations.Load(),
+		Entries:       db.plans.len(),
+	}
+}

@@ -1,0 +1,629 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dberr"
+	"repro/internal/model"
+	"repro/internal/plan"
+	"repro/internal/sql"
+)
+
+// Re-executing a PreparedStmt performs zero parser and zero planner
+// work: parse happened once in Prepare, bind once per catalog epoch,
+// and every subsequent execution reuses both.
+func TestPreparedZeroParsePlanWork(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	if err := db.CreateIndex("DEPT_DNO", "DEPARTMENTS", []string{"DNO"}, "HIERARCHICAL"); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.Prepare(`SELECT x.DNO, x.MGRNO FROM x IN DEPARTMENTS WHERE x.DNO = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First execution settles any lazy work.
+	if _, _, err := ps.Query(model.Int(314)); err != nil {
+		t.Fatal(err)
+	}
+
+	parsed0 := sql.StatementsParsed()
+	prepares0 := plan.PrepareCount()
+	chooses0 := plan.ChooseCount()
+	for i := 0; i < 50; i++ {
+		dno := model.Int([]int64{314, 218, 417}[i%3])
+		tbl, _, err := ps.Query(dno)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Len() != 1 || tbl.Tuples[0][0] != dno {
+			t.Fatalf("iteration %d: got %v for DNO %v", i, tbl.Tuples, dno)
+		}
+	}
+	if d := sql.StatementsParsed() - parsed0; d != 0 {
+		t.Errorf("re-execution parsed %d statement(s), want 0", d)
+	}
+	if d := plan.PrepareCount() - prepares0; d != 0 {
+		t.Errorf("re-execution ran the bind phase %d time(s), want 0", d)
+	}
+	if d := plan.ChooseCount() - chooses0; d != 0 {
+		t.Errorf("re-execution ran the inline planner %d time(s), want 0", d)
+	}
+
+	// The plan actually uses the index (not a full scan that happens
+	// to be correct).
+	lines, _, err := ps.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "DEPT_DNO") {
+		t.Errorf("prepared plan does not use DEPT_DNO:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// Two PreparedStmts over the same normalized SQL share one cached
+// plan: the second Prepare is a cache hit, and executing it (a plan
+// bound from a different parse's AST) produces the same rows.
+func TestPreparedPlanCacheSharing(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	if err := db.CreateIndex("DEPT_DNO", "DEPARTMENTS", []string{"DNO"}, "HIERARCHICAL"); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT x.DNO, x.MGRNO FROM x IN DEPARTMENTS WHERE x.DNO = ?`
+	ps1, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0 := db.PlanCacheStats().Hits
+	// Different surface text, same normalized SQL.
+	ps2, err := db.Prepare("SELECT x.DNO,\n   x.MGRNO  FROM x IN DEPARTMENTS WHERE x.DNO=?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PlanCacheStats().Hits; got != hits0+1 {
+		t.Errorf("second Prepare: cache hits = %d, want %d", got, hits0+1)
+	}
+	for _, ps := range []*PreparedStmt{ps1, ps2} {
+		tbl, _, err := ps.Query(model.Int(218))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Len() != 1 || tbl.Tuples[0][0] != model.Int(218) {
+			t.Fatalf("shared-plan query returned %v", tbl.Tuples)
+		}
+	}
+	// The shared plan must still drive the index, not fall back to a
+	// scan because the ASTs differ.
+	lines, fromCache, err := ps2.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromCache {
+		t.Errorf("ps2 plan should have come from the shared cache")
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "DEPT_DNO") {
+		t.Errorf("shared plan does not use DEPT_DNO:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// DDL bumps the catalog epoch: the next execution of an existing
+// PreparedStmt transparently re-binds (counted as a cache
+// invalidation) and keeps returning correct results.
+func TestPreparedDDLInvalidates(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	ps, err := db.Prepare(`SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ps.Query(model.Int(314)); err != nil {
+		t.Fatal(err)
+	}
+	// Before the index exists the plan is a full scan.
+	lines, _, err := ps.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "full table scan") {
+		t.Fatalf("pre-index plan should be a scan:\n%s", strings.Join(lines, "\n"))
+	}
+
+	epoch0 := db.CatalogEpoch()
+	inv0 := db.PlanCacheStats().Invalidations
+	if err := db.CreateIndex("DEPT_DNO", "DEPARTMENTS", []string{"DNO"}, "HIERARCHICAL"); err != nil {
+		t.Fatal(err)
+	}
+	if db.CatalogEpoch() == epoch0 {
+		t.Fatalf("CreateIndex did not bump the catalog epoch")
+	}
+
+	// Re-execution re-binds and picks up the new index.
+	tbl, _, err := ps.Query(model.Int(314))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("post-DDL query returned %d rows, want 1", tbl.Len())
+	}
+	lines, _, err = ps.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "DEPT_DNO") {
+		t.Errorf("post-DDL plan does not use the new index:\n%s", strings.Join(lines, "\n"))
+	}
+	if got := db.PlanCacheStats().Invalidations; got <= inv0 {
+		t.Errorf("invalidations = %d, want > %d", got, inv0)
+	}
+
+	// Unrelated DDL invalidates too (the epoch is coarse by design)
+	// and execution stays correct.
+	if _, err := db.Exec(`CREATE TABLE SCRATCH (N INT)`); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _, err = ps.Query(model.Int(218))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || tbl.Tuples[0][0] != model.Int(218) {
+		t.Fatalf("post-CREATE TABLE query returned %v", tbl.Tuples)
+	}
+}
+
+// A degraded (quarantined) index detaches cached plans: the next
+// execution re-binds to a plan that no longer names the index, and a
+// stale plan never touches it — results stay correct throughout.
+func TestPreparedQuarantinedIndexInvalidates(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	if err := db.CreateIndex("DEPT_DNO", "DEPARTMENTS", []string{"DNO"}, "HIERARCHICAL"); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.Prepare(`SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, _, err := ps.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "DEPT_DNO") {
+		t.Fatalf("plan should use DEPT_DNO before degradation:\n%s", strings.Join(lines, "\n"))
+	}
+
+	db.DegradeIndex("DEPT_DNO", dberr.Corruptf("test: injected corruption"))
+
+	// Execution after the degradation: correct rows via a widened plan.
+	tbl, _, err := ps.Query(model.Int(314))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || tbl.Tuples[0][0] != model.Int(314) {
+		t.Fatalf("post-degrade query returned %v", tbl.Tuples)
+	}
+	lines, _, err = ps.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	if strings.Contains(joined, "DEPT_DNO") {
+		t.Errorf("plan still names the quarantined index:\n%s", joined)
+	}
+	if !strings.Contains(joined, "full table scan") {
+		t.Errorf("post-degrade plan should be a scan:\n%s", joined)
+	}
+
+	// Rebuilding restores the index and the plan follows.
+	if err := db.RebuildIndex("DEPT_DNO"); err != nil {
+		t.Fatal(err)
+	}
+	lines, _, err = ps.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "DEPT_DNO") {
+		t.Errorf("plan does not return to the rebuilt index:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// Prepared DML: placeholders in INSERT values, UPDATE SET/WHERE and
+// DELETE WHERE, re-executed with different arguments.
+func TestPreparedDML(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE NOTES (ID INT, BODY STRING)`); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO NOTES VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := ins.Exec(model.Int(i), model.Str(fmt.Sprintf("note-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	upd, err := db.Prepare(`UPDATE x IN NOTES SET BODY = ? WHERE x.ID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := upd.Exec(model.Str("edited"), model.Int(2)); err != nil || res.Count != 1 {
+		t.Fatalf("update: %v %v", res, err)
+	}
+	del, err := db.Prepare(`DELETE x FROM x IN NOTES WHERE x.ID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := del.Exec(model.Int(1)); err != nil || res.Count != 1 {
+		t.Fatalf("delete: %v %v", res, err)
+	}
+	tbl, _, err := db.Query(`SELECT n.ID, n.BODY FROM n IN NOTES WHERE n.ID = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || tbl.Tuples[0][1] != model.Str("edited") {
+		t.Fatalf("after DML: %v", tbl.Tuples)
+	}
+}
+
+// Argument-count mismatches fail before touching the engine.
+func TestPreparedArgCount(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	ps, err := db.Prepare(`SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = ? AND x.BUDGET > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumParams() != 2 {
+		t.Fatalf("NumParams = %d, want 2", ps.NumParams())
+	}
+	if _, err := ps.Exec(model.Int(1)); err == nil {
+		t.Fatal("Exec with 1 of 2 args should fail")
+	}
+	if _, err := ps.Exec(model.Int(1), model.Int(2), model.Int(3)); err == nil {
+		t.Fatal("Exec with 3 of 2 args should fail")
+	}
+	if _, err := db.Prepare(`BEGIN`); err == nil {
+		t.Fatal("Prepare(BEGIN) should fail")
+	}
+}
+
+// Property matrix: prepared execution with bound arguments is
+// observationally identical to unprepared execution with the literals
+// inlined, over seeded random nested schemas and values.
+func TestPreparedMatchesUnpreparedMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for round := 0; round < 5; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round%d", round), func(t *testing.T) {
+			runPreparedMatrixRound(t, rand.New(rand.NewSource(int64(100+round))), rng.Intn(2) == 0)
+		})
+	}
+}
+
+// runPreparedMatrixRound builds one random two-level schema in two
+// identical databases, then drives the prepared API against one and
+// the literal-inlined unprepared API against the other; after every
+// statement both databases must agree exactly.
+func runPreparedMatrixRound(t *testing.T, rng *rand.Rand, indexed bool) {
+	open := func() *DB {
+		ts := int64(0)
+		db, err := Open(Options{Clock: func() int64 { ts++; return ts }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	dbP, dbU := open(), open()
+	defer dbP.Close()
+	defer dbU.Close()
+
+	schema := `CREATE TABLE T (K INT, NAME STRING, KIDS TABLE OF (N INT, TAG STRING), W INT)`
+	for _, db := range []*DB{dbP, dbU} {
+		if _, err := db.Exec(schema); err != nil {
+			t.Fatal(err)
+		}
+		if indexed {
+			if err := db.CreateIndex("T_K", "T", []string{"K"}, "HIERARCHICAL"); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.CreateIndex("T_KID_N", "T", []string{"KIDS", "N"}, "HIERARCHICAL"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	tags := []string{"red", "green", "blue", "amber"}
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+	ins, err := dbP.Prepare(`INSERT INTO T VALUES (?, ?, {}, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 5 + rng.Intn(10)
+	for i := 0; i < rows; i++ {
+		k := model.Int(rng.Intn(8))
+		name := names[rng.Intn(len(names))]
+		w := model.Int(rng.Intn(1000))
+		if _, err := ins.Exec(k, model.Str(name), w); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dbU.Exec(fmt.Sprintf(`INSERT INTO T VALUES (%d, '%s', {}, %d)`, k, name, w)); err != nil {
+			t.Fatal(err)
+		}
+		// Grow the nested level through both APIs too.
+		kids := rng.Intn(3)
+		insKid, err := dbP.Prepare(`INSERT INTO x.KIDS FROM x IN T WHERE x.K = ? AND x.NAME = ? VALUES (?, ?)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < kids; j++ {
+			n := model.Int(rng.Intn(5))
+			tag := tags[rng.Intn(len(tags))]
+			if _, err := insKid.Exec(k, model.Str(name), n, model.Str(tag)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := dbU.Exec(fmt.Sprintf(
+				`INSERT INTO x.KIDS FROM x IN T WHERE x.K = %d AND x.NAME = '%s' VALUES (%d, '%s')`, k, name, n, tag)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	queries := []struct {
+		sql     string
+		argf    func() []model.Value
+		inlinef func(args []model.Value) string
+	}{
+		{
+			sql:  `SELECT x.K, x.NAME, x.W FROM x IN T WHERE x.K = ?`,
+			argf: func() []model.Value { return []model.Value{model.Int(rng.Intn(8))} },
+			inlinef: func(a []model.Value) string {
+				return fmt.Sprintf(`SELECT x.K, x.NAME, x.W FROM x IN T WHERE x.K = %d`, a[0])
+			},
+		},
+		{
+			sql:  `SELECT x.K, x.W FROM x IN T WHERE x.W < ?`,
+			argf: func() []model.Value { return []model.Value{model.Int(rng.Intn(1000))} },
+			inlinef: func(a []model.Value) string {
+				return fmt.Sprintf(`SELECT x.K, x.W FROM x IN T WHERE x.W < %d`, a[0])
+			},
+		},
+		{
+			sql:  `SELECT x.K, x.NAME FROM x IN T WHERE EXISTS y IN x.KIDS: y.N = ?`,
+			argf: func() []model.Value { return []model.Value{model.Int(rng.Intn(5))} },
+			inlinef: func(a []model.Value) string {
+				return fmt.Sprintf(`SELECT x.K, x.NAME FROM x IN T WHERE EXISTS y IN x.KIDS: y.N = %d`, a[0])
+			},
+		},
+		{
+			sql: `SELECT x.K, KIDS = (SELECT y.N, y.TAG FROM y IN x.KIDS WHERE y.TAG = ?) FROM x IN T WHERE x.K >= ?`,
+			argf: func() []model.Value {
+				return []model.Value{model.Str(tags[rng.Intn(len(tags))]), model.Int(rng.Intn(8))}
+			},
+			inlinef: func(a []model.Value) string {
+				return fmt.Sprintf(
+					`SELECT x.K, KIDS = (SELECT y.N, y.TAG FROM y IN x.KIDS WHERE y.TAG = '%s') FROM x IN T WHERE x.K >= %d`,
+					a[0], a[1])
+			},
+		},
+	}
+	for qi, q := range queries {
+		ps, err := dbP.Prepare(q.sql)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		for rep := 0; rep < 4; rep++ {
+			args := q.argf()
+			gotP, ttP, err := ps.Query(args...)
+			if err != nil {
+				t.Fatalf("query %d prepared: %v", qi, err)
+			}
+			gotU, ttU, err := dbU.Query(q.inlinef(args))
+			if err != nil {
+				t.Fatalf("query %d unprepared: %v", qi, err)
+			}
+			if !ttP.Equal(ttU) {
+				t.Fatalf("query %d args %v: schema mismatch: %s vs %s", qi, args, ttP, ttU)
+			}
+			if !model.TableEqual(gotP, gotU) {
+				t.Fatalf("query %d args %v: prepared and unprepared disagree:\n%s\n%s",
+					qi, args,
+					model.FormatTable("prepared", ttP, gotP),
+					model.FormatTable("unprepared", ttU, gotU))
+			}
+		}
+	}
+
+	// Final state check: both databases hold identical data.
+	finP, ttP, err := dbP.Query(`SELECT * FROM x IN T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finU, ttU, err := dbU.Query(`SELECT * FROM x IN T`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ttP.Equal(ttU) || !model.TableEqual(finP, finU) {
+		t.Fatalf("final states diverge:\n%s\n%s",
+			model.FormatTable("prepared", ttP, finP),
+			model.FormatTable("unprepared", ttU, finU))
+	}
+}
+
+// Concurrent Prepare/execute against concurrent DDL and index
+// degradation: no stale plan output, no lost updates to the cache,
+// and (under -race) no data races.
+func TestPreparedConcurrentDDL(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	if err := db.CreateIndex("DEPT_DNO", "DEPARTMENTS", []string{"DNO"}, "HIERARCHICAL"); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT x.DNO, x.MGRNO FROM x IN DEPARTMENTS WHERE x.DNO = ?`
+	want := map[model.Int]model.Int{314: 56194, 218: 71349, 417: 91093}
+
+	stop := make(chan struct{})
+	var wg, warm sync.WaitGroup
+	errCh := make(chan error, 16)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		warm.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			warmed := false
+			defer func() {
+				if !warmed {
+					warm.Done()
+				}
+			}()
+			dnos := []model.Int{314, 218, 417}
+			for i := 0; ; i++ {
+				if i > 0 && !warmed {
+					// First Prepare+executions done; let the churn start.
+					warmed = true
+					warm.Done()
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ps, err := db.Prepare(q)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j := 0; j < 10; j++ {
+					dno := dnos[(i+j)%len(dnos)]
+					tbl, _, err := ps.QueryContext(context.Background(), dno)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if tbl.Len() != 1 || tbl.Tuples[0][1] != want[dno] {
+						errCh <- fmt.Errorf("client %d: DNO %v returned %v", c, dno, tbl.Tuples)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	// Churn the catalog: create/drop an unrelated table, degrade and
+	// rebuild the index the queries want to use.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Wait until every client has bound and executed at least once,
+		// so the churn is guaranteed to invalidate live plans.
+		warm.Wait()
+		for i := 0; i < 25; i++ {
+			if _, err := db.Exec(fmt.Sprintf(`CREATE TABLE CHURN%d (N INT)`, i)); err != nil {
+				errCh <- err
+				return
+			}
+			db.DegradeIndex("DEPT_DNO", dberr.Corruptf("test: churn"))
+			if err := db.RebuildIndex("DEPT_DNO"); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := db.Exec(fmt.Sprintf(`DROP TABLE CHURN%d`, i)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	// Deterministic invalidation check: bind once more (the cache now
+	// holds a plan), bump the epoch with one more DDL, and re-execute —
+	// the stale entry must be evicted and counted.
+	ps, err := db.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE CHURN_FINAL (N INT)`); err != nil {
+		t.Fatal(err)
+	}
+	inv0 := db.PlanCacheStats().Invalidations
+	if tbl, _, err := ps.Query(model.Int(314)); err != nil || tbl.Len() != 1 {
+		t.Fatalf("post-churn query: %v (%d rows)", err, tbl.Len())
+	}
+	if s := db.PlanCacheStats(); s.Invalidations <= inv0 {
+		t.Errorf("final DDL produced no plan-cache invalidation: %+v", s)
+	}
+}
+
+// Prepared statements inside transactions: arguments bind against the
+// transaction's snapshot-reading executor, writes stay buffered until
+// commit, and a prepared read inside the transaction sees them.
+func TestPreparedInTransaction(t *testing.T) {
+	db := openOffice(t)
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE LOG (ID INT, MSG STRING)`); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO LOG VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := db.Prepare(`SELECT l.ID, l.MSG FROM l IN LOG WHERE l.ID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := tx.ExecPrepared(ctx, ins, model.Int(1), model.Str("inside")); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction sees its own buffered write through the prepared
+	// select...
+	rows, err := tx.QueryRowsPrepared(ctx, sel, model.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("tx sees %d rows, want 1", n)
+	}
+	// ...while the outside world does not, until commit.
+	tbl, _, err := sel.Query(model.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("uncommitted write visible outside: %v", tbl.Tuples)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _, err = sel.Query(model.Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 || tbl.Tuples[0][1] != model.Str("inside") {
+		t.Fatalf("after commit: %v", tbl.Tuples)
+	}
+}

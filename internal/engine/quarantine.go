@@ -195,22 +195,36 @@ func (db *DB) DegradeIndex(name string, reason error) {
 	db.quarMu.Lock()
 	db.degraded[name] = reason.Error()
 	db.quarMu.Unlock()
+	// Detach under the heal barrier: readers resolve indexes by name
+	// from the live maps while holding the shared side, and the
+	// scrubber calls in here concurrently with running queries.
+	db.healMu.Lock()
+	db.mu.Lock()
 	db.detachIndex(name)
+	db.mu.Unlock()
+	db.healMu.Unlock()
+	// Cached plans may have chosen this index; detach them all. (They
+	// could not have used it anyway — execute-time resolution is by
+	// name against the live maps — but re-binding promptly restores
+	// index access paths for whatever indexes remain.)
+	db.bumpEpoch()
 }
 
 // degradeIndexLocked is DegradeIndex for callers inside reloadRuntime,
 // where the index was never attached.
 func (db *DB) noteDegraded(name string, reason error) {
 	db.quarMu.Lock()
-	defer db.quarMu.Unlock()
 	db.degraded[name] = reason.Error()
+	db.quarMu.Unlock()
+	db.bumpEpoch()
 }
 
 // clearDegraded forgets a degradation record (the index was rebuilt).
 func (db *DB) clearDegraded(name string) {
 	db.quarMu.Lock()
-	defer db.quarMu.Unlock()
 	delete(db.degraded, name)
+	db.quarMu.Unlock()
+	db.bumpEpoch()
 }
 
 // DegradedIndexes returns the names of out-of-service indexes mapped

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/model"
+	"repro/internal/plan"
 	"repro/internal/sql"
 )
 
@@ -60,7 +61,39 @@ func (db *DB) queryRows(ctx context.Context, ex *exec.Executor, q string) (*Rows
 	if !ok {
 		return nil, fmt.Errorf("engine: QueryRows requires a SELECT, got %T", st)
 	}
-	text := strings.TrimSpace(q)
+	return db.queryRowsSel(ctx, ex, sel, strings.TrimSpace(q), nil)
+}
+
+// QueryRowsStmt runs one already-parsed SELECT and returns a
+// streaming cursor — the zero-reparse entry point for callers that
+// hold a sql.Stmt (the REPL parses each input chunk exactly once).
+func (db *DB) QueryRowsStmt(ctx context.Context, st sql.Stmt) (*Rows, error) {
+	sel, ok := st.Statement.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryRows requires a SELECT, got %T", st.Statement)
+	}
+	return db.queryRowsSel(ctx, db.exec, sel, st.Text, nil)
+}
+
+// QueryRowsStmt runs one already-parsed SELECT at the transaction's
+// snapshot and returns a streaming cursor.
+func (tx *Txn) QueryRowsStmt(ctx context.Context, st sql.Stmt) (*Rows, error) {
+	if tx.done {
+		return nil, ErrTxnDone
+	}
+	sel, ok := st.Statement.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryRows requires a SELECT, got %T", st.Statement)
+	}
+	return tx.db.queryRowsSel(ctx, tx.exec, sel, st.Text, nil)
+}
+
+// queryRowsSel opens a streaming cursor over an already-parsed select
+// with bound `?` parameter values — the zero-reparse path for
+// transactions executing prepared statements (their snapshot-reading
+// executor plans inline; cached candidate lists would not see the
+// transaction's own buffered writes).
+func (db *DB) queryRowsSel(ctx context.Context, ex *exec.Executor, sel *sql.Select, text string, params []model.Value) (*Rows, error) {
 	db.healMu.RLock()
 	if ferr := db.fatal(); ferr != nil {
 		db.healMu.RUnlock()
@@ -68,15 +101,42 @@ func (db *DB) queryRows(ctx context.Context, ex *exec.Executor, q string) (*Rows
 	}
 	start := db.mark()
 	var cur *exec.Cursor
+	var err error
 	func() {
 		defer recoverPanic(text, &err)
-		cur, err = ex.OpenQuery(ctx, sel)
+		cur, err = ex.OpenQueryArgs(ctx, sel, params)
 	}()
 	db.healMu.RUnlock()
 	if err != nil {
 		return nil, db.healIfPanic(err)
 	}
 	return &Rows{db: db, cur: cur, text: text, tt: cur.Type(), start: start}, nil
+}
+
+// queryRowsPrepared opens a streaming cursor from a bound plan: no
+// parse, no inference, no path derivation, no planner call — the
+// plan's access choices are evaluated against the live indexes and
+// the bound arguments, and the cursor reuses the cached result schema
+// and path sets.
+func (db *DB) queryRowsPrepared(ctx context.Context, prep *plan.Prepared, params []model.Value) (*Rows, error) {
+	db.healMu.RLock()
+	if ferr := db.fatal(); ferr != nil {
+		db.healMu.RUnlock()
+		return nil, ferr
+	}
+	start := db.mark()
+	var cur *exec.Cursor
+	var err error
+	func() {
+		defer recoverPanic(prep.Text, &err)
+		cands := prep.Candidates((*runtime)(db), params)
+		cur, err = db.exec.OpenPrepared(ctx, prep.Sel, prep.ResultType, prep.Paths, cands, params)
+	}()
+	db.healMu.RUnlock()
+	if err != nil {
+		return nil, db.healIfPanic(err)
+	}
+	return &Rows{db: db, cur: cur, text: prep.Text, tt: cur.Type(), start: start}, nil
 }
 
 // healIfPanic repairs the engine after a panic recovered on the read

@@ -7,8 +7,10 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/exec"
 	"repro/internal/model"
 	"repro/internal/object"
+	"repro/internal/plan"
 	"repro/internal/sql"
 )
 
@@ -136,6 +138,16 @@ func (db *DB) ExecStmt(st sql.Statement) (Result, error) {
 	return db.execOne(context.Background(), st, fmt.Sprintf("%T", st))
 }
 
+// ExecStmtContext runs (and commits) one already-parsed statement —
+// the zero-reparse entry point for callers that hold a sql.Stmt (the
+// REPL parses each input chunk exactly once and executes through
+// here). BEGIN/COMMIT/ROLLBACK are rejected like in execOne; bracket
+// handling belongs to the caller (see ExecContext for the script
+// form).
+func (db *DB) ExecStmtContext(ctx context.Context, st sql.Stmt) (Result, error) {
+	return db.execOne(ctx, st.Statement, st.Text)
+}
+
 // execOne runs one auto-commit statement with full fault containment:
 // read-only statements hold only the shared heal barrier, so any
 // number can stream concurrently (even while a transaction commits);
@@ -144,6 +156,14 @@ func (db *DB) ExecStmt(st sql.Statement) (Result, error) {
 // panic — the next statement sees only committed data, without a
 // reopen.
 func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Result, error) {
+	return db.execOneArgs(ctx, st, text, nil, nil)
+}
+
+// execOneArgs is execOne with bound `?` parameter values and an
+// optional pre-bound plan (the prepared-statement path: when prep is
+// non-nil and current, selects execute its cached bind products
+// instead of re-inferring and re-planning).
+func (db *DB) execOneArgs(ctx context.Context, st sql.Statement, text string, params []model.Value, prep *plan.Prepared) (Result, error) {
 	readOnly := false
 	switch st.(type) {
 	case *sql.Select, *sql.Explain, *sql.ShowTables, *sql.Describe:
@@ -156,7 +176,14 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 			return Result{}, err
 		}
 		start := db.mark()
-		res, err := db.runStmt(ctx, st, text)
+		res, err := db.runStmtArgs(ctx, st, text, params, prep)
+		// Snapshot the counters before releasing the barrier: since
+		// walks the per-table stores, which DDL replaces under the
+		// exclusive side.
+		var s StmtStats
+		if err == nil {
+			s = db.since(start)
+		}
 		db.healMu.RUnlock()
 		var pe *PanicError
 		if errors.As(err, &pe) {
@@ -166,7 +193,6 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 			err = db.abort(err)
 		}
 		if err == nil {
-			s := db.since(start)
 			s.Rows = res.Count
 			db.noteStmtStats(s)
 		}
@@ -197,7 +223,7 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 		// side of the same barrier. DDL commits synchronously: it is
 		// rare enough that joining a group-commit batch buys nothing.
 		db.healMu.Lock()
-		res, err = db.runStmt(ctx, st, text)
+		res, err = db.runStmtArgs(ctx, st, text, params, prep)
 		if err == nil {
 			if cerr := db.Commit(); cerr != nil {
 				err = fmt.Errorf("engine: commit: %w", cerr)
@@ -222,7 +248,7 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 	db.stmtWrites = db.stmtWrites[:0]
 	var end, epoch uint64
 	db.snapMu.Lock()
-	res, err = db.runStmt(ctx, st, text)
+	res, err = db.runStmtArgs(ctx, st, text, params, prep)
 	if err == nil {
 		// The commit record is appended while the statement's locks are
 		// held but synced only after they drop, so overlapping
@@ -262,17 +288,30 @@ func (db *DB) execOne(ctx context.Context, st sql.Statement, text string) (Resul
 	return res, nil
 }
 
-// runStmt executes one statement, converting panics into errors
+// runStmtArgs executes one statement, converting panics into errors
 // tagged with the statement text.
-func (db *DB) runStmt(ctx context.Context, st sql.Statement, text string) (res Result, err error) {
+func (db *DB) runStmtArgs(ctx context.Context, st sql.Statement, text string, params []model.Value, prep *plan.Prepared) (res Result, err error) {
 	defer recoverPanic(text, &err)
-	return db.execStmtLocked(ctx, st)
+	return db.execStmtArgs(ctx, st, params, prep)
 }
 
+// execStmtLocked dispatches one statement without parameters (the
+// unprepared path; transactions also route their catalog-inspection
+// statements through it).
 func (db *DB) execStmtLocked(ctx context.Context, st sql.Statement) (Result, error) {
+	return db.execStmtArgs(ctx, st, nil, nil)
+}
+
+func (db *DB) execStmtArgs(ctx context.Context, st sql.Statement, params []model.Value, prep *plan.Prepared) (Result, error) {
 	switch st := st.(type) {
 	case *sql.Select:
-		tbl, tt, err := db.exec.Query(ctx, st)
+		// A cached plan may have been bound from a different parse of
+		// the same normalized SQL; its own AST is the one its path sets
+		// and access choices were derived from, so execute that one.
+		if prep != nil && prep.Sel != nil {
+			return db.runPreparedSelect(ctx, prep, params)
+		}
+		tbl, tt, err := db.exec.QueryArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
@@ -316,19 +355,19 @@ func (db *DB) execStmtLocked(ctx context.Context, st sql.Statement) (Result, err
 		}
 		return Result{Message: fmt.Sprintf("index %s dropped", st.Name)}, nil
 	case *sql.Insert:
-		n, err := db.exec.ExecInsert(ctx, st)
+		n, err := db.exec.ExecInsertArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) inserted", n)}, nil
 	case *sql.Delete:
-		n, err := db.exec.ExecDelete(ctx, st)
+		n, err := db.exec.ExecDeleteArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) deleted", n)}, nil
 	case *sql.Update:
-		n, err := db.exec.ExecUpdate(ctx, st)
+		n, err := db.exec.ExecUpdateArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
@@ -339,7 +378,7 @@ func (db *DB) execStmtLocked(ctx context.Context, st sql.Statement) (Result, err
 		}
 		return Result{Message: fmt.Sprintf("table %s altered", st.Table)}, nil
 	case *sql.Explain:
-		return db.explain(ctx, st.Sel)
+		return db.explainArgs(ctx, st.Sel, params, prep)
 	case *sql.ShowTables:
 		tt := model.MustTableType(false,
 			model.Attr{Name: "NAME", Type: model.AtomicType(model.KindString)},
@@ -369,13 +408,14 @@ func (db *DB) execStmtLocked(ctx context.Context, st sql.Statement) (Result, err
 	return Result{}, fmt.Errorf("engine: unsupported statement %T", st)
 }
 
-// explain reports the access path and fetch set per FROM item of a
-// query, then actually runs it through the streaming cursor (results
-// discarded) and appends the measured physical access counters —
-// pages fetched, buffer hits, physical reads, subtuples decoded.
-func (db *DB) explain(ctx context.Context, sel *sql.Select) (Result, error) {
+// explainArgs reports the access path and fetch set per FROM item of
+// a query, then actually runs it through the streaming cursor
+// (results discarded) and appends the measured physical access
+// counters — pages fetched, buffer hits, physical reads, subtuples
+// decoded.
+func (db *DB) explainArgs(ctx context.Context, sel *sql.Select, params []model.Value, prep *plan.Prepared) (Result, error) {
 	start := db.mark()
-	cur, err := db.exec.OpenQuery(ctx, sel)
+	cur, err := db.openSelect(ctx, sel, params, prep)
 	if err != nil {
 		return Result{}, err
 	}
@@ -401,4 +441,40 @@ func (db *DB) explain(ctx context.Context, sel *sql.Select) (Result, error) {
 	}
 	b.WriteString(stats.String())
 	return Result{Message: b.String(), Count: rows}, nil
+}
+
+// openSelect opens the streaming cursor for a select: through the
+// prepared plan's cached bind products when one is supplied (running
+// the plan's own AST — the one its path sets and access choices were
+// derived from), else through the full open path.
+func (db *DB) openSelect(ctx context.Context, sel *sql.Select, params []model.Value, prep *plan.Prepared) (*exec.Cursor, error) {
+	if prep != nil && prep.Sel != nil {
+		cands := prep.Candidates((*runtime)(db), params)
+		return db.exec.OpenPrepared(ctx, prep.Sel, prep.ResultType, prep.Paths, cands, params)
+	}
+	return db.exec.OpenQueryArgs(ctx, sel, params)
+}
+
+// runPreparedSelect materializes a prepared select: the plan's access
+// choices are evaluated against the live indexes and the bound
+// arguments, and the cursor runs with the cached result schema and
+// path sets — no inference, no path derivation, no planner call.
+func (db *DB) runPreparedSelect(ctx context.Context, prep *plan.Prepared, params []model.Value) (Result, error) {
+	cur, err := db.openSelect(ctx, prep.Sel, params, prep)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cur.Close()
+	out := &model.Table{Ordered: cur.Type().Ordered}
+	for {
+		tup, ok, err := cur.Next()
+		if err != nil {
+			return Result{}, err
+		}
+		if !ok {
+			break
+		}
+		out.Append(tup)
+	}
+	return Result{Table: out, Type: cur.Type(), Count: out.Len()}, nil
 }

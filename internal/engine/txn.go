@@ -429,8 +429,50 @@ func (tx *Txn) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
 	return tx.db.queryRows(ctx, tx.exec, q)
 }
 
+// ExecStmtContext runs one already-parsed statement inside the
+// transaction (the zero-reparse entry point mirroring
+// DB.ExecStmtContext).
+func (tx *Txn) ExecStmtContext(ctx context.Context, st sql.Stmt) (Result, error) {
+	return tx.execOne(ctx, st.Statement, st.Text)
+}
+
+// ExecPrepared runs a prepared statement inside the transaction with
+// the given arguments. The parse is reused; the plan's cached
+// candidate lists are NOT — index entries reflect committed state,
+// not the snapshot plus the transaction's buffered writes, so the
+// statement executes through the transaction's own snapshot-reading
+// executor (which plans inline against the transaction runtime; that
+// runtime exposes no indexes and every scan is a full snapshot scan).
+func (tx *Txn) ExecPrepared(ctx context.Context, ps *PreparedStmt, args ...model.Value) (Result, error) {
+	if err := ps.checkArgs(args); err != nil {
+		return Result{}, err
+	}
+	return tx.execOneArgs(ctx, ps.st.Statement, ps.st.Text, args)
+}
+
+// QueryRowsPrepared runs a prepared SELECT inside the transaction and
+// returns a streaming cursor at the transaction's snapshot.
+func (tx *Txn) QueryRowsPrepared(ctx context.Context, ps *PreparedStmt, args ...model.Value) (*Rows, error) {
+	if tx.done {
+		return nil, ErrTxnDone
+	}
+	if err := ps.checkArgs(args); err != nil {
+		return nil, err
+	}
+	sel, ok := ps.st.Statement.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("engine: QueryRows requires a SELECT, got %T", ps.st.Statement)
+	}
+	return tx.db.queryRowsSel(ctx, tx.exec, sel, ps.st.Text, args)
+}
+
 // execOne runs one parsed statement inside the transaction.
 func (tx *Txn) execOne(ctx context.Context, st sql.Statement, text string) (Result, error) {
+	return tx.execOneArgs(ctx, st, text, nil)
+}
+
+// execOneArgs is execOne with bound `?` parameter values.
+func (tx *Txn) execOneArgs(ctx context.Context, st sql.Statement, text string, params []model.Value) (Result, error) {
 	if tx.done {
 		return Result{}, ErrTxnDone
 	}
@@ -450,7 +492,7 @@ func (tx *Txn) execOne(ctx context.Context, st sql.Statement, text string) (Resu
 	}
 	savedOrder := append([]wkey(nil), tx.order...)
 
-	res, err := tx.runStmt(ctx, st, text)
+	res, err := tx.runStmt(ctx, st, text, params)
 	if err != nil {
 		tx.ops = tx.ops[:opsMark]
 		tx.pending = savedPending
@@ -469,29 +511,29 @@ func (tx *Txn) execOne(ctx context.Context, st sql.Statement, text string) (Resu
 	return res, nil
 }
 
-func (tx *Txn) runStmt(ctx context.Context, st sql.Statement, text string) (res Result, err error) {
+func (tx *Txn) runStmt(ctx context.Context, st sql.Statement, text string, params []model.Value) (res Result, err error) {
 	defer recoverPanic(text, &err)
 	switch st := st.(type) {
 	case *sql.Select:
-		tbl, tt, err := tx.exec.Query(ctx, st)
+		tbl, tt, err := tx.exec.QueryArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Table: tbl, Type: tt, Count: tbl.Len()}, nil
 	case *sql.Insert:
-		n, err := tx.exec.ExecInsert(ctx, st)
+		n, err := tx.exec.ExecInsertArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) inserted", n)}, nil
 	case *sql.Delete:
-		n, err := tx.exec.ExecDelete(ctx, st)
+		n, err := tx.exec.ExecDeleteArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
 		return Result{Count: n, Message: fmt.Sprintf("%d tuple(s) deleted", n)}, nil
 	case *sql.Update:
-		n, err := tx.exec.ExecUpdate(ctx, st)
+		n, err := tx.exec.ExecUpdateArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}

@@ -256,10 +256,58 @@ type Cursor struct {
 
 // OpenQuery opens a streaming cursor over a top-level select.
 func (e *Executor) OpenQuery(ctx context.Context, sel *sql.Select) (*Cursor, error) {
+	return e.OpenQueryArgs(ctx, sel, nil)
+}
+
+// OpenQueryArgs is OpenQuery with bound `?` parameter values.
+func (e *Executor) OpenQueryArgs(ctx context.Context, sel *sql.Select, params []model.Value) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return e.openCursor(ctx, sel, newEnv(nil), true)
+	return e.openCursor(ctx, sel, rootEnv(params), true)
+}
+
+// --- bind-phase entry points -------------------------------------------
+//
+// The prepare path splits openCursor's per-execution work into a bind
+// phase (schema inference and path-set derivation, run once when a
+// statement is prepared) and an execute phase (OpenPrepared, run per
+// execution with the precomputed artifacts). Access-path choice — the
+// third bind product — lives in package plan, which builds on these.
+
+// InferSelect computes the result schema of a top-level select
+// (bind-phase half of openCursor).
+func (e *Executor) InferSelect(sel *sql.Select) (*model.TableType, error) {
+	return e.inferSelect(sel, newTypeEnv(nil))
+}
+
+// DeriveSelectPaths computes the projection-pushdown path sets of a
+// top-level select's stored-table FROM items (bind-phase half of
+// openCursor). nil means full object reads — either FullPaths is set
+// or derivation could not prove a narrow fetch.
+func (e *Executor) DeriveSelectPaths(sel *sql.Select) map[int]*object.PathSet {
+	if e.FullPaths {
+		return nil
+	}
+	return e.derivePaths(sel, newPathScope(nil))
+}
+
+// OpenPrepared opens a streaming cursor over a top-level select whose
+// bind products — result schema, path sets, candidate lists — were
+// computed ahead of time. It performs no inference, no path
+// derivation and no access-path planning; the plan-cache hit path runs
+// through here.
+func (e *Executor) OpenPrepared(ctx context.Context, sel *sql.Select, tt *model.TableType, paths map[int]*object.PathSet, cands map[int]*Candidates, params []model.Value) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	scope := rootEnv(params)
+	return &Cursor{
+		e: e, ctx: ctx, sel: sel, tt: tt, scope: scope,
+		pipe: newPipeline(e, ctx, sel.From, scope, cands, paths),
+		seen: make(map[string]bool),
+		plan: describePlan(e, sel, cands, paths),
+	}, nil
 }
 
 // openCursor prepares a cursor for a select block in an outer

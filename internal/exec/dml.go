@@ -90,6 +90,11 @@ func (e *Executor) coerceTuple(x sql.Expr, tt *model.TableType, en *env) (model.
 // ExecInsert runs an INSERT statement, returning the number of
 // inserted tuples/members.
 func (e *Executor) ExecInsert(ctx context.Context, ins *sql.Insert) (int, error) {
+	return e.ExecInsertArgs(ctx, ins, nil)
+}
+
+// ExecInsertArgs is ExecInsert with bound `?` parameter values.
+func (e *Executor) ExecInsertArgs(ctx context.Context, ins *sql.Insert, params []model.Value) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -100,7 +105,7 @@ func (e *Executor) ExecInsert(ctx context.Context, ins *sql.Insert) (int, error)
 		}
 		n := 0
 		for _, row := range ins.Rows {
-			tup, err := e.coerceTuple(row, t.Type, newEnv(nil))
+			tup, err := e.coerceTuple(row, t.Type, rootEnv(params))
 			if err != nil {
 				return n, err
 			}
@@ -120,7 +125,7 @@ func (e *Executor) ExecInsert(ctx context.Context, ins *sql.Insert) (int, error)
 		tt    *model.TableType
 	}
 	var targets []target
-	scope := newEnv(nil)
+	scope := rootEnv(params)
 	err := e.forEach(ctx, ins.From, scope, nil, func() error {
 		if ins.Where != nil {
 			ok, err := e.evalCond(ins.Where, scope)
@@ -153,7 +158,7 @@ func (e *Executor) ExecInsert(ctx context.Context, ins *sql.Insert) (int, error)
 	n := 0
 	for _, tg := range targets {
 		for _, row := range ins.Rows {
-			member, err := e.coerceTuple(row, tg.tt, newEnv(nil))
+			member, err := e.coerceTuple(row, tg.tt, rootEnv(params))
 			if err != nil {
 				return n, err
 			}
@@ -185,6 +190,11 @@ func dedupeTargets[T any](ts []T) []T {
 // members when it ranges over a subtable (deleting "arbitrary parts
 // of complex objects", §4.1).
 func (e *Executor) ExecDelete(ctx context.Context, del *sql.Delete) (int, error) {
+	return e.ExecDeleteArgs(ctx, del, nil)
+}
+
+// ExecDeleteArgs is ExecDelete with bound `?` parameter values.
+func (e *Executor) ExecDeleteArgs(ctx context.Context, del *sql.Delete, params []model.Value) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -194,7 +204,7 @@ func (e *Executor) ExecDelete(ctx context.Context, del *sql.Delete) (int, error)
 		steps []object.Step
 	}
 	var victims []victim
-	scope := newEnv(nil)
+	scope := rootEnv(params)
 	err := e.forEach(ctx, del.From, scope, nil, func() error {
 		if del.Where != nil {
 			ok, err := e.evalCond(del.Where, scope)
@@ -255,6 +265,11 @@ func (e *Executor) ExecDelete(ctx context.Context, del *sql.Delete) (int, error)
 // ExecUpdate runs an UPDATE statement against the atomic attributes
 // of the target variable's level.
 func (e *Executor) ExecUpdate(ctx context.Context, upd *sql.Update) (int, error) {
+	return e.ExecUpdateArgs(ctx, upd, nil)
+}
+
+// ExecUpdateArgs is ExecUpdate with bound `?` parameter values.
+func (e *Executor) ExecUpdateArgs(ctx context.Context, upd *sql.Update, params []model.Value) (int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -265,7 +280,7 @@ func (e *Executor) ExecUpdate(ctx context.Context, upd *sql.Update) (int, error)
 		vals  []model.Value
 	}
 	var changes []change
-	scope := newEnv(nil)
+	scope := rootEnv(params)
 	err := e.forEach(ctx, upd.From, scope, nil, func() error {
 		if upd.Where != nil {
 			ok, err := e.evalCond(upd.Where, scope)

@@ -42,6 +42,12 @@ func (e *Executor) evalExpr(x sql.Expr, en *env) (value, error) {
 	switch x := x.(type) {
 	case *sql.Literal:
 		return atomVal(x.Val), nil
+	case *sql.Param:
+		v, ok := en.param(x.Ord)
+		if !ok {
+			return value{}, fmt.Errorf("exec: no value bound for parameter ?%d (use Prepare and pass arguments)", x.Ord)
+		}
+		return atomVal(v), nil
 	case *sql.PathExpr:
 		return e.evalPath(x, en)
 	case *sql.Unary:

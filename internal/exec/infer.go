@@ -72,6 +72,10 @@ func (e *Executor) inferExpr(x sql.Expr, te *typeEnv) (inferred, error) {
 			return inferred{kind: model.KindString}, nil // null literal defaults to string
 		}
 		return inferred{kind: x.Val.Kind()}, nil
+	case *sql.Param:
+		// A placeholder's value type is unknown until execution; like
+		// the null literal it defaults to string for schema purposes.
+		return inferred{kind: model.KindString}, nil
 	case *sql.PathExpr:
 		return e.inferPath(x, te)
 	case *sql.Unary:

@@ -200,6 +200,8 @@ func (e *Executor) markExpr(x sql.Expr, scope *pathScope) error {
 		return nil
 	case *sql.Literal:
 		return nil
+	case *sql.Param:
+		return nil
 	case *sql.PathExpr:
 		return e.markValuePath(x, scope)
 	case *sql.Unary:

@@ -117,14 +117,38 @@ type binding struct {
 	asof int64
 }
 
-// env is a chained variable scope.
+// env is a chained variable scope. The root scope of a statement may
+// carry the positional parameter values of a prepared execution;
+// lookups walk the chain, so nested blocks and quantifier scopes see
+// the same arguments.
 type env struct {
 	vars   map[string]*binding
 	parent *env
+	params []model.Value // bound `?` arguments (root scope only)
 }
 
 func newEnv(parent *env) *env {
 	return &env{vars: make(map[string]*binding), parent: parent}
+}
+
+// rootEnv creates a statement root scope carrying bound parameters.
+func rootEnv(params []model.Value) *env {
+	e := newEnv(nil)
+	e.params = params
+	return e
+}
+
+// param resolves a 1-based `?` ordinal against the scope chain.
+func (e *env) param(ord int) (model.Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if s.params != nil {
+			if ord >= 1 && ord <= len(s.params) {
+				return s.params[ord-1], true
+			}
+			return nil, false
+		}
+	}
+	return nil, false
 }
 
 func (e *env) lookup(name string) (*binding, bool) {

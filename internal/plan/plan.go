@@ -9,18 +9,26 @@
 //   - masked text predicates x.TITLE CONTAINS '*comput*', answered by
 //     a text index.
 //
-// Each usable conjunct restricts a top-level FROM variable to a set
-// of candidate complex objects (the distinct roots of the index
-// addresses); conjunctions intersect the sets. Data-TID indexes are
-// never chosen: as §4.2 shows, their addresses cannot locate the
-// containing complex object at all. The executor re-verifies the full
-// WHERE clause on the candidates, so planning only needs superset
-// correctness.
+// The work is split into two phases. The bind phase (chooseAccess)
+// recognizes indexable conjuncts and records an AccessChoice per
+// usable one — which index, which operator, which operand expression.
+// The operand may be a `?` placeholder, so a choice is a pure
+// decision, independent of data and of parameter values; it is what a
+// cached plan stores. The execute phase (evalChoice) resolves the
+// operand against the bound arguments and runs the index lookup,
+// producing the candidate root set for this execution. Conjunctions
+// intersect the sets. Data-TID indexes are never chosen: as §4.2
+// shows, their addresses cannot locate the containing complex object
+// at all. The executor re-verifies the full WHERE clause on the
+// candidates, so planning only needs superset correctness — a choice
+// that cannot be evaluated (missing index, unbound parameter) simply
+// falls back to a full scan.
 package plan
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/index"
@@ -30,19 +38,103 @@ import (
 	"repro/internal/textindex"
 )
 
-// Choose implements exec.Planner.
+// chooses counts invocations of the inline planner; prepares (in
+// prepared.go) counts bind-phase invocations. The prepared-statement
+// tests assert both stay flat across PreparedStmt re-executions — the
+// "zero planner work" acceptance check.
+var chooses atomic.Uint64
+
+// ChooseCount returns the process-wide count of inline planning runs.
+func ChooseCount() uint64 { return chooses.Load() }
+
+// AccessChoice is one bind-time access-path decision: answer a WHERE
+// conjunct restricting one FROM variable with the named index. It
+// carries no data — evaluation at execute time resolves the operand
+// (a literal or a bound `?` argument) and runs the lookup.
+type AccessChoice struct {
+	// Table is the stored table the FROM item ranges over.
+	Table string
+	// Index is the chosen index's name (value index, or text index
+	// when Text is set). Evaluation re-resolves it by name against the
+	// live runtime, so a dropped or degraded index silently degrades
+	// the choice to a full scan — a stale plan can never touch it.
+	Index string
+	Text  bool
+	// Path is the indexed attribute path (for plan description).
+	Path []string
+	// Op and Operand describe the predicate for value indexes:
+	// Op ∈ {=, <, <=, >, >=}, Operand a *sql.Literal or *sql.Param.
+	Op      string
+	Operand sql.Expr
+	// Mask is the CONTAINS mask for text indexes.
+	Mask string
+}
+
+// String renders the choice for EXPLAIN output.
+func (c AccessChoice) String() string {
+	if c.Text {
+		return fmt.Sprintf("text index %s CONTAINS %q", c.Index, c.Mask)
+	}
+	return fmt.Sprintf("index %s(%s) %s %s", c.Index, strings.Join(c.Path, "."), c.Op, operandString(c.Operand))
+}
+
+func operandString(x sql.Expr) string {
+	switch o := x.(type) {
+	case *sql.Literal:
+		return fmt.Sprintf("%v", o.Val)
+	case *sql.Param:
+		return fmt.Sprintf("?%d", o.Ord)
+	}
+	return fmt.Sprintf("%v", x)
+}
+
+// Choose implements exec.Planner: the inline (unprepared) path binds
+// and evaluates in one go. Choices whose operand is an unbound
+// parameter are skipped — soundly widening to a full scan.
 func Choose(sel *sql.Select, rt exec.Runtime) map[int]*exec.Candidates {
+	chooses.Add(1)
+	return evalAccess(chooseAccess(sel, rt), rt, nil)
+}
+
+// chooseAccess records the access choices for every top-level FROM
+// item of a select (keyed by item index). Only uncorrelated
+// current-state stored tables are considered.
+func chooseAccess(sel *sql.Select, rt exec.Runtime) map[int][]AccessChoice {
 	if sel.Where == nil {
 		return nil
 	}
-	out := make(map[int]*exec.Candidates)
+	out := make(map[int][]AccessChoice)
 	for i, fi := range sel.From {
 		if fi.Source.Table == "" || fi.AsOf != nil {
-			continue // only uncorrelated current-state stored tables
+			continue
 		}
-		var sets []rootSet
+		var choices []AccessChoice
 		for _, conj := range conjuncts(sel.Where) {
-			if s, ok := tryConjunct(conj, fi.Var, fi.Source.Table, rt); ok {
+			if c, ok := tryConjunct(conj, fi.Var, fi.Source.Table, rt); ok {
+				choices = append(choices, c)
+			}
+		}
+		if len(choices) > 0 {
+			out[i] = choices
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// evalAccess evaluates recorded choices against the live runtime and
+// the bound parameters, intersecting the root sets per FROM item.
+func evalAccess(access map[int][]AccessChoice, rt exec.Runtime, params []model.Value) map[int]*exec.Candidates {
+	if len(access) == 0 {
+		return nil
+	}
+	out := make(map[int]*exec.Candidates)
+	for i, choices := range access {
+		var sets []rootSet
+		for _, c := range choices {
+			if s, ok := evalChoice(c, rt, params); ok {
 				sets = append(sets, s)
 			}
 		}
@@ -68,6 +160,80 @@ type rootSet struct {
 	why  string
 }
 
+// evalChoice runs one access choice: resolve the operand, re-resolve
+// the index by name, and look up. Any failure reports not-ok and the
+// conjunct is answered by the scan instead.
+func evalChoice(c AccessChoice, rt exec.Runtime, params []model.Value) (rootSet, bool) {
+	if c.Text {
+		for _, ti := range rt.TextIndexes(c.Table) {
+			if ti.Name != c.Index {
+				continue
+			}
+			addrs := ti.Search(c.Mask)
+			return rootSet{
+				refs: textindex.DistinctRoots(addrs),
+				why:  fmt.Sprintf("text index %s CONTAINS %q", ti.Name, c.Mask),
+			}, true
+		}
+		return rootSet{}, false
+	}
+	val, ok := operandValue(c.Operand, params)
+	if !ok {
+		return rootSet{}, false
+	}
+	for _, ix := range rt.Indexes(c.Table) {
+		if ix.Name != c.Index || ix.Kind == index.DataTID {
+			continue
+		}
+		if c.Op == "=" {
+			addrs, err := ix.Lookup(val)
+			if err != nil {
+				return rootSet{}, false
+			}
+			return rootSet{
+				refs: index.DistinctRoots(addrs),
+				why:  fmt.Sprintf("index %s(%s)=%v", ix.Name, strings.Join(c.Path, "."), val),
+			}, true
+		}
+		var lo, hi model.Value
+		switch c.Op {
+		case "<", "<=":
+			hi = val
+		case ">", ">=":
+			lo = val
+		default:
+			return rootSet{}, false
+		}
+		var addrs []index.Addr
+		if err := ix.LookupRange(lo, hi, func(as []index.Addr) bool {
+			addrs = append(addrs, as...)
+			return true
+		}); err != nil {
+			return rootSet{}, false
+		}
+		return rootSet{
+			refs: index.DistinctRoots(addrs),
+			why:  fmt.Sprintf("index %s(%s) %s %v (range)", ix.Name, strings.Join(c.Path, "."), c.Op, val),
+		}, true
+	}
+	return rootSet{}, false
+}
+
+// operandValue resolves a choice operand: literals carry their value,
+// parameters read the bound argument by 1-based ordinal.
+func operandValue(x sql.Expr, params []model.Value) (model.Value, bool) {
+	switch o := x.(type) {
+	case *sql.Literal:
+		return o.Val, true
+	case *sql.Param:
+		if o.Ord >= 1 && o.Ord <= len(params) {
+			return params[o.Ord-1], true
+		}
+		return nil, false
+	}
+	return nil, false
+}
+
 // conjuncts splits a predicate at top-level ANDs.
 func conjuncts(e sql.Expr) []sql.Expr {
 	if b, ok := e.(*sql.Binary); ok && b.Op == "AND" {
@@ -77,76 +243,79 @@ func conjuncts(e sql.Expr) []sql.Expr {
 }
 
 // tryConjunct recognizes an indexable predicate restricting variable
-// v over stored table tbl.
-func tryConjunct(e sql.Expr, v, tbl string, rt exec.Runtime) (rootSet, bool) {
+// v over stored table tbl, returning the access choice to answer it.
+func tryConjunct(e sql.Expr, v, tbl string, rt exec.Runtime) (AccessChoice, bool) {
 	switch x := e.(type) {
 	case *sql.Binary:
-		path, lit, flipped, ok := pathCmpLiteral(x)
+		path, operand, flipped, ok := pathCmpOperand(x)
 		if !ok || path.Var != v {
-			return rootSet{}, false
+			return AccessChoice{}, false
 		}
 		names, ok := nameSteps(path.Steps)
 		if !ok {
-			return rootSet{}, false
+			return AccessChoice{}, false
 		}
 		op := x.Op
 		if flipped {
 			op = flip(op)
 		}
-		if op == "=" {
-			return lookupIndex(rt, tbl, names, lit)
-		}
-		return lookupIndexRange(rt, tbl, names, op, lit)
+		return findValueIndex(rt, tbl, names, op, operand)
 	case *sql.Quant:
 		if x.All {
-			return rootSet{}, false
+			return AccessChoice{}, false
 		}
-		names, lit, ok := existsChain(x, v)
+		names, operand, ok := existsChain(x, v)
 		if !ok {
-			return rootSet{}, false
+			return AccessChoice{}, false
 		}
-		return lookupIndex(rt, tbl, names, lit)
+		return findValueIndex(rt, tbl, names, "=", operand)
 	case *sql.Contains:
 		path, ok := x.Text.(*sql.PathExpr)
 		if !ok || path.Var != v {
-			return rootSet{}, false
+			return AccessChoice{}, false
 		}
 		names, ok := nameSteps(path.Steps)
 		if !ok {
-			return rootSet{}, false
+			return AccessChoice{}, false
 		}
-		return lookupTextIndex(rt, tbl, names, x.Mask)
+		return findTextIndex(rt, tbl, names, x.Mask)
 	}
-	return rootSet{}, false
+	return AccessChoice{}, false
 }
 
-// pathEqLiteral matches path = literal (either side).
-func pathEqLiteral(b *sql.Binary) (*sql.PathExpr, *sql.Literal, bool) {
+// isOperand reports whether an expression can serve as an index
+// operand: a constant literal or a `?` parameter.
+func isOperand(x sql.Expr) bool {
+	switch x.(type) {
+	case *sql.Literal, *sql.Param:
+		return true
+	}
+	return false
+}
+
+// pathEqOperand matches path = (literal|param) (either side).
+func pathEqOperand(b *sql.Binary) (*sql.PathExpr, sql.Expr, bool) {
 	if b.Op != "=" {
 		return nil, nil, false
 	}
-	p, l, _, ok := pathCmpLiteral(b)
-	return p, l, ok
+	p, o, _, ok := pathCmpOperand(b)
+	return p, o, ok
 }
 
-// pathCmpLiteral matches path OP literal (either side) for the
-// comparison operators; flipped reports that the literal was on the
-// left, so the effective operator must be mirrored.
-func pathCmpLiteral(b *sql.Binary) (*sql.PathExpr, *sql.Literal, bool, bool) {
+// pathCmpOperand matches path OP (literal|param) (either side) for
+// the comparison operators; flipped reports that the operand was on
+// the left, so the effective operator must be mirrored.
+func pathCmpOperand(b *sql.Binary) (*sql.PathExpr, sql.Expr, bool, bool) {
 	switch b.Op {
 	case "=", "<", "<=", ">", ">=":
 	default:
 		return nil, nil, false, false
 	}
-	if p, ok := b.L.(*sql.PathExpr); ok {
-		if l, ok := b.R.(*sql.Literal); ok {
-			return p, l, false, true
-		}
+	if p, ok := b.L.(*sql.PathExpr); ok && isOperand(b.R) {
+		return p, b.R, false, true
 	}
-	if p, ok := b.R.(*sql.PathExpr); ok {
-		if l, ok := b.L.(*sql.Literal); ok {
-			return p, l, true, true
-		}
+	if p, ok := b.R.(*sql.PathExpr); ok && isOperand(b.L) {
+		return p, b.L, true, true
 	}
 	return nil, nil, false, false
 }
@@ -165,36 +334,6 @@ func flip(op string) string {
 	return op
 }
 
-// lookupIndexRange answers range predicates with an inclusive B-tree
-// range scan. Exclusive bounds deliver a superset (the boundary key),
-// which is sound because the executor re-verifies the WHERE clause.
-func lookupIndexRange(rt exec.Runtime, tbl string, path []string, op string, lit *sql.Literal) (rootSet, bool) {
-	for _, ix := range rt.Indexes(tbl) {
-		if ix.Kind == index.DataTID || !samePath(ix.Path, path) {
-			continue
-		}
-		var lo, hi model.Value
-		switch op {
-		case "<", "<=":
-			hi = lit.Val
-		case ">", ">=":
-			lo = lit.Val
-		}
-		var addrs []index.Addr
-		if err := ix.LookupRange(lo, hi, func(as []index.Addr) bool {
-			addrs = append(addrs, as...)
-			return true
-		}); err != nil {
-			continue
-		}
-		return rootSet{
-			refs: index.DistinctRoots(addrs),
-			why:  fmt.Sprintf("index %s(%s) %s %v (range)", ix.Name, strings.Join(path, "."), op, lit.Val),
-		}, true
-	}
-	return rootSet{}, false
-}
-
 func nameSteps(steps []sql.PathStep) ([]string, bool) {
 	var names []string
 	for _, s := range steps {
@@ -210,8 +349,8 @@ func nameSteps(steps []sql.PathStep) ([]string, bool) {
 }
 
 // existsChain matches EXISTS v1 IN x.A [EXISTS v2 IN v1.B ...]:
-// vn.C = literal, returning the full attribute path A...B...C.
-func existsChain(q *sql.Quant, baseVar string) ([]string, *sql.Literal, bool) {
+// vn.C = operand, returning the full attribute path A...B...C.
+func existsChain(q *sql.Quant, baseVar string) ([]string, sql.Expr, bool) {
 	var names []string
 	curVar := baseVar
 	cur := q
@@ -229,7 +368,7 @@ func existsChain(q *sql.Quant, baseVar string) ([]string, *sql.Literal, bool) {
 		case *sql.Quant:
 			cur = body
 		case *sql.Binary:
-			path, lit, ok := pathEqLiteral(body)
+			path, operand, ok := pathEqOperand(body)
 			if !ok || path.Var != curVar {
 				return nil, nil, false
 			}
@@ -237,14 +376,16 @@ func existsChain(q *sql.Quant, baseVar string) ([]string, *sql.Literal, bool) {
 			if !ok {
 				return nil, nil, false
 			}
-			return append(names, segs...), lit, true
+			return append(names, segs...), operand, true
 		default:
 			return nil, nil, false
 		}
 	}
 }
 
-func lookupIndex(rt exec.Runtime, tbl string, path []string, lit *sql.Literal) (rootSet, bool) {
+// findValueIndex picks the first live non-DataTID index matching the
+// attribute path and records the choice.
+func findValueIndex(rt exec.Runtime, tbl string, path []string, op string, operand sql.Expr) (AccessChoice, bool) {
 	for _, ix := range rt.Indexes(tbl) {
 		if ix.Kind == index.DataTID {
 			continue // cannot locate the containing complex object (§4.2)
@@ -252,30 +393,19 @@ func lookupIndex(rt exec.Runtime, tbl string, path []string, lit *sql.Literal) (
 		if !samePath(ix.Path, path) {
 			continue
 		}
-		addrs, err := ix.Lookup(lit.Val)
-		if err != nil {
-			continue
-		}
-		return rootSet{
-			refs: index.DistinctRoots(addrs),
-			why:  fmt.Sprintf("index %s(%s)=%v", ix.Name, strings.Join(path, "."), lit.Val),
-		}, true
+		return AccessChoice{Table: tbl, Index: ix.Name, Path: path, Op: op, Operand: operand}, true
 	}
-	return rootSet{}, false
+	return AccessChoice{}, false
 }
 
-func lookupTextIndex(rt exec.Runtime, tbl string, path []string, mask string) (rootSet, bool) {
+func findTextIndex(rt exec.Runtime, tbl string, path []string, mask string) (AccessChoice, bool) {
 	for _, ti := range rt.TextIndexes(tbl) {
 		if !samePath(ti.Path, path) {
 			continue
 		}
-		addrs := ti.Search(mask)
-		return rootSet{
-			refs: textindex.DistinctRoots(addrs),
-			why:  fmt.Sprintf("text index %s CONTAINS %q", ti.Name, mask),
-		}, true
+		return AccessChoice{Table: tbl, Index: ti.Name, Text: true, Path: path, Mask: mask}, true
 	}
-	return rootSet{}, false
+	return AccessChoice{}, false
 }
 
 func samePath(a, b []string) bool {

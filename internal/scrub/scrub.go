@@ -107,6 +107,7 @@ type Options struct {
 // pass verifies the actual durable images.
 func Run(db *engine.DB, opts Options) (*Report, error) {
 	r := &Report{}
+	var degrade []degradeReq
 	err := db.View(func() error {
 		if err := db.Checkpoint(); err != nil {
 			return fmt.Errorf("scrub: checkpoint before physical pass: %w", err)
@@ -114,12 +115,18 @@ func Run(db *engine.DB, opts Options) (*Report, error) {
 		scrubPages(db, r)
 		scrubTables(db, opts, r)
 		if !opts.SkipIndexes {
-			scrubIndexes(db, opts, r)
+			degrade = scrubIndexes(db, opts, r)
 		}
 		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Degradations are applied after the View: DegradeIndex detaches
+	// the live index under the exclusive heal barrier, which cannot be
+	// taken while View holds the shared side.
+	for _, d := range degrade {
+		db.DegradeIndex(d.name, d.reason)
 	}
 	r.Clean = len(r.Findings) == 0
 	return r, nil
@@ -278,11 +285,22 @@ func scrubComplexTable(db *engine.DB, t *catalog.Table, opts Options, r *Report)
 	}
 }
 
+// degradeReq is a deferred DegradeIndex call: scrubIndexes runs
+// inside a View (shared heal barrier held) and the detach needs the
+// exclusive side, so divergent indexes are collected and degraded by
+// Run after the View returns.
+type degradeReq struct {
+	name   string
+	reason error
+}
+
 // scrubIndexes rebuilds every cataloged index from base data and
 // compares it entry-for-entry against the live incarnation; any
 // divergence means reads through the index could silently disagree
-// with base-table scans.
-func scrubIndexes(db *engine.DB, opts Options, r *Report) {
+// with base-table scans. It returns the indexes to degrade (when
+// opts.Quarantine is set).
+func scrubIndexes(db *engine.DB, opts Options, r *Report) []degradeReq {
+	var degrade []degradeReq
 	degraded := db.DegradedIndexes()
 	for _, t := range db.Tables() {
 		for _, def := range db.Catalog().Indexes(t.Name) {
@@ -307,7 +325,7 @@ func scrubIndexes(db *engine.DB, opts Options, r *Report) {
 				if detail, diverged := diffText(live, shadowTi); diverged {
 					r.add(Finding{Kind: TextDiverged, Table: t.Name, Index: def.Name, Detail: detail})
 					if opts.Quarantine {
-						db.DegradeIndex(def.Name, fmt.Errorf("scrub: %s", detail))
+						degrade = append(degrade, degradeReq{def.Name, fmt.Errorf("scrub: %s", detail)})
 					}
 				}
 				continue
@@ -321,11 +339,12 @@ func scrubIndexes(db *engine.DB, opts Options, r *Report) {
 			if detail, diverged := diffIndex(live, shadowIx); diverged {
 				r.add(Finding{Kind: IndexDiverged, Table: t.Name, Index: def.Name, Detail: detail})
 				if opts.Quarantine {
-					db.DegradeIndex(def.Name, fmt.Errorf("scrub: %s", detail))
+					degrade = append(degrade, degradeReq{def.Name, fmt.Errorf("scrub: %s", detail)})
 				}
 			}
 		}
 	}
+	return degrade
 }
 
 // flatten serializes a value index into sorted "key/addr" strings.

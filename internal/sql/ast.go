@@ -106,7 +106,13 @@ type Count struct{ Arg Expr }
 // range variable is currently bound to, as an opaque token.
 type TNameOf struct{ Var string }
 
+// Param is a positional `?` placeholder in a prepared statement. Ord
+// is 1-based in order of appearance within the statement; execution
+// substitutes the caller's argument values by ordinal.
+type Param struct{ Ord int }
+
 func (*Literal) expr()  {}
+func (*Param) expr()    {}
 func (*PathExpr) expr() {}
 func (*Binary) expr()   {}
 func (*Unary) expr()    {}

@@ -44,6 +44,8 @@ type Token struct {
 	Kind TokenKind
 	Text string // keywords are upper-cased, idents keep their case
 	Pos  int    // byte offset in the input
+	Line int    // 1-based line of the token's first byte
+	Col  int    // 1-based column (byte-based) within the line
 }
 
 func (t Token) String() string {
@@ -74,12 +76,37 @@ var keywords = map[string]bool{
 
 var symbols = []string{
 	"<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", "{", "}", "[", "]",
-	",", ".", ";", "*", "+", "-", "/", ":",
+	",", ".", ";", "*", "+", "-", "/", ":", "?",
 }
 
-// Lex splits the input into tokens.
+// lineTracker converts byte offsets to 1-based line/column positions.
+// Offsets must be requested in non-decreasing order (tokens are
+// appended left to right), so the scan over the input is amortized
+// linear.
+type lineTracker struct {
+	input     string
+	pos       int // next unscanned byte
+	line      int
+	lineStart int // byte offset where the current line begins
+}
+
+func (lt *lineTracker) at(off int) (line, col int) {
+	for lt.pos < off && lt.pos < len(lt.input) {
+		if lt.input[lt.pos] == '\n' {
+			lt.line++
+			lt.lineStart = lt.pos + 1
+		}
+		lt.pos++
+	}
+	return lt.line + 1, off - lt.lineStart + 1
+}
+
+// Lex splits the input into tokens. Every token carries its byte
+// offset and 1-based line/column position, so parse errors can point
+// at the offending token.
 func Lex(input string) ([]Token, error) {
 	var toks []Token
+	lt := &lineTracker{input: input}
 	i := 0
 	n := len(input)
 	for i < n {
@@ -154,7 +181,8 @@ func Lex(input string) ([]Token, error) {
 				i++
 			}
 			if !closed {
-				return nil, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+				line, col := lt.at(start)
+				return nil, fmt.Errorf("sql: unterminated string literal at line %d, column %d", line, col)
 			}
 			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: start})
 		default:
@@ -168,11 +196,15 @@ func Lex(input string) ([]Token, error) {
 				}
 			}
 			if !matched {
-				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+				line, col := lt.at(i)
+				return nil, fmt.Errorf("sql: unexpected character %q at line %d, column %d", c, line, col)
 			}
 		}
 	}
 	toks = append(toks, Token{Kind: TokEOF, Pos: n})
+	for j := range toks {
+		toks[j].Line, toks[j].Col = lt.at(toks[j].Pos)
+	}
 	return toks, nil
 }
 

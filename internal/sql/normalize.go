@@ -1,0 +1,45 @@
+package sql
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// statementsParsed counts every statement the parser has built since
+// process start. The prepared-statement tests assert it stays flat
+// across re-executions of a PreparedStmt — the "zero parser work"
+// acceptance check.
+var statementsParsed atomic.Uint64
+
+// StatementsParsed returns the process-wide count of parsed
+// statements.
+func StatementsParsed() uint64 { return statementsParsed.Load() }
+
+// Normalize renders a statement's canonical text from its token
+// stream: comments vanish, whitespace collapses to single spaces, and
+// keywords are upper-cased (the lexer already did that). Two
+// statements that differ only in layout or comments normalize to the
+// same string, which is what makes it the plan-cache key.
+func Normalize(input string) (string, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, t := range toks {
+		if t.Kind == TokEOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if t.Kind == TokString {
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+			b.WriteByte('\'')
+			continue
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String(), nil
+}

@@ -10,16 +10,19 @@ import (
 
 // Parser is a recursive-descent parser over the token stream.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks   []Token
+	pos    int
+	params int // `?` placeholders seen in the current statement
 }
 
 // Stmt is one parsed statement together with its source text; the
 // engine uses the text to tag statement errors (notably recovered
-// panics) with what was being executed.
+// panics) with what was being executed. Params counts the `?`
+// placeholders the statement contains.
 type Stmt struct {
 	Statement
-	Text string
+	Text   string
+	Params int
 }
 
 // Parse parses a script of semicolon-separated statements.
@@ -50,12 +53,14 @@ func ParseScript(input string) ([]Stmt, error) {
 			return stmts, nil
 		}
 		start := p.peek().Pos
+		p.params = 0
 		s, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
+		statementsParsed.Add(1)
 		end := p.peek().Pos // the ';' or EOF token after the statement
-		stmts = append(stmts, Stmt{Statement: s, Text: strings.TrimSpace(input[start:end])})
+		stmts = append(stmts, Stmt{Statement: s, Text: strings.TrimSpace(input[start:end]), Params: p.params})
 		if !p.acceptSym(";") && p.peek().Kind != TokEOF {
 			return nil, p.errorf("expected ';' or end of input, got %s", p.peek())
 		}
@@ -64,12 +69,22 @@ func ParseScript(input string) ([]Stmt, error) {
 
 // ParseOne parses exactly one statement.
 func ParseOne(input string) (Statement, error) {
-	stmts, err := Parse(input)
+	st, err := ParseOneStmt(input)
 	if err != nil {
 		return nil, err
 	}
+	return st.Statement, nil
+}
+
+// ParseOneStmt parses exactly one statement, keeping its source text
+// and `?` placeholder count (the prepare path needs both).
+func ParseOneStmt(input string) (Stmt, error) {
+	stmts, err := ParseScript(input)
+	if err != nil {
+		return Stmt{}, err
+	}
 	if len(stmts) != 1 {
-		return nil, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
+		return Stmt{}, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
 	}
 	return stmts[0], nil
 }
@@ -84,7 +99,8 @@ func (p *Parser) peek2() Token {
 func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
 
 func (p *Parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+	t := p.peek()
+	return fmt.Errorf("sql: parse error at line %d, column %d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
 }
 
 func (p *Parser) acceptKw(kw string) bool {
@@ -578,6 +594,11 @@ func (p *Parser) parsePrimary() (Expr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.Text == "?" {
+			p.next()
+			p.params++
+			return &Param{Ord: p.params}, nil
 		}
 	}
 	return nil, p.errorf("expected expression, got %s", t)

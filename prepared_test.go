@@ -1,0 +1,158 @@
+package aim_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// The aim-level prepared API: Go-native argument coercion, Exec/Query
+// re-execution, Explain, and plan-cache stats surfaced via Stats().
+func TestStmtBasics(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+
+	stmt, err := db.Prepare(`SELECT x.DNO, x.MGRNO FROM x IN DEPARTMENTS WHERE x.DNO = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.NumParams() != 1 {
+		t.Fatalf("NumParams = %d, want 1", stmt.NumParams())
+	}
+	// Plain Go ints coerce to model values.
+	tbl, _, err := stmt.Query(314)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("got %d rows, want 1", tbl.Len())
+	}
+	// Re-execution with a different argument.
+	tbl, _, err = stmt.Query(218)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("got %d rows for DNO 218, want 1", tbl.Len())
+	}
+	// Unsupported argument types fail with a clear error.
+	if _, _, err := stmt.Query(struct{}{}); err == nil {
+		t.Fatal("struct argument should be rejected")
+	}
+	// Explain renders a plan without executing.
+	lines, _, err := stmt.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 || !strings.Contains(lines[0], "DEPARTMENTS") {
+		t.Fatalf("Explain = %q", lines)
+	}
+	// The plan cache saw this statement.
+	if s := db.Stats(); s.PlanCache.Misses == 0 {
+		t.Errorf("Stats().PlanCache shows no activity: %+v", s.PlanCache)
+	}
+}
+
+// String, float, bool, nil and time.Time arguments coerce; a prepared
+// INSERT inserts them.
+func TestStmtArgCoercion(t *testing.T) {
+	db, err := aim.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE V (S STRING, F FLOAT, B BOOL, N INT, T TIME)`); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO V VALUES (?, ?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	if _, err := ins.Exec("hello", 1.5, true, int64(7), when); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _, err := db.Query(`SELECT v.S, v.F, v.B, v.N FROM v IN V WHERE v.B = TRUE`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("coerced insert not found: %d rows", tbl.Len())
+	}
+}
+
+// Prepared statements inside a transaction via Tx.Stmt: writes stay
+// isolated until commit and the same Stmt remains usable outside.
+func TestTxStmt(t *testing.T) {
+	db := openLoaded(t)
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE AUDIT (ID INT, NOTE STRING)`); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO AUDIT VALUES (?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := db.Prepare(`SELECT a.ID FROM a IN AUDIT WHERE a.ID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Stmt(ins).Exec(1, "from tx"); err != nil {
+		t.Fatal(err)
+	}
+	// Inside: visible through the transaction's prepared read.
+	tbl, _, err := tx.Stmt(count).Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("tx read sees %d rows, want 1", tbl.Len())
+	}
+	// Outside: not yet.
+	tbl, _, err = count.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("uncommitted row visible outside tx: %d rows", tbl.Len())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _, err = count.Query(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("committed row missing: %d rows", tbl.Len())
+	}
+
+	// Streaming read through a TxStmt in a fresh transaction.
+	tx2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx2.Rollback()
+	rows, err := tx2.Stmt(count).QueryRows(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("TxStmt.QueryRows saw %d rows, want 1", n)
+	}
+}
