@@ -512,7 +512,15 @@ type Stats struct {
 	// (fresh binds) and invalidations (plans discarded because DDL or
 	// an index change moved the catalog epoch).
 	PlanCache PlanCacheStats
+	// Net is the network front end's counters (sessions, statements in
+	// flight, queue depth, sheds, drains, bytes) when an aimserver is
+	// attached to this database; all zero otherwise. The same counters
+	// answer the protocol's INFO request.
+	Net NetStats
 }
+
+// NetStats are the network front end's counters (see Stats.Net).
+type NetStats = engine.NetStats
 
 // PlanCacheStats are the plan cache counters (see Stats.PlanCache).
 type PlanCacheStats = engine.PlanCacheStats
@@ -527,6 +535,7 @@ func (db *DB) Stats() Stats {
 		LastStatement: db.eng.LastStmtStats(),
 		WAL:           db.eng.WALStats(),
 		PlanCache:     db.eng.PlanCacheStats(),
+		Net:           db.eng.NetStats(),
 	}
 }
 

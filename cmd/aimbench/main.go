@@ -12,6 +12,10 @@
 //	aimbench -clients 8 -duration 5s -out BENCH_5.json
 //	                      # concurrent read-throughput mode: a 1, N/2, N
 //	                      # client ladder over the Example-1..8 workload
+//	aimbench -net -clients 256 -nout BENCH_9.json
+//	                      # the same workload through aimserver over
+//	                      # loopback: qps/p50/p99/sheds vs the
+//	                      # in-process baseline
 package main
 
 import (
@@ -41,7 +45,21 @@ func main() {
 	wout := flag.String("wout", "BENCH_7.json", "write-ladder report path (with -writers; empty disables the file)")
 	prepared := flag.Int("prepared", 0, "prepared-statement mode: measure a prepared-vs-unprepared point-query ladder up to N clients")
 	pout := flag.String("pout", "BENCH_8.json", "prepared-ladder report path (with -prepared; empty disables the file)")
+	netMode := flag.Bool("net", false, "network mode: drive the -clients ladder through aimserver over loopback instead of in-process")
+	nout := flag.String("nout", "BENCH_9.json", "network-ladder report path (with -net; empty disables the file)")
 	flag.Parse()
+
+	if *netMode {
+		n := *clients
+		if n == 0 {
+			n = 8
+		}
+		if err := runNetBench(n, *scale, *duration, *nout, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aimbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *prepared > 0 {
 		if err := runPreparedLadder(*prepared, *scale, *duration, *pout, os.Stdout); err != nil {

@@ -1,0 +1,233 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/aimnet"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netproto"
+	"repro/internal/netserver"
+	"repro/internal/testdata"
+)
+
+// Network-throughput mode (-net): the same mixed example workload as
+// BENCH_5, but driven through aimserver over loopback instead of
+// in-process cursors — so the measured overhead is the frame protocol,
+// the per-session goroutines, and admission control under connection
+// counts far beyond the statement-slot capacity. A ladder of client
+// counts (1, 8, 64, N) runs twice per rung: once over the wire and
+// once in-process against the same database, so BENCH_9.json shows the
+// network tax directly. Above the statement-slot capacity the server
+// sheds with typed overload errors and clients retry with jittered
+// backoff honoring the retry-after hint; the report counts both the
+// server-side sheds and the client-observed ones — the point being
+// that p99 stays bounded instead of collapsing into queue meltdown.
+
+// netPoint is one rung of the network ladder.
+type netPoint struct {
+	Clients    int     `json:"clients"`
+	Queries    int     `json:"queries"`
+	QPS        float64 `json:"qps"`
+	P50ms      float64 `json:"p50_ms"`
+	P99ms      float64 `json:"p99_ms"`
+	ShedsSrv   uint64  `json:"sheds_server"`
+	ShedsSeen  uint64  `json:"sheds_client"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+// netBenchReport is the JSON artifact of one -net run (BENCH_9).
+type netBenchReport struct {
+	Bench         string       `json:"bench"`
+	Workload      string       `json:"workload"`
+	DurationSec   float64      `json:"duration_s"`
+	Scale         int          `json:"scale"`
+	MaxSessions   int          `json:"max_sessions"`
+	MaxStatements int          `json:"max_statements"`
+	Window        uint32       `json:"stream_window"`
+	Points        []netPoint   `json:"points"`
+	Baseline      []benchPoint `json:"baseline_inprocess"`
+}
+
+// runNetBench measures the loopback ladder and the in-process baseline
+// over one shared database, writing BENCH_9.json.
+func runNetBench(maxClients, scale int, duration time.Duration, outPath string, w io.Writer) error {
+	if maxClients < 1 {
+		return fmt.Errorf("netbench: -clients must be >= 1, got %d", maxClients)
+	}
+	ladder := []int{}
+	for _, c := range []int{1, 8, 64, maxClients} {
+		if c <= maxClients && (len(ladder) == 0 || c > ladder[len(ladder)-1]) {
+			ladder = append(ladder, c)
+		}
+	}
+
+	cfg := testdata.GenConfig{
+		Departments: 60 * scale, ProjsPerDept: 6, MembersPerProj: 8,
+		EquipPerDept: 3, Seed: 42,
+	}
+	db, err := core.BenchOffice(cfg, engine.Options{})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	queries := core.BenchQueries()
+
+	const maxStatements = 64
+	srv := netserver.New(db, netserver.Options{
+		MaxSessions:   maxClients + 16,
+		MaxStatements: maxStatements,
+		StmtQueueWait: 50 * time.Millisecond,
+		RetryAfter:    2 * time.Millisecond,
+	})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	rep := netBenchReport{
+		Bench:         "BENCH_9 network throughput over loopback",
+		Workload:      "Examples 1-6, 8 round-robin (aimnet streaming Query vs in-process QueryRows)",
+		DurationSec:   duration.Seconds(),
+		Scale:         scale,
+		MaxSessions:   maxClients + 16,
+		MaxStatements: maxStatements,
+		Window:        128,
+	}
+	fmt.Fprintf(w, "\n================ network throughput over loopback (%s per rung) ================\n\n", duration)
+	fmt.Fprintf(w, "server: %d statement slots, %d max sessions; overload shed + client retry above capacity\n\n",
+		maxStatements, maxClients+16)
+	fmt.Fprintf(w, "%8s %10s %12s %10s %10s %12s | %12s %10s\n",
+		"clients", "queries", "qps", "p50 ms", "p99 ms", "sheds", "local qps", "net tax")
+	for _, clients := range ladder {
+		base, err := measurePoint(db, queries, clients, duration)
+		if err != nil {
+			return err
+		}
+		rep.Baseline = append(rep.Baseline, base)
+		pt, err := measureNetPoint(srv, queries, clients, duration)
+		if err != nil {
+			return err
+		}
+		rep.Points = append(rep.Points, pt)
+		tax := "-"
+		if pt.QPS > 0 {
+			tax = fmt.Sprintf("%.2fx", base.QPS/pt.QPS)
+		}
+		fmt.Fprintf(w, "%8d %10d %12.1f %10.3f %10.3f %12d | %12.1f %10s\n",
+			pt.Clients, pt.Queries, pt.QPS, pt.P50ms, pt.P99ms, pt.ShedsSrv, base.QPS, tax)
+	}
+
+	if outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("netbench: writing report: %w", err)
+		}
+		fmt.Fprintf(w, "\nreport written to %s\n", outPath)
+	}
+	return nil
+}
+
+// measureNetPoint runs one rung: `clients` connections stream the
+// workload over loopback for the given duration. Overload sheds that
+// survive the client's own retries are counted and the query is
+// retried — a shed is flow control, not a failure.
+func measureNetPoint(srv *netserver.Server, queries []core.ExampleQuery, clients int, duration time.Duration) (netPoint, error) {
+	before := srv.Stats()
+	conns := make([]*aimnet.Conn, clients)
+	for i := range conns {
+		c, err := aimnet.Dial(srv.Addr(), aimnet.Options{Client: "aimbench"})
+		if err != nil {
+			return netPoint{}, fmt.Errorf("netbench: dial %d: %w", i, err)
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+
+	deadline := time.Now().Add(duration)
+	lats := make([][]time.Duration, clients)
+	sheds := make([]uint64, clients)
+	rows := make([]uint64, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn := conns[c]
+			for i := c; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				start := time.Now()
+				n, err := drainOneNet(conn, q.Text)
+				if err != nil {
+					if errors.Is(err, netproto.ErrOverloaded) {
+						// Typed shed after client-side retries: back off
+						// once more and keep going.
+						sheds[c]++
+						continue
+					}
+					errs[c] = fmt.Errorf("netbench client %d %s: %v", c, q.ID, err)
+					return
+				}
+				rows[c] += n
+				lats[c] = append(lats[c], time.Since(start))
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return netPoint{}, err
+		}
+	}
+
+	var all []time.Duration
+	var shedSeen, rowsTotal uint64
+	for c := 0; c < clients; c++ {
+		all = append(all, lats[c]...)
+		shedSeen += sheds[c]
+		rowsTotal += rows[c]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	after := srv.Stats()
+	return netPoint{
+		Clients:    clients,
+		Queries:    len(all),
+		QPS:        float64(len(all)) / duration.Seconds(),
+		P50ms:      percentileMs(all, 0.50),
+		P99ms:      percentileMs(all, 0.99),
+		ShedsSrv:   after.ShedStmts - before.ShedStmts,
+		ShedsSeen:  shedSeen,
+		RowsPerSec: float64(rowsTotal) / duration.Seconds(),
+	}, nil
+}
+
+// drainOneNet streams one query over the wire to completion.
+func drainOneNet(conn *aimnet.Conn, q string) (uint64, error) {
+	ctx := context.Background()
+	rows, err := conn.Query(ctx, q)
+	if err != nil {
+		return 0, err
+	}
+	for rows.Next() {
+	}
+	n := rows.N()
+	err = rows.Err()
+	rows.Close()
+	return n, err
+}

@@ -1,0 +1,110 @@
+// Command aimserver serves an AIM-II database over the netproto wire
+// protocol so any number of aimnet clients (including aimsql -connect)
+// can share one engine.
+//
+// Usage:
+//
+//	aimserver [-db DIR] [-addr HOST:PORT] [-demo] [flags]
+//
+// Without -db the database is in-memory and vanishes on exit. -demo
+// preloads the paper's office fixtures. The server applies admission
+// control (-max-sessions, -max-stmts with a bounded wait queue) and
+// sheds excess load with typed overload errors carrying a retry-after
+// hint; -stmt-timeout and -idle-timeout bound statements and idle
+// sessions.
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting,
+// refuses new statements, lets in-flight ones finish up to
+// -drain-timeout (then cancels them), tears every session down with
+// its transaction rolled back and zero pinned pages, checkpoints the
+// WAL, and closes the engine.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	aim "repro"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netserver"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (empty = in-memory)")
+	addr := flag.String("addr", "127.0.0.1:4477", "listen address")
+	demo := flag.Bool("demo", false, "preload the paper's office fixtures")
+	maxSessions := flag.Int("max-sessions", 256, "max concurrently open sessions")
+	maxStmts := flag.Int("max-stmts", 64, "max concurrently executing statements")
+	stmtTimeout := flag.Duration("stmt-timeout", 0, "per-statement timeout (0 = none)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap sessions idle this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace for in-flight statements on shutdown")
+	flag.Parse()
+
+	var eng *engine.DB
+	if *demo {
+		if *dir != "" {
+			fmt.Fprintln(os.Stderr, "aimserver: -demo uses an in-memory database; -db ignored")
+		}
+		var err error
+		eng, err = core.Office()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		db, err := aim.Open(aim.Options{Dir: *dir})
+		if err != nil {
+			fatal(err)
+		}
+		eng = db.Engine()
+	}
+
+	srv := netserver.New(eng, netserver.Options{
+		MaxSessions:   *maxSessions,
+		MaxStatements: *maxStmts,
+		StmtTimeout:   *stmtTimeout,
+		IdleTimeout:   *idleTimeout,
+		DrainTimeout:  *drainTimeout,
+	})
+	if err := srv.Start(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("aimserver listening on %s (max %d sessions, %d concurrent statements)\n",
+		srv.Addr(), *maxSessions, *maxStmts)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if err := waitAndDrain(srv, eng, sig, *drainTimeout); err != nil {
+		fatal(err)
+	}
+}
+
+// waitAndDrain blocks until a shutdown signal, then runs the full exit
+// sequence: drain sessions, checkpoint the WAL, close the engine.
+// Split out of main so tests can drive it with a fake signal channel.
+func waitAndDrain(srv *netserver.Server, eng *engine.DB, sig <-chan os.Signal, drainTimeout time.Duration) error {
+	s := <-sig
+	fmt.Printf("aimserver: %v — draining (%v grace)\n", s, drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Printf("aimserver: drained (%d sessions served, %d statements, %d rows streamed)\n",
+		st.SessionsTotal, st.StmtsTotal, st.RowsStreamed)
+	if err := eng.WALCheckpoint(); err != nil {
+		return err
+	}
+	return eng.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aimserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/aimnet"
+	"repro/internal/engine"
+	"repro/internal/netserver"
+)
+
+// TestSignalDrainSequence drives the binary's exit path end to end:
+// serve a client, deliver SIGTERM, and verify the drain → checkpoint →
+// close sequence completes with the listener gone and the engine shut.
+func TestSignalDrainSequence(t *testing.T) {
+	eng, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := netserver.New(eng, netserver.Options{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := aimnet.Dial(srv.Addr(), aimnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, `CREATE TABLE T (A INT); INSERT INTO T VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- waitAndDrain(srv, eng, sig, 2*time.Second) }()
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain sequence failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain sequence hung")
+	}
+	// The listener is gone and every session was torn down.
+	if _, err := aimnet.Dial(srv.Addr(), aimnet.Options{MaxRetries: -1, DialTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+	st := srv.Stats()
+	if st.SessionsOpen != 0 {
+		t.Fatalf("%d sessions open after shutdown", st.SessionsOpen)
+	}
+	if st.SessionsTotal == 0 || st.StmtsTotal == 0 {
+		t.Fatalf("implausible stats after serving traffic: %+v", st)
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	aimsql [-db DIR] [-f SCRIPT] [-demo] [-timeout DUR]
+//	aimsql [-db DIR] [-f SCRIPT] [-demo] [-timeout DUR] [-connect HOST:PORT]
 //
 // Without -db the database is in-memory and vanishes on exit. With
 // -f the script file is executed and the shell exits; otherwise
@@ -11,6 +11,9 @@
 // preloads the paper's office fixtures (Tables 1-8). -timeout bounds
 // each statement's execution; a statement past its deadline fails
 // (and, if mutating, rolls back) without killing the session.
+// -connect runs the same shell against a live aimserver instead of an
+// embedded engine: statements ship over the wire, SELECTs stream row
+// by row, and the transaction lives server-side.
 package main
 
 import (
@@ -23,7 +26,8 @@ import (
 	"strings"
 	"time"
 
-	"repro"
+	aim "repro"
+	"repro/aimnet"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/sql"
@@ -37,8 +41,34 @@ func main() {
 	dir := flag.String("db", "", "database directory (empty = in-memory)")
 	script := flag.String("f", "", "execute this script file and exit")
 	demo := flag.Bool("demo", false, "preload the paper's office fixtures")
+	connect := flag.String("connect", "", "connect to an aimserver at host:port instead of embedding the engine")
 	flag.DurationVar(&stmtTimeout, "timeout", 0, "per-statement timeout (0 = none)")
 	flag.Parse()
+
+	if *connect != "" {
+		if *dir != "" || *demo {
+			fmt.Fprintln(os.Stderr, "aimsql: -connect uses the server's database; -db/-demo ignored")
+		}
+		c, err := aimnet.Dial(*connect, aimnet.Options{Client: "aimsql"})
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		r := &remote{c: c}
+		if *script != "" {
+			data, err := os.ReadFile(*script)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runScript(r, string(data)); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		fmt.Printf("AIM-II NF² SQL shell — connected to %s (session %d), \\q quits\n", *connect, c.SessionID())
+		repl(r, os.Stdin)
+		return
+	}
 
 	var db *aim.DB
 	var err error
@@ -89,6 +119,31 @@ type session struct {
 // inTxn reports whether a transaction is open.
 func (s *session) inTxn() bool { return s.tx != nil }
 
+// exec runs one parsed statement, printing its results.
+func (s *session) exec(st sql.Stmt) error { return execStmt(s, st) }
+
+// abort rolls back the open transaction, if any.
+func (s *session) abort() {
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+	}
+}
+
+// shell abstracts where statements execute: a session runs them on the
+// embedded engine, a remote shell (-connect) ships them to an
+// aimserver over the wire. The REPL and script runner work against
+// either.
+type shell interface {
+	// inTxn reports whether the shell has an open transaction (the
+	// txn> prompt).
+	inTxn() bool
+	// exec runs one parsed statement, printing its results.
+	exec(st sql.Stmt) error
+	// abort rolls back the open transaction, if any.
+	abort()
+}
+
 // wrap adapts an engine handle opened by core.Office into the public
 // facade (same underlying type).
 func wrap(eng *engine.DB) *aim.DB { return aim.FromEngine(eng) }
@@ -111,23 +166,19 @@ func execCtx() (context.Context, context.CancelFunc) {
 // first error. Script mode (-f) uses it: a failure exits nonzero. A
 // script that ends with a transaction still open rolls it back and
 // fails.
-func runScript(s *session, script string) error {
+func runScript(s shell, script string) error {
 	stmts, err := sql.ParseScript(script)
 	if err != nil {
 		return err
 	}
 	for _, st := range stmts {
-		if err := execStmt(s, st); err != nil {
-			if s.tx != nil {
-				s.tx.Rollback()
-				s.tx = nil
-			}
+		if err := s.exec(st); err != nil {
+			s.abort()
 			return err
 		}
 	}
-	if s.tx != nil {
-		s.tx.Rollback()
-		s.tx = nil
+	if s.inTxn() {
+		s.abort()
 		return fmt.Errorf("script ended with an open transaction (missing COMMIT or ROLLBACK); rolled back")
 	}
 	return nil
@@ -138,14 +189,14 @@ func runScript(s *session, script string) error {
 // still run — a failed statement has been rolled back (or, inside a
 // transaction, has discarded only its own buffered effects), so the
 // session is safe to continue.
-func runChunk(s *session, chunk string) {
+func runChunk(s shell, chunk string) {
 	stmts, err := sql.ParseScript(chunk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		return
 	}
 	for _, st := range stmts {
-		if err := execStmt(s, st); err != nil {
+		if err := s.exec(st); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 		}
 	}
@@ -252,7 +303,7 @@ func printResult(r aim.Result) {
 	}
 }
 
-func repl(s *session, in io.Reader) {
+func repl(s shell, in io.Reader) {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -269,8 +320,7 @@ func repl(s *session, in io.Reader) {
 		if !sc.Scan() {
 			fmt.Println()
 			if s.inTxn() {
-				s.tx.Rollback()
-				s.tx = nil
+				s.abort()
 				fmt.Fprintln(os.Stderr, "open transaction rolled back")
 			}
 			return
@@ -280,8 +330,7 @@ func repl(s *session, in io.Reader) {
 		switch trimmed {
 		case `\q`, `\quit`, "exit", "quit":
 			if s.inTxn() {
-				s.tx.Rollback()
-				s.tx = nil
+				s.abort()
 				fmt.Fprintln(os.Stderr, "open transaction rolled back")
 			}
 			return

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	aim "repro"
+	"repro/aimnet"
+	"repro/internal/sql"
+)
+
+// remote is the shell over a live aimserver (-connect). Statements are
+// parsed locally (for chunking and the txn prompt) but execute on the
+// server: SELECTs stream row by row over the wire, everything else
+// goes through Exec with materialized results. The transaction lives
+// server-side; the prompt tracks the TxnOpen flag every response
+// carries.
+type remote struct {
+	c *aimnet.Conn
+}
+
+func (r *remote) inTxn() bool { return r.c.TxnOpen() }
+
+func (r *remote) abort() {
+	if r.c.TxnOpen() {
+		r.c.Exec(context.Background(), "ROLLBACK")
+	}
+}
+
+func (r *remote) exec(st sql.Stmt) error {
+	ctx, cancel := execCtx()
+	defer cancel()
+	if _, ok := st.Statement.(*sql.Select); ok {
+		return r.streamSelect(ctx, st.Text)
+	}
+	results, err := r.c.Exec(ctx, st.Text)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		printNetResult(res)
+	}
+	return nil
+}
+
+// streamSelect prints rows as they arrive from the server, mirroring
+// the local shell's streaming output.
+func (r *remote) streamSelect(ctx context.Context, text string) error {
+	rows, err := r.c.Query(ctx, text)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	names := make([]string, len(rows.Type().Attrs))
+	for i, a := range rows.Type().Attrs {
+		names[i] = a.Name
+	}
+	fmt.Println("-- " + strings.Join(names, " | "))
+	n := 0
+	for rows.Next() {
+		fmt.Println(rows.Tuple())
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	fmt.Printf("(%d tuple(s))\n", n)
+	return nil
+}
+
+func printNetResult(res aimnet.Result) {
+	switch {
+	case res.Table != nil:
+		fmt.Print(aim.Format("RESULT", res.Type, res.Table))
+		fmt.Printf("(%d tuple(s))\n", len(res.Table.Tuples))
+	case res.Message != "":
+		fmt.Println(res.Message)
+	default:
+		fmt.Printf("%d tuple(s) affected\n", res.Count)
+	}
+}

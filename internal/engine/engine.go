@@ -182,6 +182,10 @@ type DB struct {
 	checkpoints atomic.Uint64
 	ckptErr     atomic.Pointer[string]
 
+	// netCtr is the network front end's counter block, created lazily
+	// by NetCounters() when a server attaches (see netstats.go).
+	netCtr atomic.Pointer[NetCounters]
+
 	// epoch is the catalog epoch: every change to what a plan may have
 	// bound against — DDL, index create/drop/rebuild, index
 	// quarantine/degradation, runtime reload — bumps it, detaching

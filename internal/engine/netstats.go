@@ -1,0 +1,115 @@
+package engine
+
+import "sync/atomic"
+
+// NetCounters are the network front end's live counters. The server
+// (internal/netserver) increments them lock-free while sessions run;
+// Stats() and the protocol INFO request read consistent snapshots.
+// They live in the engine so that aim.Stats() can surface them next to
+// the buffer, WAL and plan-cache counters without the aim package
+// depending on the server.
+//
+// Monotonicity contract (asserted by the stats hammer test): every
+// *Total counter and every shed/drain/kill counter only grows; the
+// *Open/InFlight/QueueDepth gauges move both ways but never go
+// negative.
+type NetCounters struct {
+	SessionsOpen  atomic.Int64  // currently open sessions
+	SessionsPeak  atomic.Int64  // high-water mark of SessionsOpen
+	SessionsTotal atomic.Uint64 // sessions ever admitted
+
+	StmtsInFlight atomic.Int64  // statements currently executing
+	StmtsTotal    atomic.Uint64 // statements ever started
+	QueueDepth    atomic.Int64  // statements waiting for an execution slot
+	QueueWaits    atomic.Uint64 // statements that had to queue before running
+
+	ShedSessions atomic.Uint64 // connections refused by admission control
+	ShedStmts    atomic.Uint64 // statements shed with ErrOverloaded
+	Drained      atomic.Uint64 // sessions closed by graceful drain
+	Killed       atomic.Uint64 // sessions torn down on error (dead peer, torn frame, timeout)
+	Cancels      atomic.Uint64 // cancel frames honored
+
+	BytesIn      atomic.Uint64 // payload bytes read from clients
+	BytesOut     atomic.Uint64 // payload bytes written to clients
+	RowsStreamed atomic.Uint64 // result rows sent over row streams
+}
+
+// NoteSessionOpen records an admitted session, maintaining the peak.
+func (c *NetCounters) NoteSessionOpen() {
+	c.SessionsTotal.Add(1)
+	n := c.SessionsOpen.Add(1)
+	for {
+		peak := c.SessionsPeak.Load()
+		if n <= peak || c.SessionsPeak.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+// NetStats is a point-in-time snapshot of NetCounters.
+type NetStats struct {
+	SessionsOpen  int64
+	SessionsPeak  int64
+	SessionsTotal uint64
+
+	StmtsInFlight int64
+	StmtsTotal    uint64
+	QueueDepth    int64
+	QueueWaits    uint64
+
+	ShedSessions uint64
+	ShedStmts    uint64
+	Drained      uint64
+	Killed       uint64
+	Cancels      uint64
+
+	BytesIn      uint64
+	BytesOut     uint64
+	RowsStreamed uint64
+}
+
+// Snapshot reads the counters. Each field is read atomically; the
+// snapshot as a whole is not a consistent cut, which is fine for
+// monitoring counters.
+func (c *NetCounters) Snapshot() NetStats {
+	return NetStats{
+		SessionsOpen:  c.SessionsOpen.Load(),
+		SessionsPeak:  c.SessionsPeak.Load(),
+		SessionsTotal: c.SessionsTotal.Load(),
+		StmtsInFlight: c.StmtsInFlight.Load(),
+		StmtsTotal:    c.StmtsTotal.Load(),
+		QueueDepth:    c.QueueDepth.Load(),
+		QueueWaits:    c.QueueWaits.Load(),
+		ShedSessions:  c.ShedSessions.Load(),
+		ShedStmts:     c.ShedStmts.Load(),
+		Drained:       c.Drained.Load(),
+		Killed:        c.Killed.Load(),
+		Cancels:       c.Cancels.Load(),
+		BytesIn:       c.BytesIn.Load(),
+		BytesOut:      c.BytesOut.Load(),
+		RowsStreamed:  c.RowsStreamed.Load(),
+	}
+}
+
+// NetCounters returns the database's network counters, creating them
+// on first use. The server attaches through here so that aim.Stats()
+// and the INFO request observe the same counters.
+func (db *DB) NetCounters() *NetCounters {
+	if c := db.netCtr.Load(); c != nil {
+		return c
+	}
+	fresh := &NetCounters{}
+	if db.netCtr.CompareAndSwap(nil, fresh) {
+		return fresh
+	}
+	return db.netCtr.Load()
+}
+
+// NetStats snapshots the network counters; all-zero when no server has
+// ever attached.
+func (db *DB) NetStats() NetStats {
+	if c := db.netCtr.Load(); c != nil {
+		return c.Snapshot()
+	}
+	return NetStats{}
+}

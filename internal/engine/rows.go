@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/exec"
 	"repro/internal/model"
@@ -25,15 +26,25 @@ import (
 // calls and none survive Close, so a Rows abandoned without Close
 // leaks nothing (Close still should be called: it records the
 // statement's access statistics).
+//
+// Close is idempotent and safe to call from a different goroutine than
+// the one iterating: session teardown, context cancellation and server
+// drain can all fire Close concurrently with an in-flight Next, and
+// exactly one of them releases the cursor. A Close racing a Next
+// blocks until that Next finishes (cancel the context first to make
+// that prompt); it never frees the cursor under the iterator's feet.
 type Rows struct {
 	db   *DB
-	cur  *exec.Cursor
 	text string
 	tt   *model.TableType
-	tup  model.Tuple
-	err  error
-	rows int
 
+	// mu serializes Next/Scan/Close/Err and guards every mutable field
+	// below; see the teardown note above.
+	mu     sync.Mutex
+	cur    *exec.Cursor
+	tup    model.Tuple
+	err    error
+	rows   int
 	start  statsMark
 	closed bool
 }
@@ -154,6 +165,8 @@ func (db *DB) healIfPanic(err error) error {
 // of the result, on error (see Err) and after Close; the cursor closes
 // itself in all three cases.
 func (r *Rows) Next() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.closed || r.err != nil {
 		return false
 	}
@@ -161,7 +174,7 @@ func (r *Rows) Next() bool {
 	if ferr := r.db.fatal(); ferr != nil {
 		r.db.healMu.RUnlock()
 		r.err = ferr
-		r.Close()
+		r.closeLocked()
 		return false
 	}
 	var tup model.Tuple
@@ -174,11 +187,11 @@ func (r *Rows) Next() bool {
 	r.db.healMu.RUnlock()
 	if err != nil {
 		r.err = r.db.healIfPanic(err)
-		r.Close()
+		r.closeLocked()
 		return false
 	}
 	if !ok {
-		r.Close()
+		r.closeLocked()
 		return false
 	}
 	r.tup = tup
@@ -187,18 +200,28 @@ func (r *Rows) Next() bool {
 }
 
 // Tuple returns the current result tuple (valid after a true Next).
-func (r *Rows) Tuple() model.Tuple { return r.tup }
+func (r *Rows) Tuple() model.Tuple {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tup
+}
 
 // Type returns the result schema.
 func (r *Rows) Type() *model.TableType { return r.tt }
 
 // Err returns the error that terminated the iteration, if any.
-func (r *Rows) Err() error { return r.err }
+func (r *Rows) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
 
 // Scan copies the current tuple's attributes into dest values, which
 // must be *model.Value, *int64, *int, *float64, *string, *bool or
 // **model.Table and match the result arity.
 func (r *Rows) Scan(dest ...any) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.tup == nil {
 		return fmt.Errorf("engine: Scan called without a successful Next")
 	}
@@ -257,10 +280,20 @@ func (r *Rows) Scan(dest ...any) error {
 }
 
 // Close ends the iteration, releases the cursor and records the
-// statement's access statistics (LastStmtStats). Idempotent.
+// statement's access statistics (LastStmtStats). Idempotent, and safe
+// to call concurrently with Next (and with other Close calls) from
+// any goroutine: exactly one caller performs the teardown.
 func (r *Rows) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closeLocked()
+	return nil
+}
+
+// closeLocked is the single teardown path; the caller holds r.mu.
+func (r *Rows) closeLocked() {
 	if r.closed {
-		return nil
+		return
 	}
 	r.closed = true
 	r.db.healMu.RLock()
@@ -269,5 +302,4 @@ func (r *Rows) Close() error {
 	r.db.healMu.RUnlock()
 	stats.Rows = r.rows
 	r.db.noteStmtStats(stats)
-	return nil
 }

@@ -1,0 +1,282 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// The payload codec: append-style encoders over a byte slice and a
+// consuming decoder that latches its first error. Values are
+// self-describing (kind tag per value, tables carried recursively), so
+// a Row frame can be decoded without the schema in hand; table types
+// are encoded structurally for the RowHeader and Results frames.
+
+type enc struct{ b []byte }
+
+func (e *enc) uvarint(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)    { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) byte(v byte)       { e.b = append(e.b, v) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+func (e *enc) string(s string)   { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) float(f float64)   { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(f)) }
+
+type dec struct {
+	b   []byte
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("netproto: "+format, args...)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("bad uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail("bad varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.fail("truncated payload")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) bool() bool { return d.byte() != 0 }
+
+func (d *dec) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("string length %d exceeds payload", n)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}
+
+func (d *dec) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+// done checks that the payload was consumed exactly.
+func (d *dec) done() error {
+	if d.err == nil && len(d.b) != 0 {
+		d.fail("%d trailing bytes", len(d.b))
+	}
+	return d.err
+}
+
+// --- values --------------------------------------------------------------
+
+// maxDepth bounds value and type nesting so a hostile payload cannot
+// recurse the decoder into a stack overflow.
+const maxDepth = 64
+
+func (e *enc) value(v model.Value) error { return e.valueDepth(v, 0) }
+
+func (e *enc) valueDepth(v model.Value, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("netproto: value nesting exceeds %d", maxDepth)
+	}
+	if model.IsNull(v) {
+		e.byte(byte(model.KindInvalid))
+		return nil
+	}
+	switch x := v.(type) {
+	case model.Int:
+		e.byte(byte(model.KindInt))
+		e.varint(int64(x))
+	case model.Float:
+		e.byte(byte(model.KindFloat))
+		e.float(float64(x))
+	case model.Str:
+		e.byte(byte(model.KindString))
+		e.string(string(x))
+	case model.Bool:
+		e.byte(byte(model.KindBool))
+		e.bool(bool(x))
+	case model.Time:
+		e.byte(byte(model.KindTime))
+		e.varint(int64(x))
+	case *model.Table:
+		e.byte(byte(model.KindTable))
+		e.bool(x.Ordered)
+		e.uvarint(uint64(len(x.Tuples)))
+		for _, tup := range x.Tuples {
+			if err := e.tupleDepth(tup, depth+1); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("netproto: cannot encode value of kind %s", v.Kind())
+	}
+	return nil
+}
+
+func (e *enc) tuple(t model.Tuple) error { return e.tupleDepth(t, 0) }
+
+func (e *enc) tupleDepth(t model.Tuple, depth int) error {
+	e.uvarint(uint64(len(t)))
+	for _, v := range t {
+		if err := e.valueDepth(v, depth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *dec) value() model.Value { return d.valueDepth(0) }
+
+func (d *dec) valueDepth(depth int) model.Value {
+	if depth > maxDepth {
+		d.fail("value nesting exceeds %d", maxDepth)
+		return nil
+	}
+	switch k := model.Kind(d.byte()); k {
+	case model.KindInvalid:
+		return model.Null{}
+	case model.KindInt:
+		return model.Int(d.varint())
+	case model.KindFloat:
+		return model.Float(d.float())
+	case model.KindString:
+		return model.Str(d.string())
+	case model.KindBool:
+		return model.Bool(d.bool())
+	case model.KindTime:
+		return model.Time(d.varint())
+	case model.KindTable:
+		tbl := &model.Table{Ordered: d.bool()}
+		n := d.uvarint()
+		if n > uint64(len(d.b))+1 {
+			d.fail("table tuple count %d exceeds payload", n)
+			return nil
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			tbl.Append(d.tupleDepth(depth + 1))
+		}
+		return tbl
+	default:
+		d.fail("unknown value kind tag %d", k)
+		return nil
+	}
+}
+
+func (d *dec) tuple() model.Tuple { return d.tupleDepth(0) }
+
+func (d *dec) tupleDepth(depth int) model.Tuple {
+	n := d.uvarint()
+	if n > uint64(len(d.b))+1 {
+		d.fail("tuple arity %d exceeds payload", n)
+		return nil
+	}
+	tup := make(model.Tuple, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		tup = append(tup, d.valueDepth(depth))
+	}
+	return tup
+}
+
+// --- table types ---------------------------------------------------------
+
+func (e *enc) tableType(tt *model.TableType) error { return e.tableTypeDepth(tt, 0) }
+
+func (e *enc) tableTypeDepth(tt *model.TableType, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("netproto: type nesting exceeds %d", maxDepth)
+	}
+	if tt == nil {
+		e.bool(false)
+		return nil
+	}
+	e.bool(true)
+	e.bool(tt.Ordered)
+	e.uvarint(uint64(len(tt.Attrs)))
+	for _, a := range tt.Attrs {
+		e.string(a.Name)
+		e.byte(byte(a.Type.Kind))
+		if a.Type.Kind == model.KindTable {
+			if err := e.tableTypeDepth(a.Type.Table, depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *dec) tableType() *model.TableType { return d.tableTypeDepth(0) }
+
+func (d *dec) tableTypeDepth(depth int) *model.TableType {
+	if depth > maxDepth {
+		d.fail("type nesting exceeds %d", maxDepth)
+		return nil
+	}
+	if !d.bool() {
+		return nil
+	}
+	tt := &model.TableType{Ordered: d.bool()}
+	n := d.uvarint()
+	if n > uint64(len(d.b))+1 {
+		d.fail("attr count %d exceeds payload", n)
+		return nil
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		a := model.Attr{Name: d.string()}
+		a.Type.Kind = model.Kind(d.byte())
+		if a.Type.Kind == model.KindTable {
+			a.Type.Table = d.tableTypeDepth(depth + 1)
+		}
+		tt.Attrs = append(tt.Attrs, a)
+	}
+	return tt
+}

@@ -1,0 +1,153 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dberr"
+	"repro/internal/engine"
+)
+
+// ErrCode classifies a failure carried in an Error frame. The codes
+// mirror the engine's error taxonomy so a client can make the same
+// decisions a local caller would: retry a write conflict, back off on
+// overload, report a quarantined object, give up on a drain.
+type ErrCode uint8
+
+const (
+	CodeOther         ErrCode = iota // unclassified server-side error
+	CodeOverloaded                   // admission control shed the request; retry after the hint
+	CodeDraining                     // server is shutting down; reconnect elsewhere
+	CodeWriteConflict                // first-writer-wins conflict (engine.ErrWriteConflict)
+	CodeQuarantined                  // statement touched a quarantined object
+	CodePanic                        // recovered executor panic (engine.PanicError)
+	CodeCanceled                     // statement canceled (context.Canceled)
+	CodeDeadline                     // statement deadline exceeded (context.DeadlineExceeded)
+	CodeTxnDone                      // operation on a finished transaction
+	CodeCorrupt                      // durable corruption detected (dberr.ErrCorrupt)
+	CodeProtocol                     // malformed or out-of-order frame
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeDraining:
+		return "draining"
+	case CodeWriteConflict:
+		return "write-conflict"
+	case CodeQuarantined:
+		return "quarantined"
+	case CodePanic:
+		return "panic"
+	case CodeCanceled:
+		return "canceled"
+	case CodeDeadline:
+		return "deadline"
+	case CodeTxnDone:
+		return "txn-done"
+	case CodeCorrupt:
+		return "corrupt"
+	case CodeProtocol:
+		return "protocol"
+	default:
+		return "error"
+	}
+}
+
+// ErrOverloaded is the sentinel matched by errors.Is when admission
+// control sheds a connection or statement. The concrete error is a
+// *ServerError whose RetryAfter carries the server's backoff hint.
+var ErrOverloaded = errors.New("netproto: server overloaded")
+
+// ErrDraining is the sentinel matched by errors.Is when the server is
+// shutting down and no longer admits work.
+var ErrDraining = errors.New("netproto: server draining")
+
+// ServerError is a failure reported by the server over the wire. Is()
+// maps the code back onto the sentinel a local caller would have seen,
+// so errors.Is(err, engine.ErrWriteConflict), errors.Is(err,
+// engine.ErrQuarantined), errors.Is(err, context.Canceled) and
+// errors.Is(err, netproto.ErrOverloaded) all work across the wire.
+type ServerError struct {
+	Code    ErrCode
+	Message string
+	// RetryAfter is the server's backoff hint for CodeOverloaded (and
+	// CodeDraining); zero otherwise.
+	RetryAfter time.Duration
+}
+
+func (e *ServerError) Error() string {
+	if e.Code == CodeOther {
+		return e.Message
+	}
+	return fmt.Sprintf("%s (%s)", e.Message, e.Code)
+}
+
+// Is maps error codes onto the sentinels of the embedded engine.
+func (e *ServerError) Is(target error) bool {
+	switch e.Code {
+	case CodeOverloaded:
+		return target == ErrOverloaded
+	case CodeDraining:
+		return target == ErrDraining
+	case CodeWriteConflict:
+		return target == engine.ErrWriteConflict
+	case CodeQuarantined:
+		return target == engine.ErrQuarantined
+	case CodeCanceled:
+		return target == context.Canceled
+	case CodeDeadline:
+		return target == context.DeadlineExceeded
+	case CodeTxnDone:
+		return target == engine.ErrTxnDone
+	case CodeCorrupt:
+		return target == dberr.ErrCorrupt
+	}
+	return false
+}
+
+// Classify maps an engine-side error to its wire code. The detail
+// string carries code-specific context (the panicking statement's text
+// for CodePanic).
+func Classify(err error) (code ErrCode, detail string) {
+	var pe *engine.PanicError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded, ""
+	case errors.Is(err, ErrDraining):
+		return CodeDraining, ""
+	case errors.Is(err, engine.ErrWriteConflict):
+		return CodeWriteConflict, ""
+	case errors.Is(err, engine.ErrQuarantined):
+		return CodeQuarantined, ""
+	case errors.As(err, &pe):
+		return CodePanic, pe.Stmt
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled, ""
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline, ""
+	case errors.Is(err, engine.ErrTxnDone):
+		return CodeTxnDone, ""
+	case errors.Is(err, dberr.ErrCorrupt):
+		return CodeCorrupt, ""
+	}
+	return CodeOther, ""
+}
+
+// DecodeWireError reconstructs the client-side error for a decoded
+// Error frame: recovered panics come back as *engine.PanicError (so
+// errors.As works like it does in-process), everything else as a
+// *ServerError whose Is() maps onto the engine sentinels.
+func (m *ErrorMsg) DecodeWireError() error {
+	if m.Code == CodePanic {
+		return &engine.PanicError{Stmt: m.Detail, Value: m.Message}
+	}
+	return &ServerError{
+		Code:       m.Code,
+		Message:    m.Message,
+		RetryAfter: time.Duration(m.RetryAfterMs) * time.Millisecond,
+	}
+}

@@ -1,0 +1,118 @@
+// Package netproto defines the AIM wire protocol: length-prefixed
+// frames carrying a small set of typed messages between an aimnet
+// client and an aimserver session.
+//
+// Frame layout (all integers big-endian unless noted):
+//
+//	+----------------+----------+------------------+
+//	| length uint32  | type u8  | payload ...      |
+//	+----------------+----------+------------------+
+//
+// length counts the type byte plus the payload, so an empty message is
+// length 1. Frames larger than MaxFrame are rejected on both sides —
+// a torn or hostile length prefix can cost at most one allocation of
+// MaxFrame bytes, never an unbounded one.
+//
+// The message payloads use the same self-describing varint encoding as
+// the storage layer (see codec.go): NF² values — including arbitrarily
+// nested tables — and table types travel losslessly, and typed error
+// frames round-trip the engine's error taxonomy (write conflicts,
+// quarantined objects, recovered panics, cancellation, overload).
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version exchanged in the handshake. A server
+// refuses clients whose major version differs.
+const Version = 1
+
+// MaxFrame bounds one frame's length field (type byte + payload).
+const MaxFrame = 16 << 20
+
+// Frame types. Client-to-server types have the high bit clear,
+// server-to-client types have it set; a peer receiving a frame from
+// the wrong direction treats it as a protocol error.
+const (
+	// Client → server.
+	TypeHello       byte = 0x01 // Hello: protocol handshake
+	TypeExec        byte = 0x02 // Exec: run a statement script, materialized results
+	TypeQuery       byte = 0x03 // Query: run one SELECT, stream the rows
+	TypePrepare     byte = 0x04 // Prepare: parse+bind a statement server-side
+	TypeStmtExec    byte = 0x05 // StmtExec: run a prepared statement by id
+	TypeStmtQuery   byte = 0x06 // StmtQuery: stream a prepared SELECT by id
+	TypeStmtClose   byte = 0x07 // StmtClose: drop a prepared statement
+	TypeFetch       byte = 0x08 // Fetch: grant row credits to the open stream
+	TypeStreamClose byte = 0x09 // StreamClose: abandon the open stream
+	TypeCancel      byte = 0x0A // Cancel: cancel the in-flight statement
+	TypeInfo        byte = 0x0B // Info: request server/session counters
+	TypeGoodbye     byte = 0x0C // Goodbye: close the session cleanly
+
+	// Server → client.
+	TypeHelloOK   byte = 0x81 // HelloOK: handshake accepted
+	TypeResults   byte = 0x82 // Results: materialized statement results
+	TypeRowHeader byte = 0x83 // RowHeader: result schema, rows follow
+	TypeRow       byte = 0x84 // Row: one result tuple
+	TypeDone      byte = 0x85 // Done: end of row stream
+	TypeError     byte = 0x86 // Error: typed failure (see err.go)
+	TypeInfoResp  byte = 0x87 // InfoResp: server/session counters
+	TypePrepared  byte = 0x88 // Prepared: prepared-statement handle
+)
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrame.
+var ErrFrameTooLarge = errors.New("netproto: frame exceeds MaxFrame")
+
+// WriteFrame writes one frame. The caller provides the payload without
+// the type byte.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload)+1))
+	hdr[4] = typ
+	// One Write call per frame: a frame is either fully queued to the
+	// socket or fails as a unit, so a failed write never leaves a half
+	// frame for the peer to misparse as the next frame's header.
+	_, err := w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadFrame reads one frame, returning its type and payload. A torn
+// stream surfaces as io.ErrUnexpectedEOF; a clean close between frames
+// as io.EOF.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("netproto: zero-length frame")
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	typ = hdr[4]
+	if n == 1 {
+		return typ, nil, nil
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}

@@ -1,0 +1,235 @@
+package netproto
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dberr"
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 4096)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: type %d len %d", i, typ, len(got))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+func TestFrameTorn(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeExec, []byte("hello world payload")); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(whole[:cut]))
+		if err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: want ErrUnexpectedEOF, got %v", cut, err)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	// A hostile length prefix must be rejected before allocation.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, TypeExec}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func nestedTable() *model.Table {
+	inner := &model.Table{Ordered: true}
+	inner.Append(model.Tuple{model.Int(1), model.Str("leader")})
+	inner.Append(model.Tuple{model.Int(2), model.Null{}})
+	outer := &model.Table{}
+	outer.Append(model.Tuple{model.Str("CGA"), inner, model.Float(3.5)})
+	return outer
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	tup := model.Tuple{
+		model.Int(-42), model.Float(2.718), model.Str("nf²"), model.Bool(true),
+		model.Time(1234567890), model.Null{}, nestedTable(),
+	}
+	var e enc
+	if err := e.tuple(tup); err != nil {
+		t.Fatal(err)
+	}
+	d := dec{b: e.b}
+	got := d.tuple()
+	if err := d.done(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tup) {
+		t.Fatalf("round trip mismatch:\n got %v\nwant %v", got, tup)
+	}
+}
+
+func TestTableTypeRoundTrip(t *testing.T) {
+	tt := model.MustTableType(false,
+		model.Attr{Name: "DNO", Type: model.AtomicType(model.KindInt)},
+		model.Attr{Name: "PROJECTS", Type: model.TableOf(true,
+			model.Attr{Name: "PNAME", Type: model.AtomicType(model.KindString)},
+			model.Attr{Name: "MEMBERS", Type: model.TableOf(false,
+				model.Attr{Name: "EMPNO", Type: model.AtomicType(model.KindInt)},
+			)},
+		)},
+	)
+	var e enc
+	if err := e.tableType(tt); err != nil {
+		t.Fatal(err)
+	}
+	d := dec{b: e.b}
+	got := d.tableType()
+	if err := d.done(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tt) {
+		t.Fatalf("type round trip mismatch:\n got %v\nwant %v", got, tt)
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	// Every message type once, through encode → decode.
+	h, err := DecodeHello((&Hello{Version: 1, Client: "test"}).Encode())
+	if err != nil || h.Version != 1 || h.Client != "test" {
+		t.Fatalf("hello: %+v %v", h, err)
+	}
+	ok, err := DecodeHelloOK((&HelloOK{Version: 1, SessionID: 7, Server: "aim"}).Encode())
+	if err != nil || ok.SessionID != 7 {
+		t.Fatalf("hellook: %+v %v", ok, err)
+	}
+	q, err := DecodeQuery((&Query{SQL: "SELECT 1", Window: 64}).Encode())
+	if err != nil || q.SQL != "SELECT 1" || q.Window != 64 {
+		t.Fatalf("query: %+v %v", q, err)
+	}
+	sp, err := (&StmtQuery{ID: 3, Window: 8, Args: []model.Value{model.Int(314), model.Str("x")}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := DecodeStmtQuery(sp)
+	if err != nil || sq.ID != 3 || len(sq.Args) != 2 || sq.Args[0] != model.Int(314) {
+		t.Fatalf("stmtquery: %+v %v", sq, err)
+	}
+	rp, err := (&Results{TxnOpen: true, Results: []Result{
+		{Count: 2, Message: "2 tuple(s) inserted"},
+		{Count: 1, Type: model.MustTableType(false, model.Attr{Name: "A", Type: model.AtomicType(model.KindInt)}), Table: func() *model.Table {
+			tb := &model.Table{}
+			tb.Append(model.Tuple{model.Int(9)})
+			return tb
+		}()},
+	}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := DecodeResults(rp)
+	if err != nil || !rs.TxnOpen || len(rs.Results) != 2 || rs.Results[1].Table.Len() != 1 {
+		t.Fatalf("results: %+v %v", rs, err)
+	}
+	dn, err := DecodeDone((&Done{Rows: 5, TxnOpen: true, Aborted: true}).Encode())
+	if err != nil || dn.Rows != 5 || !dn.Aborted {
+		t.Fatalf("done: %+v %v", dn, err)
+	}
+	ir, err := DecodeInfoResp((&InfoResp{Fields: []InfoField{{Key: "sessions_open", Val: 3}}}).Encode())
+	if err != nil || ir.Fields[0].Key != "sessions_open" || ir.Fields[0].Val != 3 {
+		t.Fatalf("info: %+v %v", ir, err)
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	cases := []struct {
+		in       error
+		wantCode ErrCode
+		sentinel error
+	}{
+		{engine.ErrWriteConflict, CodeWriteConflict, engine.ErrWriteConflict},
+		{&engine.QuarantineError{Table: "T"}, CodeQuarantined, engine.ErrQuarantined},
+		{context.Canceled, CodeCanceled, context.Canceled},
+		{context.DeadlineExceeded, CodeDeadline, context.DeadlineExceeded},
+		{engine.ErrTxnDone, CodeTxnDone, engine.ErrTxnDone},
+		{dberr.Corruptf("bad page"), CodeCorrupt, dberr.ErrCorrupt},
+	}
+	for _, c := range cases {
+		code, detail := Classify(c.in)
+		if code != c.wantCode {
+			t.Fatalf("%v: code %v want %v", c.in, code, c.wantCode)
+		}
+		m := &ErrorMsg{Code: code, Message: c.in.Error(), Detail: detail}
+		dm, err := DecodeError(m.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := dm.DecodeWireError()
+		if !errors.Is(out, c.sentinel) {
+			t.Fatalf("%v: round-tripped %v does not match sentinel %v", c.in, out, c.sentinel)
+		}
+	}
+
+	// Recovered panics come back as *engine.PanicError with the
+	// statement text attached.
+	pe := &engine.PanicError{Stmt: "SELECT boom", Value: "index out of range"}
+	code, detail := Classify(pe)
+	if code != CodePanic || detail != "SELECT boom" {
+		t.Fatalf("panic classify: %v %q", code, detail)
+	}
+	dm, err := DecodeError((&ErrorMsg{Code: code, Message: pe.Error(), Detail: detail}).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back *engine.PanicError
+	if !errors.As(dm.DecodeWireError(), &back) || back.Stmt != "SELECT boom" {
+		t.Fatalf("panic did not round-trip: %v", dm.DecodeWireError())
+	}
+
+	// Overload carries the retry-after hint.
+	om := &ErrorMsg{Code: CodeOverloaded, Message: "too busy", RetryAfterMs: 250}
+	dm, err = DecodeError(om.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oerr := dm.DecodeWireError()
+	if !errors.Is(oerr, ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded, got %v", oerr)
+	}
+	var se *ServerError
+	if !errors.As(oerr, &se) || se.RetryAfter != 250*time.Millisecond {
+		t.Fatalf("retry-after lost: %+v", se)
+	}
+}
+
+func TestGarbageNeverParses(t *testing.T) {
+	// Random-ish garbage payloads must fail decoding, not parse as a
+	// valid message with trailing junk.
+	garbage := [][]byte{
+		[]byte(strings.Repeat("\xff", 32)),
+		{0x02, 0x41, 0x41},
+		append((&Query{SQL: "SELECT 1", Window: 1}).Encode(), 0xEE),
+	}
+	for i, g := range garbage {
+		if _, err := DecodeQuery(g); err == nil {
+			t.Fatalf("garbage %d decoded as Query", i)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package netserver is the AIM network front end: it serves the
+// netproto wire protocol over TCP (or any net.Listener), multiplexing
+// any number of client sessions onto one engine.DB.
+//
+// The server is first an exercise in robustness:
+//
+//   - Admission control. At most MaxSessions connections are admitted;
+//     beyond that a connection is refused with a typed overload error
+//     carrying a retry-after hint before any session state is built.
+//     At most MaxStatements statements execute concurrently; a bounded
+//     wait queue (StmtQueueDepth deep, StmtQueueWait long) absorbs
+//     bursts, and everything beyond it is shed with the same typed
+//     overload error — never queued unboundedly, never silently
+//     dropped.
+//   - Deadlines everywhere. Each statement runs under the session's
+//     context with an optional per-statement timeout; idle sessions
+//     are reaped after IdleTimeout; a slow or stalled client hits
+//     WriteTimeout on the next frame write and is disconnected instead
+//     of pinning server memory.
+//   - Graceful drain. Shutdown stops accepting, lets in-flight
+//     statements finish (new ones are refused with a typed draining
+//     error), and after the drain deadline cancels whatever is left.
+//     Every teardown path — clean Goodbye, dead peer, torn frame,
+//     idle timeout, drain — releases cursors with zero pinned pages,
+//     rolls back the session transaction, and releases its write
+//     locks, so a dying session can never wedge a live one.
+package netserver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/netproto"
+)
+
+// Options tune the server's admission control and deadlines. The zero
+// value of any field selects the default.
+type Options struct {
+	// MaxSessions bounds concurrently open sessions (default 256).
+	MaxSessions int
+	// MaxStatements bounds concurrently executing statements across
+	// all sessions (default 64).
+	MaxStatements int
+	// StmtQueueDepth bounds how many statements may wait for an
+	// execution slot before admission control sheds new ones
+	// (default 2×MaxStatements).
+	StmtQueueDepth int
+	// StmtQueueWait bounds how long one statement waits for a slot
+	// before being shed (default 100ms).
+	StmtQueueWait time.Duration
+	// StmtTimeout bounds each statement's execution; 0 means no limit.
+	StmtTimeout time.Duration
+	// IdleTimeout reaps sessions with no in-flight statement and no
+	// traffic for this long; 0 means never.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each frame write to a client; a stalled
+	// reader is disconnected when the socket buffer stays full this
+	// long (default 30s; negative means no limit).
+	WriteTimeout time.Duration
+	// HandshakeTimeout bounds the wait for the Hello frame
+	// (default 5s).
+	HandshakeTimeout time.Duration
+	// DrainTimeout is the default grace Shutdown grants in-flight
+	// statements when its context has no deadline (default 5s).
+	DrainTimeout time.Duration
+	// RetryAfter is the backoff hint attached to overload errors
+	// (default 50ms).
+	RetryAfter time.Duration
+	// MaxPreparedPerSession bounds the per-session prepared-statement
+	// registry (default 1024).
+	MaxPreparedPerSession int
+	// Banner is the server string sent in the handshake.
+	Banner string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions == 0 {
+		o.MaxSessions = 256
+	}
+	if o.MaxStatements == 0 {
+		o.MaxStatements = 64
+	}
+	if o.StmtQueueDepth == 0 {
+		o.StmtQueueDepth = 2 * o.MaxStatements
+	}
+	if o.StmtQueueWait == 0 {
+		o.StmtQueueWait = 100 * time.Millisecond
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = 50 * time.Millisecond
+	}
+	if o.MaxPreparedPerSession == 0 {
+		o.MaxPreparedPerSession = 1024
+	}
+	if o.Banner == "" {
+		o.Banner = "aimserver"
+	}
+	return o
+}
+
+// Server is one network front end over one engine.
+type Server struct {
+	db   *engine.DB
+	opts Options
+	ctr  *engine.NetCounters
+
+	// stmtSem holds the statement execution slots; stmtWaiters counts
+	// the queue behind it (bounded by StmtQueueDepth).
+	stmtSem chan struct{}
+
+	mu          sync.Mutex
+	ln          net.Listener
+	sessions    map[uint64]*session
+	nextSID     uint64
+	stmtWaiters int
+	started     bool
+	draining    bool
+	drained     chan struct{} // closed when the last session is gone while draining
+	acceptDone  chan struct{}
+}
+
+// New builds a server over an open engine. The engine stays owned by
+// the caller: Shutdown drains sessions but does not close the DB.
+func New(db *engine.DB, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		db:       db,
+		opts:     opts,
+		ctr:      db.NetCounters(),
+		stmtSem:  make(chan struct{}, opts.MaxStatements),
+		sessions: make(map[uint64]*session),
+		drained:  make(chan struct{}),
+	}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves in the
+// background until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("netserver: already started")
+	}
+	s.started = true
+	s.ln = ln
+	s.acceptDone = make(chan struct{})
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listen address (after Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stats snapshots the server's counters (the same block surfaced by
+// aim.Stats().Net and the protocol INFO request).
+func (s *Server) Stats() engine.NetStats { return s.ctr.Snapshot() }
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer close(s.acceptDone)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal accept error
+		}
+		if !s.admit(conn) {
+			continue
+		}
+	}
+}
+
+// admit applies session admission control and spawns the session.
+// Refusals are answered with a typed error frame before close, so the
+// client can tell an overloaded server from a dead one.
+func (s *Server) admit(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		go s.refuse(conn, netproto.CodeDraining)
+		return false
+	}
+	if int(s.ctr.SessionsOpen.Load()) >= s.opts.MaxSessions {
+		s.mu.Unlock()
+		s.ctr.ShedSessions.Add(1)
+		go s.refuse(conn, netproto.CodeOverloaded)
+		return false
+	}
+	s.nextSID++
+	sid := s.nextSID
+	s.ctr.NoteSessionOpen()
+	sess := newSession(s, sid, conn)
+	s.sessions[sid] = sess
+	s.mu.Unlock()
+	go sess.run()
+	return true
+}
+
+// refuse answers a rejected connection with a typed error and closes
+// it. Best-effort: the client may already be gone.
+func (s *Server) refuse(conn net.Conn, code netproto.ErrCode) {
+	msg := &netproto.ErrorMsg{
+		Code:         code,
+		Message:      "server at capacity",
+		RetryAfterMs: uint32(s.opts.RetryAfter / time.Millisecond),
+	}
+	if code == netproto.CodeDraining {
+		msg.Message = "server draining"
+	}
+	conn.SetWriteDeadline(time.Now().Add(time.Second))
+	netproto.WriteFrame(conn, netproto.TypeError, msg.Encode())
+	conn.Close()
+}
+
+// removeSession unregisters a finished session and, while draining,
+// signals Shutdown when the last one is gone.
+func (s *Server) removeSession(id uint64) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	if s.draining && len(s.sessions) == 0 {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// acquireSlot implements statement admission: an execution slot if one
+// is free, else a bounded wait in a bounded queue, else a typed shed.
+func (s *Server) acquireSlot(ctx context.Context) error {
+	select {
+	case s.stmtSem <- struct{}{}:
+		return nil
+	default:
+	}
+	s.mu.Lock()
+	if s.stmtWaiters >= s.opts.StmtQueueDepth {
+		s.mu.Unlock()
+		s.ctr.ShedStmts.Add(1)
+		return overloadErr(s.opts.RetryAfter)
+	}
+	s.stmtWaiters++
+	s.mu.Unlock()
+	s.ctr.QueueDepth.Add(1)
+	s.ctr.QueueWaits.Add(1)
+	defer func() {
+		s.ctr.QueueDepth.Add(-1)
+		s.mu.Lock()
+		s.stmtWaiters--
+		s.mu.Unlock()
+	}()
+	timer := time.NewTimer(s.opts.StmtQueueWait)
+	defer timer.Stop()
+	select {
+	case s.stmtSem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		s.ctr.ShedStmts.Add(1)
+		return overloadErr(s.opts.RetryAfter)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.stmtSem }
+
+// overloadErr builds the typed overload error with the retry hint.
+func overloadErr(retry time.Duration) error {
+	return &netproto.ServerError{
+		Code:       netproto.CodeOverloaded,
+		Message:    "too many concurrent statements",
+		RetryAfter: retry,
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown performs a graceful drain: stop accepting, refuse new
+// statements with a typed draining error, close idle sessions, let
+// in-flight statements finish, and when the context expires (or
+// DrainTimeout, if the context has no deadline) cancel whatever is
+// left. It returns once every session is torn down — cursors released
+// with zero pinned pages, transactions rolled back, write locks
+// freed. The engine itself stays open; the caller checkpoints and
+// closes it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return errors.New("netserver: not started")
+	}
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	none := len(s.sessions) == 0
+	if none {
+		select {
+		case <-s.drained:
+		default:
+			close(s.drained)
+		}
+	}
+	s.mu.Unlock()
+
+	if !already {
+		ln.Close()
+		// Ask every session to drain: idle ones close now, busy ones
+		// finish their in-flight statement first.
+		for _, sess := range sessions {
+			sess.beginDrain()
+		}
+	}
+	<-s.acceptDone
+
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.DrainTimeout)
+		defer cancel()
+	}
+	select {
+	case <-s.drained:
+	case <-ctx.Done():
+		// Drain deadline: cancel the stragglers' statements and sever
+		// their connections, then wait for their teardowns to finish —
+		// teardown is quick once the statement context is canceled.
+		s.mu.Lock()
+		stragglers := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			stragglers = append(stragglers, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range stragglers {
+			sess.kill("drain deadline")
+		}
+		<-s.drained
+	}
+	return nil
+}
+
+// String describes the server (diagnostics).
+func (s *Server) String() string {
+	return fmt.Sprintf("aimserver(%s, max %d sessions / %d stmts)", s.Addr(), s.opts.MaxSessions, s.opts.MaxStatements)
+}

@@ -1,0 +1,727 @@
+package netserver
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/netproto"
+	"repro/internal/sql"
+)
+
+// frame is one request handed from the reader to the worker.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+// session is one client connection. Two goroutines cooperate:
+//
+//   - the reader owns the socket's read side. It decodes frames and
+//     hands requests to the worker over reqs; the out-of-band frames
+//     (Cancel, Fetch, StreamClose) are applied immediately so they work
+//     while a statement is executing or a stream is mid-flight.
+//   - the worker (run) owns the write side and all session state: the
+//     open transaction, the prepared-statement registry, the one open
+//     row stream. It executes one request at a time, so session state
+//     never needs a lock.
+//
+// Teardown runs exactly once, in the worker, on every exit path —
+// clean Goodbye, dead peer, torn frame, protocol error, idle timeout,
+// drain, hard kill — and always rolls back the open transaction
+// (releasing its write locks) and closes the connection. Row streams
+// close inside the worker before teardown, so no cursor survives it
+// and no buffer page stays pinned.
+type session struct {
+	srv  *Server
+	id   uint64
+	conn net.Conn
+	br   *bufio.Reader
+
+	// ctx is the session's base context; kill() cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	reqs     chan frame    // reader → worker requests
+	dying    chan struct{} // closed when the worker exits; unblocks the reader's handoff
+	peerGone chan struct{} // closed when the reader exits; unblocks credit waits
+
+	// cancelStmt cancels the in-flight statement (Cancel frame, kill).
+	cancelMu   sync.Mutex
+	cancelStmt context.CancelFunc
+
+	// Row-stream flow control: the reader adds Fetch credits and flags
+	// aborts; flowCh (capacity 1) wakes a worker waiting for credit.
+	credits atomic.Int64
+	abort   atomic.Bool
+	flowCh  chan struct{}
+
+	// drainCh asks the worker to finish its current statement and
+	// close (graceful drain).
+	drainCh   chan struct{}
+	drainOnce sync.Once
+
+	// Worker-owned state (no locks needed).
+	tx       *engine.Txn
+	stmts    map[uint64]*engine.PreparedStmt
+	nextStmt uint64
+
+	// Exit bookkeeping for the drained/killed counters.
+	drained bool
+	failed  bool
+}
+
+func newSession(s *Server, id uint64, conn net.Conn) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &session{
+		srv:     s,
+		id:      id,
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		ctx:     ctx,
+		cancel:  cancel,
+		reqs:     make(chan frame, 1),
+		dying:    make(chan struct{}),
+		peerGone: make(chan struct{}),
+		flowCh:  make(chan struct{}, 1),
+		drainCh: make(chan struct{}),
+		stmts:   make(map[uint64]*engine.PreparedStmt),
+	}
+}
+
+// beginDrain asks the session to close once its in-flight statement
+// (if any) finishes. Idempotent; called by Server.Shutdown.
+func (sess *session) beginDrain() {
+	sess.drainOnce.Do(func() { close(sess.drainCh) })
+}
+
+// kill severs the session immediately: cancel the in-flight statement,
+// cancel the session context (unblocking credit waits), and expire all
+// socket deadlines so blocked reads and writes return now. Teardown
+// still runs in the worker, so state is released in order.
+func (sess *session) kill(reason string) {
+	sess.cancelInFlight()
+	sess.cancel()
+	sess.conn.SetDeadline(time.Now())
+}
+
+func (sess *session) cancelInFlight() bool {
+	sess.cancelMu.Lock()
+	c := sess.cancelStmt
+	sess.cancelMu.Unlock()
+	if c == nil {
+		return false
+	}
+	c()
+	return true
+}
+
+// run is the worker: handshake, then one request at a time until an
+// exit path fires. The deferred teardown is the session's only
+// teardown, shared by every path.
+func (sess *session) run() {
+	defer sess.teardown()
+	if err := sess.handshake(); err != nil {
+		sess.failed = true
+		return
+	}
+	go sess.readLoop()
+	for {
+		sess.setIdleDeadline()
+		select {
+		case <-sess.drainCh:
+			sess.drained = true
+			sess.writeErr(&netproto.ServerError{
+				Code:       netproto.CodeDraining,
+				Message:    "server draining",
+				RetryAfter: sess.srv.opts.RetryAfter,
+			})
+			return
+		case f, ok := <-sess.reqs:
+			if !ok {
+				// Reader gone: dead peer, torn frame, or idle timeout.
+				sess.failed = true
+				return
+			}
+			sess.conn.SetReadDeadline(time.Time{})
+			if exit := sess.handle(f); exit {
+				return
+			}
+		}
+	}
+}
+
+// setIdleDeadline arms the idle reaper while the worker waits for the
+// next request. SetReadDeadline takes effect even for a Read already
+// blocked in the reader goroutine.
+func (sess *session) setIdleDeadline() {
+	if d := sess.srv.opts.IdleTimeout; d > 0 {
+		sess.conn.SetReadDeadline(time.Now().Add(d))
+	}
+}
+
+// teardown releases everything the session holds, exactly once:
+// rollback the open transaction (dropping its write locks so other
+// sessions never inherit a phantom conflict), close the socket
+// (unblocking the reader), and fix up the counters.
+func (sess *session) teardown() {
+	close(sess.dying)
+	sess.cancel()
+	if sess.tx != nil {
+		sess.tx.Rollback()
+		sess.tx = nil
+	}
+	sess.conn.Close()
+	ctr := sess.srv.ctr
+	ctr.SessionsOpen.Add(-1)
+	if sess.drained {
+		ctr.Drained.Add(1)
+	} else if sess.failed {
+		ctr.Killed.Add(1)
+	}
+	sess.srv.removeSession(sess.id)
+}
+
+// handshake expects a Hello within HandshakeTimeout and answers
+// HelloOK.
+func (sess *session) handshake() error {
+	sess.conn.SetReadDeadline(time.Now().Add(sess.srv.opts.HandshakeTimeout))
+	typ, payload, err := netproto.ReadFrame(sess.br)
+	if err != nil {
+		return err
+	}
+	sess.srv.ctr.BytesIn.Add(uint64(len(payload)) + 1)
+	if typ != netproto.TypeHello {
+		sess.writeErr(protoErr("expected Hello, got frame 0x%02x", typ))
+		return errors.New("bad handshake")
+	}
+	hello, err := netproto.DecodeHello(payload)
+	if err != nil {
+		sess.writeErr(protoErr("bad Hello: %v", err))
+		return err
+	}
+	if hello.Version != netproto.Version {
+		err := protoErr("protocol version %d not supported (server speaks %d)", hello.Version, netproto.Version)
+		sess.writeErr(err)
+		return err
+	}
+	sess.conn.SetReadDeadline(time.Time{})
+	ok := &netproto.HelloOK{Version: netproto.Version, SessionID: sess.id, Server: sess.srv.opts.Banner}
+	if !sess.write(netproto.TypeHelloOK, ok.Encode()) {
+		return errors.New("handshake write failed")
+	}
+	return nil
+}
+
+// readLoop owns the socket's read side. Out-of-band frames act
+// immediately; everything else is handed to the worker. Any read error
+// (dead peer, torn frame, idle/kill deadline) closes reqs, which the
+// worker treats as session end.
+func (sess *session) readLoop() {
+	defer func() {
+		close(sess.peerGone)
+		close(sess.reqs)
+	}()
+	for {
+		typ, payload, err := netproto.ReadFrame(sess.br)
+		if err != nil {
+			return
+		}
+		sess.srv.ctr.BytesIn.Add(uint64(len(payload)) + 1)
+		switch typ {
+		case netproto.TypeCancel:
+			if sess.cancelInFlight() {
+				sess.srv.ctr.Cancels.Add(1)
+			}
+		case netproto.TypeFetch:
+			if f, err := netproto.DecodeFetch(payload); err == nil {
+				sess.credits.Add(int64(f.N))
+				sess.wakeFlow()
+			}
+		case netproto.TypeStreamClose:
+			sess.abort.Store(true)
+			sess.wakeFlow()
+		default:
+			select {
+			case sess.reqs <- frame{typ, payload}:
+			case <-sess.dying:
+				return
+			}
+		}
+	}
+}
+
+func (sess *session) wakeFlow() {
+	select {
+	case sess.flowCh <- struct{}{}:
+	default:
+	}
+}
+
+// write sends one frame, bounded by WriteTimeout so a stalled client
+// cannot pin the worker. Returns false when the session must die.
+func (sess *session) write(typ byte, payload []byte) bool {
+	if d := sess.srv.opts.WriteTimeout; d > 0 {
+		sess.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := netproto.WriteFrame(sess.conn, typ, payload); err != nil {
+		sess.failed = true
+		return false
+	}
+	sess.srv.ctr.BytesOut.Add(uint64(len(payload)) + 1)
+	return true
+}
+
+// writeErr reports a failure as a typed Error frame. Returns false
+// when the write itself failed (session must die).
+func (sess *session) writeErr(err error) bool {
+	code, detail := netproto.Classify(err)
+	msg := &netproto.ErrorMsg{
+		Code:    code,
+		Message: err.Error(),
+		Detail:  detail,
+		TxnOpen: sess.tx != nil,
+	}
+	var se *netproto.ServerError
+	if errors.As(err, &se) {
+		msg.Message = se.Message
+		msg.RetryAfterMs = uint32(se.RetryAfter / time.Millisecond)
+	}
+	var pe *engine.PanicError
+	if errors.As(err, &pe) {
+		msg.Message = fmt.Sprint(pe.Value)
+	}
+	return sess.write(netproto.TypeError, msg.Encode())
+}
+
+func protoErr(format string, args ...any) error {
+	return &netproto.ServerError{Code: netproto.CodeProtocol, Message: fmt.Sprintf(format, args...)}
+}
+
+// handle executes one request. It returns true when the session must
+// exit: clean Goodbye, a protocol violation (session state is no
+// longer trustworthy), or a failed response write.
+func (sess *session) handle(f frame) bool {
+	switch f.typ {
+	case netproto.TypeGoodbye:
+		return true
+	case netproto.TypeInfo:
+		// Monitoring must work even under overload: no statement slot.
+		return !sess.sendInfo()
+	case netproto.TypeExec:
+		m, err := netproto.DecodeExec(f.payload)
+		if err != nil {
+			sess.writeErr(protoErr("bad Exec: %v", err))
+			return true
+		}
+		return sess.doExec(m.Script)
+	case netproto.TypeQuery:
+		m, err := netproto.DecodeQuery(f.payload)
+		if err != nil {
+			sess.writeErr(protoErr("bad Query: %v", err))
+			return true
+		}
+		return sess.doQuery(m.SQL, m.Window)
+	case netproto.TypePrepare:
+		m, err := netproto.DecodePrepare(f.payload)
+		if err != nil {
+			sess.writeErr(protoErr("bad Prepare: %v", err))
+			return true
+		}
+		return sess.doPrepare(m.SQL)
+	case netproto.TypeStmtExec:
+		m, err := netproto.DecodeStmtExec(f.payload)
+		if err != nil {
+			sess.writeErr(protoErr("bad StmtExec: %v", err))
+			return true
+		}
+		return sess.doStmtExec(m.ID, m.Args)
+	case netproto.TypeStmtQuery:
+		m, err := netproto.DecodeStmtQuery(f.payload)
+		if err != nil {
+			sess.writeErr(protoErr("bad StmtQuery: %v", err))
+			return true
+		}
+		return sess.doStmtQuery(m.ID, m.Window, m.Args)
+	case netproto.TypeStmtClose:
+		m, err := netproto.DecodeStmtClose(f.payload)
+		if err != nil {
+			sess.writeErr(protoErr("bad StmtClose: %v", err))
+			return true
+		}
+		delete(sess.stmts, m.ID)
+		return !sess.write(netproto.TypeDone, (&netproto.Done{}).Encode())
+	default:
+		sess.writeErr(protoErr("unexpected frame 0x%02x", f.typ))
+		return true
+	}
+}
+
+// beginStmt applies statement admission control and registers the
+// in-flight cancel hook. On success the caller must call endStmt.
+func (sess *session) beginStmt() (context.Context, context.CancelFunc, error) {
+	if sess.srv.Draining() {
+		return nil, nil, &netproto.ServerError{
+			Code:       netproto.CodeDraining,
+			Message:    "server draining",
+			RetryAfter: sess.srv.opts.RetryAfter,
+		}
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if d := sess.srv.opts.StmtTimeout; d > 0 {
+		ctx, cancel = context.WithTimeout(sess.ctx, d)
+	} else {
+		ctx, cancel = context.WithCancel(sess.ctx)
+	}
+	if err := sess.srv.acquireSlot(ctx); err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	sess.cancelMu.Lock()
+	sess.cancelStmt = cancel
+	sess.cancelMu.Unlock()
+	sess.srv.ctr.StmtsTotal.Add(1)
+	sess.srv.ctr.StmtsInFlight.Add(1)
+	return ctx, cancel, nil
+}
+
+func (sess *session) endStmt(cancel context.CancelFunc) {
+	sess.cancelMu.Lock()
+	sess.cancelStmt = nil
+	sess.cancelMu.Unlock()
+	cancel()
+	sess.srv.releaseSlot()
+	sess.srv.ctr.StmtsInFlight.Add(-1)
+}
+
+// doExec runs a script with materialized results (the Exec request).
+func (sess *session) doExec(script string) bool {
+	ctx, cancel, err := sess.beginStmt()
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	res, err := sess.runScript(ctx, script)
+	sess.endStmt(cancel)
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	payload, err := res.Encode()
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	return !sess.write(netproto.TypeResults, payload)
+}
+
+// runScript mirrors the local shell's statement loop: parse once, then
+// execute statement by statement, with BEGIN/COMMIT/ROLLBACK switching
+// the session transaction.
+func (sess *session) runScript(ctx context.Context, script string) (*netproto.Results, error) {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	out := &netproto.Results{}
+	for _, st := range stmts {
+		r, err := sess.execStmt(ctx, st)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, r)
+	}
+	out.TxnOpen = sess.tx != nil
+	return out, nil
+}
+
+func (sess *session) execStmt(ctx context.Context, st sql.Stmt) (netproto.Result, error) {
+	switch st.Statement.(type) {
+	case *sql.Begin:
+		if sess.tx != nil {
+			return netproto.Result{}, errors.New("BEGIN inside an open transaction (transactions do not nest)")
+		}
+		tx, err := sess.srv.db.Begin()
+		if err != nil {
+			return netproto.Result{}, err
+		}
+		sess.tx = tx
+		return netproto.Result{Message: "transaction started"}, nil
+	case *sql.Commit:
+		if sess.tx == nil {
+			return netproto.Result{}, errors.New("COMMIT without BEGIN")
+		}
+		tx := sess.tx
+		sess.tx = nil
+		if err := tx.Commit(); err != nil {
+			return netproto.Result{}, err
+		}
+		return netproto.Result{Message: "transaction committed"}, nil
+	case *sql.Rollback:
+		if sess.tx == nil {
+			return netproto.Result{}, errors.New("ROLLBACK without BEGIN")
+		}
+		sess.tx.Rollback()
+		sess.tx = nil
+		return netproto.Result{Message: "transaction rolled back"}, nil
+	}
+	if st.Params > 0 {
+		return netproto.Result{}, errors.New("placeholders require a prepared statement (use Prepare)")
+	}
+	var res engine.Result
+	var err error
+	if sess.tx != nil {
+		res, err = sess.tx.ExecStmtContext(ctx, st)
+	} else {
+		res, err = sess.srv.db.ExecStmtContext(ctx, st)
+	}
+	if err != nil {
+		return netproto.Result{}, err
+	}
+	return netproto.Result{
+		Count:   int64(res.Count),
+		Message: res.Message,
+		Type:    res.Type,
+		Table:   res.Table,
+	}, nil
+}
+
+// doPrepare parses and binds one statement, registering it under a
+// session-local id.
+func (sess *session) doPrepare(text string) bool {
+	if len(sess.stmts) >= sess.srv.opts.MaxPreparedPerSession {
+		return !sess.writeErr(fmt.Errorf("prepared-statement limit (%d) reached", sess.srv.opts.MaxPreparedPerSession))
+	}
+	ps, err := sess.srv.db.Prepare(text)
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	sess.nextStmt++
+	id := sess.nextStmt
+	sess.stmts[id] = ps
+	_, isSelect := ps.Stmt().(*sql.Select)
+	resp := &netproto.Prepared{ID: id, NumParams: uint32(ps.NumParams()), IsSelect: isSelect}
+	return !sess.write(netproto.TypePrepared, resp.Encode())
+}
+
+func (sess *session) lookupStmt(id uint64) (*engine.PreparedStmt, error) {
+	ps, ok := sess.stmts[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown prepared statement %d", id)
+	}
+	return ps, nil
+}
+
+// doStmtExec runs a prepared statement with bound args, materialized.
+func (sess *session) doStmtExec(id uint64, args []model.Value) bool {
+	ps, err := sess.lookupStmt(id)
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	ctx, cancel, err := sess.beginStmt()
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	var res engine.Result
+	if sess.tx != nil {
+		res, err = sess.tx.ExecPrepared(ctx, ps, args...)
+	} else {
+		res, err = ps.ExecContext(ctx, args...)
+	}
+	sess.endStmt(cancel)
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	out := &netproto.Results{
+		Results: []netproto.Result{{
+			Count:   int64(res.Count),
+			Message: res.Message,
+			Type:    res.Type,
+			Table:   res.Table,
+		}},
+		TxnOpen: sess.tx != nil,
+	}
+	payload, err := out.Encode()
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	return !sess.write(netproto.TypeResults, payload)
+}
+
+// doQuery streams one SELECT (the Query request).
+func (sess *session) doQuery(text string, window uint32) bool {
+	ctx, cancel, err := sess.beginStmt()
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	rows, err := sess.openQuery(ctx, text)
+	if err != nil {
+		sess.endStmt(cancel)
+		return !sess.writeErr(err)
+	}
+	ok := sess.stream(ctx, rows, window)
+	sess.endStmt(cancel)
+	return !ok
+}
+
+// openQuery parses text as exactly one SELECT and opens its cursor
+// against the session transaction or the database.
+func (sess *session) openQuery(ctx context.Context, text string) (*engine.Rows, error) {
+	stmts, err := sql.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("Query takes exactly one statement, got %d", len(stmts))
+	}
+	st := stmts[0]
+	if _, ok := st.Statement.(*sql.Select); !ok {
+		return nil, errors.New("Query takes a SELECT; use Exec for other statements")
+	}
+	if st.Params > 0 {
+		return nil, errors.New("placeholders require a prepared statement (use Prepare)")
+	}
+	if sess.tx != nil {
+		return sess.tx.QueryRowsStmt(ctx, st)
+	}
+	return sess.srv.db.QueryRowsStmt(ctx, st)
+}
+
+// doStmtQuery streams a prepared SELECT with bound args.
+func (sess *session) doStmtQuery(id uint64, window uint32, args []model.Value) bool {
+	ps, err := sess.lookupStmt(id)
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	ctx, cancel, err := sess.beginStmt()
+	if err != nil {
+		return !sess.writeErr(err)
+	}
+	var rows *engine.Rows
+	if sess.tx != nil {
+		rows, err = sess.tx.QueryRowsPrepared(ctx, ps, args...)
+	} else {
+		rows, err = ps.QueryRowsContext(ctx, args...)
+	}
+	if err != nil {
+		sess.endStmt(cancel)
+		return !sess.writeErr(err)
+	}
+	ok := sess.stream(ctx, rows, window)
+	sess.endStmt(cancel)
+	return !ok
+}
+
+// stream sends RowHeader, then rows under credit-based flow control,
+// then Done (or a typed Error). The cursor always closes here, inside
+// the worker, before the next request runs — so cancellation, aborts,
+// client death and drain all leave zero pinned pages. Returns false
+// when the session must die (write failure).
+func (sess *session) stream(ctx context.Context, rows *engine.Rows, window uint32) bool {
+	defer rows.Close()
+	// Reset flow-control state; stale credits or aborts from a previous
+	// stream must not leak into this one.
+	sess.credits.Store(int64(window))
+	sess.abort.Store(false)
+	select {
+	case <-sess.flowCh:
+	default:
+	}
+
+	hdr := &netproto.RowHeader{Type: rows.Type()}
+	payload, err := hdr.Encode()
+	if err != nil {
+		return sess.writeErr(err)
+	}
+	if !sess.write(netproto.TypeRowHeader, payload) {
+		return false
+	}
+
+	var sent uint64
+	for {
+		if sess.abort.Load() {
+			done := &netproto.Done{Rows: sent, TxnOpen: sess.tx != nil, Aborted: true}
+			return sess.write(netproto.TypeDone, done.Encode())
+		}
+		if err := sess.takeCredit(ctx); err != nil {
+			return sess.writeErr(err)
+		}
+		if sess.abort.Load() {
+			continue // takeCredit returned because of the abort
+		}
+		if !rows.Next() {
+			break
+		}
+		rp, err := (&netproto.Row{Tuple: rows.Tuple()}).Encode()
+		if err != nil {
+			return sess.writeErr(err)
+		}
+		if !sess.write(netproto.TypeRow, rp) {
+			return false
+		}
+		sent++
+		sess.srv.ctr.RowsStreamed.Add(1)
+	}
+	if err := rows.Err(); err != nil {
+		return sess.writeErr(err)
+	}
+	done := &netproto.Done{Rows: sent, TxnOpen: sess.tx != nil}
+	return sess.write(netproto.TypeDone, done.Encode())
+}
+
+// takeCredit consumes one row credit, waiting for a Fetch grant when
+// the window is exhausted. It returns early (without consuming) when
+// the stream is aborted, and errors when the statement is canceled or
+// the session dies.
+func (sess *session) takeCredit(ctx context.Context) error {
+	for {
+		c := sess.credits.Load()
+		if c > 0 {
+			if sess.credits.CompareAndSwap(c, c-1) {
+				return nil
+			}
+			continue
+		}
+		if sess.abort.Load() {
+			return nil
+		}
+		select {
+		case <-sess.flowCh:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-sess.peerGone:
+			return errors.New("client disconnected mid-stream")
+		case <-sess.dying:
+			return context.Canceled
+		}
+	}
+}
+
+// sendInfo answers Info with a counter snapshot — the wire twin of
+// aim.Stats().Net.
+func (sess *session) sendInfo() bool {
+	st := sess.srv.Stats()
+	resp := &netproto.InfoResp{Fields: []netproto.InfoField{
+		{Key: "sessions_open", Val: st.SessionsOpen},
+		{Key: "sessions_peak", Val: st.SessionsPeak},
+		{Key: "sessions_total", Val: int64(st.SessionsTotal)},
+		{Key: "stmts_in_flight", Val: st.StmtsInFlight},
+		{Key: "stmts_total", Val: int64(st.StmtsTotal)},
+		{Key: "queue_depth", Val: st.QueueDepth},
+		{Key: "queue_waits", Val: int64(st.QueueWaits)},
+		{Key: "shed_sessions", Val: int64(st.ShedSessions)},
+		{Key: "shed_stmts", Val: int64(st.ShedStmts)},
+		{Key: "drained", Val: int64(st.Drained)},
+		{Key: "killed", Val: int64(st.Killed)},
+		{Key: "cancels", Val: int64(st.Cancels)},
+		{Key: "bytes_in", Val: int64(st.BytesIn)},
+		{Key: "bytes_out", Val: int64(st.BytesOut)},
+		{Key: "rows_streamed", Val: int64(st.RowsStreamed)},
+	}}
+	return sess.write(netproto.TypeInfoResp, resp.Encode())
+}

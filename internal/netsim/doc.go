@@ -1,0 +1,19 @@
+// Package netsim is the socket-level chaos harness for the network
+// front end. Its test matrix drives seeded disruptions against a live
+// aimserver — torn and truncated frames, mid-stream connection kills,
+// stalled readers, connect floods, graceful drain racing committing
+// writers — and after every disruption asserts the full robustness
+// contract:
+//
+//   - engine-vs-oracle equality: the surviving database contents match
+//     an oracle engine replaying exactly the acknowledged commits
+//     (plus, atomically, any commit whose ack was lost in the chaos);
+//   - zero pinned buffer pages on every teardown path;
+//   - zero leaked sessions and goroutines once the dust settles;
+//   - overload sheds are always the typed ErrOverloaded with a
+//     retry-after hint — never a hang, never a silent drop.
+//
+// The package holds no production code; it exists so `go test
+// ./internal/netsim/ -race` is the single entry point CI's netchaos
+// job runs.
+package netsim

@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/netproto"
+	"repro/internal/netserver"
+)
+
+// Matrix sizing: each seeded subtest is one chaos point. The full
+// matrix (what CI's netchaos job runs) must cover at least 150 points;
+// -short keeps a smoke slice for the ordinary test run.
+const (
+	tornFull   = 50
+	killFull   = 50
+	parkFull   = 20
+	wstallFull = 5
+	floodFull  = 15
+	drainFull  = 20
+)
+
+// seedCount picks the matrix width for one cell.
+func seedCount(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// TestMatrixCoversBudget pins the acceptance floor: the full matrix is
+// at least 150 seeded points.
+func TestMatrixCoversBudget(t *testing.T) {
+	n := tornFull + killFull + parkFull + wstallFull + floodFull + drainFull
+	if n < 150 {
+		t.Fatalf("full chaos matrix has %d points, want >= 150", n)
+	}
+}
+
+// leakCheck snapshots the goroutine count and, at cleanup time (after
+// the server shutdown cleanups registered later have run), verifies it
+// settled back. Register it BEFORE starting servers: cleanups run LIFO.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base+2 {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d at start, %d after teardown\n%s",
+			base, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// openKV opens an in-memory engine with KV(K INT, V INT) seeded with
+// rows (K=i, V=i*10).
+func openKV(t *testing.T, rows int) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE KV (K INT, V INT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO KV VALUES (%d, %d)`, i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// startSrv boots a server over db on a loopback port and registers a
+// shutdown cleanup.
+func startSrv(t *testing.T, db *engine.DB, opts netserver.Options) *netserver.Server {
+	t.Helper()
+	srv := netserver.New(db, opts)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// kvDump renders the full ordered contents of KV for oracle comparison.
+func kvDump(t *testing.T, db *engine.DB) string {
+	t.Helper()
+	tab, _, err := db.Query(`SELECT x.K, x.V FROM x IN KV ORDER BY x.K`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tup := range tab.Tuples {
+		sb.WriteString(tup.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// compareKV asserts engine-vs-oracle equality on the full KV contents.
+func compareKV(t *testing.T, label string, db, oracle *engine.DB) {
+	t.Helper()
+	got, want := kvDump(t, db), kvDump(t, oracle)
+	if got != want {
+		t.Fatalf("%s: engine diverged from oracle\n got:\n%s\nwant:\n%s", label, got, want)
+	}
+}
+
+// hasKey reports whether KV holds a row with the given key.
+func hasKey(t *testing.T, db *engine.DB, k int64) bool {
+	t.Helper()
+	tab, _, err := db.Query(fmt.Sprintf(`SELECT x.K FROM x IN KV WHERE x.K = %d`, k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.Len() > 0
+}
+
+// noPins asserts zero pinned buffer pages, waiting briefly for in-
+// flight teardowns to release theirs.
+func noPins(t *testing.T, label string, db *engine.DB) {
+	t.Helper()
+	waitFor(t, label+": pins released", func() bool { return db.Pool().PinnedCount() == 0 })
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// raw is a frame-level client used where chaos needs byte control the
+// aimnet package would never allow.
+type raw struct {
+	nc net.Conn
+	br *bufio.Reader
+}
+
+func rawDial(t *testing.T, addr string) *raw {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &raw{nc: nc, br: bufio.NewReader(nc)}
+	t.Cleanup(func() { nc.Close() })
+	return r
+}
+
+// handshake performs the Hello exchange; chaos cells that corrupt the
+// handshake itself write bytes directly instead.
+func (r *raw) handshake(t *testing.T) {
+	t.Helper()
+	hello := &netproto.Hello{Version: netproto.Version, Client: "netsim"}
+	if err := netproto.WriteFrame(r.nc, netproto.TypeHello, hello.Encode()); err != nil {
+		t.Fatalf("handshake write: %v", err)
+	}
+	typ, _, err := r.read(3 * time.Second)
+	if err != nil || typ != netproto.TypeHelloOK {
+		t.Fatalf("handshake: typ=0x%02x err=%v", typ, err)
+	}
+}
+
+func (r *raw) write(typ byte, payload []byte) error {
+	return netproto.WriteFrame(r.nc, typ, payload)
+}
+
+// read returns the next frame, bounded by a deadline so a server bug
+// can never hang the harness.
+func (r *raw) read(timeout time.Duration) (byte, []byte, error) {
+	r.nc.SetReadDeadline(time.Now().Add(timeout))
+	return netproto.ReadFrame(r.br)
+}
+
+// expect reads one frame and asserts its type.
+func (r *raw) expect(t *testing.T, want byte) []byte {
+	t.Helper()
+	typ, payload, err := r.read(5 * time.Second)
+	if err != nil {
+		t.Fatalf("expecting frame 0x%02x: %v", want, err)
+	}
+	if typ != want {
+		if typ == netproto.TypeError {
+			if em, derr := netproto.DecodeError(payload); derr == nil {
+				t.Fatalf("expecting frame 0x%02x, got error: %v", want, em.DecodeWireError())
+			}
+		}
+		t.Fatalf("expecting frame 0x%02x, got 0x%02x", want, typ)
+	}
+	return payload
+}
+
+// frameBytes renders one complete frame to raw bytes so chaos cells
+// can tear it at arbitrary offsets.
+func frameBytes(typ byte, payload []byte) []byte {
+	var buf bytes.Buffer
+	netproto.WriteFrame(&buf, typ, payload)
+	return buf.Bytes()
+}

@@ -1,0 +1,502 @@
+package netsim
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/aimnet"
+	"repro/internal/engine"
+	"repro/internal/netproto"
+	"repro/internal/netserver"
+)
+
+func dialNet(t *testing.T, srv *netserver.Server, o aimnet.Options) *aimnet.Conn {
+	t.Helper()
+	c, err := aimnet.Dial(srv.Addr(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestChaosTornFrames drives seeded byte-level corruption at the
+// server — truncated frames, lying length prefixes, hostile lengths
+// past MaxFrame, raw garbage instead of a handshake — and asserts each
+// kills only the offending session: a healthy session keeps working,
+// the database never moves off the oracle, and no page stays pinned.
+func TestChaosTornFrames(t *testing.T) {
+	leakCheck(t)
+	db := openKV(t, 20)
+	oracle := openKV(t, 20)
+	srv := startSrv(t, db, netserver.Options{})
+	healthy := dialNet(t, srv, aimnet.Options{})
+
+	n := seedCount(tornFull, 6)
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed) + 1))
+			attack := rawDial(t, srv.Addr())
+			switch rng.Intn(5) {
+			case 0: // truncated valid Exec after a good handshake
+				attack.handshake(t)
+				fb := frameBytes(netproto.TypeExec, (&netproto.Exec{Script: `SELECT x.K FROM x IN KV`}).Encode())
+				attack.nc.Write(fb[:1+rng.Intn(len(fb)-1)])
+			case 1: // header promising bytes that never arrive
+				attack.handshake(t)
+				hdr := make([]byte, 5)
+				binary.BigEndian.PutUint32(hdr, uint32(2+rng.Intn(1<<16)))
+				hdr[4] = netproto.TypeExec
+				attack.nc.Write(hdr)
+			case 2: // raw garbage instead of a handshake
+				junk := make([]byte, 1+rng.Intn(64))
+				rng.Read(junk)
+				attack.nc.Write(junk)
+			case 3: // hostile length prefix beyond MaxFrame
+				attack.handshake(t)
+				hdr := make([]byte, 5)
+				binary.BigEndian.PutUint32(hdr, uint32(netproto.MaxFrame+1+rng.Intn(1000)))
+				hdr[4] = netproto.TypeExec
+				attack.nc.Write(hdr)
+			case 4: // a good statement first, then death mid-frame
+				attack.handshake(t)
+				ex := &netproto.Exec{Script: `SELECT x.K FROM x IN KV WHERE x.K = 3`}
+				if err := attack.write(netproto.TypeExec, ex.Encode()); err != nil {
+					t.Fatal(err)
+				}
+				attack.expect(t, netproto.TypeResults)
+				q := &netproto.Query{SQL: `SELECT x.K FROM x IN KV`, Window: 64}
+				fb := frameBytes(netproto.TypeQuery, q.Encode())
+				attack.nc.Write(fb[:3+rng.Intn(2)])
+			}
+			attack.nc.Close()
+
+			// Only the attacker dies; the healthy session keeps
+			// working and engine matches oracle exactly.
+			waitFor(t, "attacker teardown", func() bool { return srv.Stats().SessionsOpen == 1 })
+			k := int64(10000 + seed)
+			stmt := fmt.Sprintf(`INSERT INTO KV VALUES (%d, %d)`, k, k)
+			if _, err := healthy.Exec(context.Background(), stmt); err != nil {
+				t.Fatalf("healthy session broken after torn frames: %v", err)
+			}
+			if _, err := oracle.Exec(stmt); err != nil {
+				t.Fatal(err)
+			}
+			compareKV(t, "after torn frames", db, oracle)
+			noPins(t, "after torn frames", db)
+		})
+	}
+}
+
+// TestChaosMidStreamKills severs connections that hold an open
+// transaction with write locks while a row stream is parked on flow
+// control. Every kill must roll the transaction back, release the
+// locks (a healthy session updates the same key with no conflict),
+// unpin every page, and leave the engine exactly on the oracle.
+func TestChaosMidStreamKills(t *testing.T) {
+	leakCheck(t)
+	const rows = 400
+	db := openKV(t, rows)
+	oracle := openKV(t, rows)
+	srv := startSrv(t, db, netserver.Options{})
+	healthy := dialNet(t, srv, aimnet.Options{})
+
+	n := seedCount(killFull, 6)
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed) + 100))
+			victim := rawDial(t, srv.Addr())
+			victim.handshake(t)
+			k := rng.Intn(rows)
+			ex := &netproto.Exec{Script: fmt.Sprintf(`BEGIN; UPDATE x IN KV SET V = 999999 WHERE x.K = %d`, k)}
+			if err := victim.write(netproto.TypeExec, ex.Encode()); err != nil {
+				t.Fatal(err)
+			}
+			victim.expect(t, netproto.TypeResults)
+			window := uint32(1 + rng.Intn(4))
+			q := &netproto.Query{SQL: `SELECT x.K, x.V FROM x IN KV`, Window: window}
+			if err := victim.write(netproto.TypeQuery, q.Encode()); err != nil {
+				t.Fatal(err)
+			}
+			victim.expect(t, netproto.TypeRowHeader)
+			for i := rng.Intn(int(window) + 1); i > 0; i-- {
+				victim.expect(t, netproto.TypeRow)
+			}
+			if rng.Intn(2) == 0 {
+				victim.nc.Write([]byte{0xFF, 0xEE}) // parting garbage
+			}
+			victim.nc.Close()
+
+			waitFor(t, "victim teardown", func() bool { return srv.Stats().SessionsOpen == 1 })
+			noPins(t, "after mid-stream kill", db)
+
+			// The killed transaction rolled back: same-key update from
+			// a healthy session must not conflict, and both engines
+			// converge on the new value.
+			stmt := fmt.Sprintf(`UPDATE x IN KV SET V = %d WHERE x.K = %d`, k*10+1, k)
+			res, err := healthy.Exec(context.Background(), stmt)
+			if errors.Is(err, engine.ErrWriteConflict) {
+				t.Fatalf("write lock leaked from killed session: %v", err)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0].Count != 1 {
+				t.Fatalf("update hit %d rows, want 1", res[0].Count)
+			}
+			if _, err := oracle.Exec(stmt); err != nil {
+				t.Fatal(err)
+			}
+			compareKV(t, "after mid-stream kill", db, oracle)
+		})
+	}
+	if srv.Stats().Killed == 0 {
+		t.Error("no kill was ever counted")
+	}
+}
+
+// TestChaosStalledReaderParks stalls the flow-control loop: the client
+// consumes its window and then grants no more credit. The statement
+// deadline must reap the parked stream with a typed deadline error,
+// free the execution slot, and leave the session itself usable.
+func TestChaosStalledReaderParks(t *testing.T) {
+	leakCheck(t)
+	db := openKV(t, 200)
+	srv := startSrv(t, db, netserver.Options{StmtTimeout: 150 * time.Millisecond})
+
+	n := seedCount(parkFull, 3)
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed) + 200))
+			rc := rawDial(t, srv.Addr())
+			rc.handshake(t)
+			window := uint32(1 + rng.Intn(2))
+			q := &netproto.Query{SQL: `SELECT x.K FROM x IN KV`, Window: window}
+			if err := rc.write(netproto.TypeQuery, q.Encode()); err != nil {
+				t.Fatal(err)
+			}
+			rc.expect(t, netproto.TypeRowHeader)
+			for i := uint32(0); i < window; i++ {
+				rc.expect(t, netproto.TypeRow)
+			}
+			// Stall. The server must not hold the slot forever.
+			var em *netproto.ErrorMsg
+			for em == nil {
+				typ, payload, err := rc.read(5 * time.Second)
+				if err != nil {
+					t.Fatalf("waiting for the stall to be reaped: %v", err)
+				}
+				switch typ {
+				case netproto.TypeRow: // stragglers already in flight
+				case netproto.TypeError:
+					var derr error
+					if em, derr = netproto.DecodeError(payload); derr != nil {
+						t.Fatal(derr)
+					}
+				default:
+					t.Fatalf("unexpected frame 0x%02x while stalled", typ)
+				}
+			}
+			if werr := em.DecodeWireError(); !errors.Is(werr, context.DeadlineExceeded) {
+				t.Fatalf("stalled stream reaped with %v, want a typed deadline", werr)
+			}
+			waitFor(t, "slot released", func() bool { return srv.Stats().StmtsInFlight == 0 })
+			// The session survives its reaped stream.
+			ex := &netproto.Exec{Script: `SELECT x.K FROM x IN KV WHERE x.K = 1`}
+			if err := rc.write(netproto.TypeExec, ex.Encode()); err != nil {
+				t.Fatal(err)
+			}
+			rc.expect(t, netproto.TypeResults)
+			rc.write(netproto.TypeGoodbye, nil)
+			rc.nc.Close()
+			waitFor(t, "session gone", func() bool { return srv.Stats().SessionsOpen == 0 })
+			noPins(t, "after stalled park", db)
+		})
+	}
+}
+
+// TestChaosStalledReaderSocketFull stalls at the TCP level: the client
+// grants a huge window and then never reads, so the server keeps
+// writing until the socket buffers fill. The write deadline must sever
+// the stalled reader instead of wedging the statement slot forever.
+func TestChaosStalledReaderSocketFull(t *testing.T) {
+	leakCheck(t)
+	db := openKV(t, 0)
+	if _, err := db.Exec(`CREATE TABLE DOC (K INT, BODY STRING)`); err != nil {
+		t.Fatal(err)
+	}
+	body := strings.Repeat("x", 2048)
+	for i := 0; i < 120; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO DOC VALUES (%d, '%s')`, i, body)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := startSrv(t, db, netserver.Options{WriteTimeout: 150 * time.Millisecond})
+
+	n := seedCount(wstallFull, 1)
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			rc := rawDial(t, srv.Addr())
+			rc.handshake(t)
+			// ~29 MB of cross-product rows against a silent reader: far
+			// beyond any loopback socket buffer.
+			q := &netproto.Query{SQL: `SELECT x.K, x.BODY, y.K AS K2 FROM x IN DOC, y IN DOC`, Window: 1 << 20}
+			if err := rc.write(netproto.TypeQuery, q.Encode()); err != nil {
+				t.Fatal(err)
+			}
+			killed := srv.Stats().Killed
+			waitFor(t, "stalled reader severed", func() bool { return srv.Stats().SessionsOpen == 0 })
+			if srv.Stats().Killed <= killed {
+				t.Error("sever not counted as a kill")
+			}
+			noPins(t, "after socket-full stall", db)
+		})
+	}
+}
+
+// TestChaosConnectFloods slams a tiny-capacity server with seeded
+// connection bursts. Every connection must either get in or fail with
+// the typed ErrOverloaded carrying a retry-after hint — never hang,
+// never die silently — and after the burst disperses the server is
+// clean: zero sessions, zero pins, data untouched.
+func TestChaosConnectFloods(t *testing.T) {
+	leakCheck(t)
+	db := openKV(t, 10)
+	oracle := openKV(t, 10)
+	srv := startSrv(t, db, netserver.Options{MaxSessions: 6, RetryAfter: 2 * time.Millisecond})
+
+	n := seedCount(floodFull, 3)
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed) + 300))
+			flood := 20 + rng.Intn(20)
+			retries := make([]int, flood)
+			for i := range retries {
+				if rng.Intn(2) == 0 {
+					retries[i] = -1 // no retries: the shed must surface typed
+				} else {
+					retries[i] = 2 // jittered backoff honoring the hint
+				}
+			}
+			errs := make([]error, flood)
+			var wg sync.WaitGroup
+			for i := 0; i < flood; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					c, err := aimnet.Dial(srv.Addr(), aimnet.Options{MaxRetries: retries[i], DialTimeout: 5 * time.Second})
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					defer c.Close()
+					_, errs[i] = c.Exec(context.Background(), `SELECT x.K FROM x IN KV WHERE x.K = 1`)
+				}()
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("flood hung: a connection neither succeeded nor failed typed")
+			}
+			okCount := 0
+			for i, err := range errs {
+				switch {
+				case err == nil:
+					okCount++
+				case errors.Is(err, netproto.ErrOverloaded):
+					var se *netproto.ServerError
+					if !errors.As(err, &se) || se.RetryAfter == 0 {
+						t.Fatalf("conn %d: shed without a retry-after hint: %v", i, err)
+					}
+				default:
+					t.Fatalf("conn %d: shed was not typed: %v", i, err)
+				}
+			}
+			if okCount == 0 {
+				t.Fatal("flood starved every connection")
+			}
+			waitFor(t, "flood dispersed", func() bool { return srv.Stats().SessionsOpen == 0 })
+			compareKV(t, "after flood", db, oracle)
+			noPins(t, "after flood", db)
+		})
+	}
+	if srv.Stats().ShedSessions == 0 {
+		t.Error("no session was ever shed across the flood matrix")
+	}
+}
+
+// pair is one two-row transaction's keys: committed atomically or not
+// at all.
+type pair struct{ k1, k2 int64 }
+
+// writerLog partitions one writer's transactions by what the client
+// learned: acked must be present, absent must not be, unknown (the
+// connection died with COMMIT in flight) may be either — atomically.
+type writerLog struct {
+	acked   []pair
+	absent  []pair
+	unknown []pair
+}
+
+// refused reports a typed refusal — admission control or drain turned
+// the statement away before it ran, or cancellation rolled it back.
+func refused(err error) bool {
+	return errors.Is(err, netproto.ErrDraining) ||
+		errors.Is(err, netproto.ErrOverloaded) ||
+		errors.Is(err, context.Canceled)
+}
+
+// stepwisePair drives one two-row transaction statement by statement.
+// committed reports whether COMMIT reached the wire — only then is the
+// outcome unknowable when the connection dies.
+func stepwisePair(ctx context.Context, c *aimnet.Conn, p pair) (committed bool, err error) {
+	if _, err = c.Exec(ctx, `BEGIN`); err != nil {
+		return false, err
+	}
+	if _, err = c.Exec(ctx, fmt.Sprintf(`INSERT INTO KV VALUES (%d, %d)`, p.k1, p.k1)); err != nil {
+		return false, err
+	}
+	if _, err = c.Exec(ctx, fmt.Sprintf(`INSERT INTO KV VALUES (%d, %d)`, p.k2, p.k2)); err != nil {
+		return false, err
+	}
+	_, err = c.Exec(ctx, `COMMIT`)
+	return true, err
+}
+
+// runWriter commits two-row transactions until the drain (or a dead
+// connection) stops it, logging each pair's fate for the oracle.
+func runWriter(t *testing.T, srv *netserver.Server, lg *writerLog, base int64, stepwise bool) {
+	c, err := aimnet.Dial(srv.Addr(), aimnet.Options{MaxRetries: -1})
+	if err != nil {
+		return // drain won the race to the listener; nothing attempted
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for i := 0; ; i++ {
+		p := pair{base + int64(2*i), base + int64(2*i) + 1}
+		var committed bool
+		if stepwise {
+			committed, err = stepwisePair(ctx, c, p)
+		} else {
+			committed = true // the script carries its own COMMIT
+			_, err = c.Exec(ctx, fmt.Sprintf(
+				`BEGIN; INSERT INTO KV VALUES (%d, %d); INSERT INTO KV VALUES (%d, %d); COMMIT`,
+				p.k1, p.k1, p.k2, p.k2))
+		}
+		if err == nil {
+			lg.acked = append(lg.acked, p)
+			continue
+		}
+		if refused(err) || !committed {
+			lg.absent = append(lg.absent, p)
+		} else {
+			lg.unknown = append(lg.unknown, p)
+		}
+		// Chaos must never masquerade as an engine failure.
+		if errors.Is(err, engine.ErrWriteConflict) {
+			t.Errorf("writer saw a write conflict on disjoint keys: %v", err)
+		}
+		var pe *engine.PanicError
+		if errors.As(err, &pe) {
+			t.Errorf("writer saw a recovered panic: %v", err)
+		}
+		return
+	}
+}
+
+// replayPair applies one committed transaction to the oracle engine.
+func replayPair(t *testing.T, oracle *engine.DB, p pair) {
+	t.Helper()
+	stmt := fmt.Sprintf(
+		`BEGIN; INSERT INTO KV VALUES (%d, %d); INSERT INTO KV VALUES (%d, %d); COMMIT`,
+		p.k1, p.k1, p.k2, p.k2)
+	if _, err := oracle.Exec(stmt); err != nil {
+		t.Fatalf("oracle replay: %v", err)
+	}
+}
+
+// TestChaosDrainRacesCommits races Shutdown against writers committing
+// two-row transactions, across drain graces from 15ms (hard-kill path)
+// to 1s (everything finishes). Afterward: every acknowledged commit is
+// present, every typed refusal absent, every lost-ack commit atomic
+// (both rows or neither), and the database equals an oracle replaying
+// exactly the surviving transactions.
+func TestChaosDrainRacesCommits(t *testing.T) {
+	leakCheck(t)
+	graces := []time.Duration{15 * time.Millisecond, 50 * time.Millisecond, 300 * time.Millisecond, time.Second}
+
+	n := seedCount(drainFull, 4)
+	for seed := 0; seed < n; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed) + 400))
+			db := openKV(t, 0)
+			oracle := openKV(t, 0)
+			srv := startSrv(t, db, netserver.Options{RetryAfter: time.Millisecond})
+
+			const writers = 5
+			logs := make([]writerLog, writers)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				w, stepwise := w, rng.Intn(2) == 0
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					runWriter(t, srv, &logs[w], int64(1000*(w+1)), stepwise)
+				}()
+			}
+			time.Sleep(time.Duration(1+rng.Intn(20)) * time.Millisecond)
+			ctx, cancel := context.WithTimeout(context.Background(), graces[rng.Intn(len(graces))])
+			start := time.Now()
+			err := srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+			if took := time.Since(start); took > 5*time.Second {
+				t.Fatalf("drain took %v, want bounded", took)
+			}
+			wg.Wait()
+
+			if open := srv.Stats().SessionsOpen; open != 0 {
+				t.Fatalf("%d sessions leaked past drain", open)
+			}
+			noPins(t, "after drain", db)
+
+			// Rebuild the oracle from the acknowledged commits, admit
+			// lost-ack commits atomically, and demand exact equality.
+			for w := range logs {
+				for _, p := range logs[w].acked {
+					if !hasKey(t, db, p.k1) || !hasKey(t, db, p.k2) {
+						t.Fatalf("writer %d: acked commit (%d,%d) missing after drain", w, p.k1, p.k2)
+					}
+					replayPair(t, oracle, p)
+				}
+				for _, p := range logs[w].absent {
+					if hasKey(t, db, p.k1) || hasKey(t, db, p.k2) {
+						t.Fatalf("writer %d: refused commit (%d,%d) leaked into the database", w, p.k1, p.k2)
+					}
+				}
+				for _, p := range logs[w].unknown {
+					h1, h2 := hasKey(t, db, p.k1), hasKey(t, db, p.k2)
+					if h1 != h2 {
+						t.Fatalf("writer %d: torn transaction (%d,%d): one row without the other", w, p.k1, p.k2)
+					}
+					if h1 {
+						replayPair(t, oracle, p)
+					}
+				}
+			}
+			compareKV(t, "after drain race", db, oracle)
+		})
+	}
+}
