@@ -387,6 +387,11 @@ var ErrTxnDone = engine.ErrTxnDone
 // schema changes are auto-commit only.
 var ErrTxnDDL = engine.ErrTxnDDL
 
+// ErrReadOnlyReplica is returned for writes, DDL and transactions on a
+// database opened as a read replica (aimserver -follow); it round-trips
+// the network protocol, so errors.Is works on aimnet client errors too.
+var ErrReadOnlyReplica = engine.ErrReadOnlyReplica
+
 // Begin starts a transaction at the current instant.
 func (db *DB) Begin() (*Tx, error) {
 	tx, err := db.eng.Begin()
@@ -517,6 +522,12 @@ type Stats struct {
 	// attached to this database; all zero otherwise. The same counters
 	// answer the protocol's INFO request.
 	Net NetStats
+	// Repl is the replication role and progress: on a primary, follower
+	// counts and the shipped horizon; on a replica, the applied/visible
+	// horizon, its lag behind the primary in WAL bytes, and the
+	// reconnect/snapshot history. Role is "none" when the database has
+	// never shipped or followed.
+	Repl ReplStats
 }
 
 // NetStats are the network front end's counters (see Stats.Net).
@@ -528,6 +539,9 @@ type PlanCacheStats = engine.PlanCacheStats
 // WALStats are the write-ahead log and checkpoint counters.
 type WALStats = engine.WALStats
 
+// ReplStats are the replication counters (see Stats.Repl).
+type ReplStats = engine.ReplStats
+
 // Stats returns the database access statistics.
 func (db *DB) Stats() Stats {
 	return Stats{
@@ -536,6 +550,7 @@ func (db *DB) Stats() Stats {
 		WAL:           db.eng.WALStats(),
 		PlanCache:     db.eng.PlanCacheStats(),
 		Net:           db.eng.NetStats(),
+		Repl:          db.eng.ReplStats(),
 	}
 }
 

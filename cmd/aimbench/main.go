@@ -16,6 +16,10 @@
 //	                      # the same workload through aimserver over
 //	                      # loopback: qps/p50/p99/sheds vs the
 //	                      # in-process baseline
+//	aimbench -repl -duration 3s -rout BENCH_10.json
+//	                      # replication ladder: primary write qps with
+//	                      # 0/1/2 WAL-shipping followers, follower read
+//	                      # qps and apply lag
 package main
 
 import (
@@ -47,7 +51,17 @@ func main() {
 	pout := flag.String("pout", "BENCH_8.json", "prepared-ladder report path (with -prepared; empty disables the file)")
 	netMode := flag.Bool("net", false, "network mode: drive the -clients ladder through aimserver over loopback instead of in-process")
 	nout := flag.String("nout", "BENCH_9.json", "network-ladder report path (with -net; empty disables the file)")
+	replMode := flag.Bool("repl", false, "replication mode: primary write qps with 0/1/2 WAL-shipping followers, follower read qps and apply lag")
+	rout := flag.String("rout", "BENCH_10.json", "replication report path (with -repl; empty disables the file)")
 	flag.Parse()
+
+	if *replMode {
+		if err := runReplBench(*writers, *duration, *rout, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "aimbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *netMode {
 		n := *clients

@@ -18,6 +18,14 @@
 // -drain-timeout (then cancels them), tears every session down with
 // its transaction rolled back and zero pinned pages, checkpoints the
 // WAL, and closes the engine.
+//
+// With -follow PRIMARY the server is a WAL-shipping read replica: it
+// bootstraps -db from the primary's checkpoint snapshot (or recovers
+// an existing replica directory and catches up incrementally), applies
+// the primary's committed log continuously, and serves read-only
+// statements at its replayed horizon; writes fail with a typed
+// read-only error. Promote a stopped replica by restarting aimserver
+// on the same -db without -follow.
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -33,6 +42,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/netserver"
+	"repro/internal/repl"
 )
 
 func main() {
@@ -44,7 +54,26 @@ func main() {
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "per-statement timeout (0 = none)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap sessions idle this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "grace for in-flight statements on shutdown")
+	follow := flag.String("follow", "", "run as a read replica of this primary (HOST:PORT); requires -db")
 	flag.Parse()
+
+	srvOpts := netserver.Options{
+		MaxSessions:   *maxSessions,
+		MaxStatements: *maxStmts,
+		StmtTimeout:   *stmtTimeout,
+		IdleTimeout:   *idleTimeout,
+		DrainTimeout:  *drainTimeout,
+	}
+	if *follow != "" {
+		if *dir == "" {
+			fatal(fmt.Errorf("-follow requires -db (the replica's directory)"))
+		}
+		if *demo {
+			fatal(fmt.Errorf("-follow and -demo are mutually exclusive"))
+		}
+		runFollower(*follow, *dir, *addr, srvOpts)
+		return
+	}
 
 	var eng *engine.DB
 	if *demo {
@@ -64,13 +93,7 @@ func main() {
 		eng = db.Engine()
 	}
 
-	srv := netserver.New(eng, netserver.Options{
-		MaxSessions:   *maxSessions,
-		MaxStatements: *maxStmts,
-		StmtTimeout:   *stmtTimeout,
-		IdleTimeout:   *idleTimeout,
-		DrainTimeout:  *drainTimeout,
-	})
+	srv := netserver.New(eng, srvOpts)
 	if err := srv.Start(*addr); err != nil {
 		fatal(err)
 	}
@@ -102,6 +125,95 @@ func waitAndDrain(srv *netserver.Server, eng *engine.DB, sig <-chan os.Signal, d
 		return err
 	}
 	return eng.Close()
+}
+
+// replicaServer restarts the read-serving front end around the rare
+// engine swap a mid-life re-bootstrap performs (the primary recycled
+// the replica's position away): the repl hooks shut the server down
+// before the old engine closes and start a fresh one on the new
+// engine.
+type replicaServer struct {
+	addr string
+	opts netserver.Options
+
+	mu  sync.Mutex
+	srv *netserver.Server
+}
+
+func (rs *replicaServer) start(db *engine.DB) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	srv := netserver.New(db, rs.opts)
+	if err := srv.Start(rs.addr); err != nil {
+		return err
+	}
+	rs.srv = srv
+	return nil
+}
+
+func (rs *replicaServer) stop() *netserver.Server {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	srv := rs.srv
+	rs.srv = nil
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), rs.opts.DrainTimeout)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}
+	return srv
+}
+
+// runFollower is aimserver's replica mode: follow the primary into
+// -db, serve reads once the first consistent state exists, drain on
+// signal.
+func runFollower(primary, dir, addr string, srvOpts netserver.Options) {
+	rs := &replicaServer{addr: addr, opts: srvOpts}
+	f, err := repl.Start(repl.Options{
+		Addr:         primary,
+		Dir:          dir,
+		BeforeReseed: func(*engine.DB) { rs.stop() },
+		AfterReseed: func(db *engine.DB) {
+			if err := rs.start(db); err != nil {
+				fmt.Fprintln(os.Stderr, "aimserver: restarting replica server after reseed:", err)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// An existing directory recovers immediately; a fresh one serves
+	// after the bootstrap snapshot lands (AfterReseed started the
+	// server for us in that case).
+	if db := f.DB(); db != nil {
+		if err := rs.start(db); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("aimserver: bootstrapping replica of %s into %s ...\n", primary, dir)
+		for f.DB() == nil {
+			time.Sleep(50 * time.Millisecond)
+			if err := f.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "aimserver: waiting for primary:", err)
+				time.Sleep(time.Second)
+			}
+		}
+	}
+	fmt.Printf("aimserver: read replica of %s listening on %s\n", primary, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("aimserver: %v — draining replica\n", s)
+	f.Stop() // freeze the horizon first so draining reads stay put
+	if srv := rs.stop(); srv != nil {
+		st := srv.Stats()
+		fmt.Printf("aimserver: drained (%d sessions served, %d statements, %d rows streamed)\n",
+			st.SessionsTotal, st.StmtsTotal, st.RowsStreamed)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -26,7 +26,10 @@ const DefaultWALSegmentBytes = 4 << 20
 // buffered in memory, not in pages or the log. Readers keep streaming
 // throughout (the heal barrier is not taken).
 func (db *DB) WALCheckpoint() error {
-	if db.log == nil {
+	if db.log == nil || db.opts.Replica {
+		// A replica's checkpoints mirror from the primary's stream
+		// (ReplicaApply); writing its own would fork the logs. Flushing
+		// pages is still useful and safe.
 		return db.pool.FlushAll()
 	}
 	db.applyMu.Lock()

@@ -86,6 +86,14 @@ type Options struct {
 	// faults (errors implementing segment.TransientError). The zero
 	// value means segment.DefaultRetry; Tries: 1 disables retries.
 	Retry segment.RetryPolicy
+	// Replica opens the database as a WAL-shipping read replica: all
+	// writes (DML, DDL, transactions) fail with ErrReadOnlyReplica, the
+	// background checkpointer stays off (checkpoints mirror from the
+	// primary's stream), and reads of versioned tables are pinned to
+	// the replication visibility horizon (see replica.go). Requires a
+	// write-ahead log. Reopening the same directory without Replica
+	// promotes it to a standalone database.
+	Replica bool
 }
 
 // DB is one database instance.
@@ -185,6 +193,10 @@ type DB struct {
 	// netCtr is the network front end's counter block, created lazily
 	// by NetCounters() when a server attaches (see netstats.go).
 	netCtr atomic.Pointer[NetCounters]
+
+	// replCtr is the replication counter block, created lazily by
+	// ReplCounters() when a shipper or applier attaches (replstats.go).
+	replCtr atomic.Pointer[ReplCounters]
 
 	// epoch is the catalog epoch: every change to what a plan may have
 	// bound against — DDL, index create/drop/rebuild, index
@@ -340,10 +352,15 @@ func Open(opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	if opts.Replica {
+		if err := db.replicaRecover(); err != nil {
+			return nil, err
+		}
+	}
 	if err := db.reloadRuntime(); err != nil {
 		return nil, err
 	}
-	if db.log != nil && opts.CheckpointEvery > 0 {
+	if db.log != nil && opts.CheckpointEvery > 0 && !opts.Replica {
 		db.ckptStop = make(chan struct{})
 		db.ckptDone = make(chan struct{})
 		go db.checkpointLoop(opts.CheckpointEvery)
@@ -376,6 +393,12 @@ func (db *DB) reloadRuntime() error {
 		}
 	}
 	for _, t := range cat.Tables() {
+		if db.opts.Replica {
+			// A replica redoes page writes only; it never maintains the
+			// memory-resident indexes, and its executor ignores them
+			// (replicaRuntime). Promotion rebuilds them from base data.
+			break
+		}
 		for _, def := range cat.Indexes(t.Name) {
 			if err := db.buildIndex(def); err != nil {
 				// Rebuilding from corrupt base data must not take the
@@ -518,7 +541,13 @@ func (db *DB) Commit() error {
 	if db.log == nil {
 		return nil
 	}
-	if _, err := db.log.Append(&wal.Record{Op: wal.OpCommit}); err != nil {
+	if db.opts.Replica {
+		return ErrReadOnlyReplica
+	}
+	// The commit record carries a timestamp so a replica can publish a
+	// visibility horizon covering every version this commit wrote (the
+	// clock is strictly increasing: all of them are older).
+	if _, err := db.log.Append(&wal.Record{Op: wal.OpCommit, Payload: wal.CommitPayload(0, db.opts.Clock())}); err != nil {
 		return err
 	}
 	return db.log.Sync()
@@ -537,8 +566,10 @@ func (db *DB) Close() error {
 		<-db.ckptDone
 		db.ckptStop = nil
 	}
-	if err := db.Commit(); err != nil {
-		return err
+	if !db.opts.Replica {
+		if err := db.Commit(); err != nil {
+			return err
+		}
 	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err

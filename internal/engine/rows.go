@@ -58,7 +58,7 @@ func (db *DB) QueryRows(q string) (*Rows, error) {
 // QueryRowsContext is QueryRows with cancellation: the context is
 // checked once per Next call.
 func (db *DB) QueryRowsContext(ctx context.Context, q string) (*Rows, error) {
-	return db.queryRows(ctx, db.exec, q)
+	return db.queryRows(ctx, db.readExec(), q)
 }
 
 // queryRows opens a streaming cursor through the given executor (the
@@ -83,7 +83,7 @@ func (db *DB) QueryRowsStmt(ctx context.Context, st sql.Stmt) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: QueryRows requires a SELECT, got %T", st.Statement)
 	}
-	return db.queryRowsSel(ctx, db.exec, sel, st.Text, nil)
+	return db.queryRowsSel(ctx, db.readExec(), sel, st.Text, nil)
 }
 
 // QueryRowsStmt runs one already-parsed SELECT at the transaction's
@@ -140,8 +140,9 @@ func (db *DB) queryRowsPrepared(ctx context.Context, prep *plan.Prepared, params
 	var err error
 	func() {
 		defer recoverPanic(prep.Text, &err)
-		cands := prep.Candidates((*runtime)(db), params)
-		cur, err = db.exec.OpenPrepared(ctx, prep.Sel, prep.ResultType, prep.Paths, cands, params)
+		ex := db.readExec()
+		cands := prep.Candidates(ex.RT, params)
+		cur, err = ex.OpenPrepared(ctx, prep.Sel, prep.ResultType, prep.Paths, cands, params)
 	}()
 	db.healMu.RUnlock()
 	if err != nil {

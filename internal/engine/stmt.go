@@ -12,6 +12,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/plan"
 	"repro/internal/sql"
+	"repro/internal/wal"
 )
 
 // Result is the outcome of one statement.
@@ -198,6 +199,9 @@ func (db *DB) execOneArgs(ctx context.Context, st sql.Statement, text string, pa
 		}
 		return res, err
 	}
+	if db.opts.Replica {
+		return Result{}, fmt.Errorf("engine: %T: %w", st, ErrReadOnlyReplica)
+	}
 	switch st.(type) {
 	case *sql.Begin, *sql.Commit, *sql.Rollback:
 		return Result{}, fmt.Errorf("engine: BEGIN/COMMIT/ROLLBACK take effect inside Exec scripts or via DB.Begin")
@@ -253,8 +257,11 @@ func (db *DB) execOneArgs(ctx context.Context, st sql.Statement, text string, pa
 		// The commit record is appended while the statement's locks are
 		// held but synced only after they drop, so overlapping
 		// committers share one fsync (group commit). A failed append
-		// aborts the statement like any other error.
-		end, epoch, err = db.appendCommit(nil)
+		// aborts the statement like any other error. The record carries
+		// a timestamp sampled under snapMu: every version the statement
+		// wrote is strictly older, so a replica that applies this group
+		// can publish the timestamp as its visibility horizon.
+		end, epoch, err = db.appendCommit(wal.CommitPayload(0, db.opts.Clock()))
 		if err != nil {
 			err = fmt.Errorf("engine: commit: %w", err)
 		} else {
@@ -311,7 +318,7 @@ func (db *DB) execStmtArgs(ctx context.Context, st sql.Statement, params []model
 		if prep != nil && prep.Sel != nil {
 			return db.runPreparedSelect(ctx, prep, params)
 		}
-		tbl, tt, err := db.exec.QueryArgs(ctx, st, params)
+		tbl, tt, err := db.readExec().QueryArgs(ctx, st, params)
 		if err != nil {
 			return Result{}, err
 		}
@@ -448,11 +455,12 @@ func (db *DB) explainArgs(ctx context.Context, sel *sql.Select, params []model.V
 // the plan's own AST — the one its path sets and access choices were
 // derived from), else through the full open path.
 func (db *DB) openSelect(ctx context.Context, sel *sql.Select, params []model.Value, prep *plan.Prepared) (*exec.Cursor, error) {
+	ex := db.readExec()
 	if prep != nil && prep.Sel != nil {
-		cands := prep.Candidates((*runtime)(db), params)
-		return db.exec.OpenPrepared(ctx, prep.Sel, prep.ResultType, prep.Paths, cands, params)
+		cands := prep.Candidates(ex.RT, params)
+		return ex.OpenPrepared(ctx, prep.Sel, prep.ResultType, prep.Paths, cands, params)
 	}
-	return db.exec.OpenQueryArgs(ctx, sel, params)
+	return ex.OpenQueryArgs(ctx, sel, params)
 }
 
 // runPreparedSelect materializes a prepared select: the plan's access

@@ -117,6 +117,9 @@ func (db *DB) Begin() (*Txn, error) {
 	if err := db.fatal(); err != nil {
 		return nil, err
 	}
+	if db.opts.Replica {
+		return nil, ErrReadOnlyReplica
+	}
 	db.snapMu.RLock()
 	ts := db.opts.Clock()
 	db.snapMu.RUnlock()

@@ -28,6 +28,7 @@ const (
 	CodeTxnDone                      // operation on a finished transaction
 	CodeCorrupt                      // durable corruption detected (dberr.ErrCorrupt)
 	CodeProtocol                     // malformed or out-of-order frame
+	CodeReadOnly                     // write refused by a read replica (engine.ErrReadOnlyReplica)
 )
 
 func (c ErrCode) String() string {
@@ -52,6 +53,8 @@ func (c ErrCode) String() string {
 		return "corrupt"
 	case CodeProtocol:
 		return "protocol"
+	case CodeReadOnly:
+		return "read-only"
 	default:
 		return "error"
 	}
@@ -105,6 +108,8 @@ func (e *ServerError) Is(target error) bool {
 		return target == engine.ErrTxnDone
 	case CodeCorrupt:
 		return target == dberr.ErrCorrupt
+	case CodeReadOnly:
+		return target == engine.ErrReadOnlyReplica
 	}
 	return false
 }
@@ -133,6 +138,8 @@ func Classify(err error) (code ErrCode, detail string) {
 		return CodeTxnDone, ""
 	case errors.Is(err, dberr.ErrCorrupt):
 		return CodeCorrupt, ""
+	case errors.Is(err, engine.ErrReadOnlyReplica):
+		return CodeReadOnly, ""
 	}
 	return CodeOther, ""
 }

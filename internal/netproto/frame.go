@@ -51,6 +51,7 @@ const (
 	TypeCancel      byte = 0x0A // Cancel: cancel the in-flight statement
 	TypeInfo        byte = 0x0B // Info: request server/session counters
 	TypeGoodbye     byte = 0x0C // Goodbye: close the session cleanly
+	TypeReplStart   byte = 0x0D // ReplStart: follow the WAL from an offset (see repl.go)
 
 	// Server → client.
 	TypeHelloOK   byte = 0x81 // HelloOK: handshake accepted
@@ -61,6 +62,12 @@ const (
 	TypeError     byte = 0x86 // Error: typed failure (see err.go)
 	TypeInfoResp  byte = 0x87 // InfoResp: server/session counters
 	TypePrepared  byte = 0x88 // Prepared: prepared-statement handle
+
+	// Replication stream (server → follower, see repl.go).
+	TypeReplBatch     byte = 0x89 // ReplBatch: raw committed WAL bytes
+	TypeReplSnapBegin byte = 0x8A // ReplSnapBegin: checkpoint snapshot opens
+	TypeReplSnapPages byte = 0x8B // ReplSnapPages: snapshot page/WAL-tail chunk
+	TypeReplSnapEnd   byte = 0x8C // ReplSnapEnd: snapshot complete, batches follow
 )
 
 // ErrFrameTooLarge reports a length prefix beyond MaxFrame.

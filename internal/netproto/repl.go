@@ -1,0 +1,164 @@
+package netproto
+
+import "fmt"
+
+// Replication frame family. A follower opens a normal session, then
+// sends ReplStart with the global WAL offset it wants the stream to
+// resume from (its own mirrored log's end). The server answers with an
+// unbounded sequence of ReplBatch frames carrying raw committed WAL
+// bytes — or, when the requested offset is zero or already recycled
+// below the primary's retained chain, with a checkpoint snapshot
+// (SnapBegin, SnapPages*, SnapEnd) followed by batches from the
+// snapshot's end. The session carries no other statements once
+// replication starts; the stream ends only when either side closes or
+// the server drains.
+
+// ReplStart asks the server to stream WAL bytes from offset From.
+// From = 0 requests a full snapshot bootstrap.
+type ReplStart struct {
+	From uint64
+}
+
+func (m *ReplStart) Encode() []byte {
+	var e enc
+	e.uvarint(m.From)
+	return e.b
+}
+
+func DecodeReplStart(p []byte) (*ReplStart, error) {
+	d := dec{b: p}
+	m := &ReplStart{From: d.uvarint()}
+	return m, d.done()
+}
+
+// ReplBatch carries raw WAL bytes starting at global offset From.
+// DurableEnd is the primary's durable horizon at send time, so a
+// follower can compute its lag even from an empty batch — the server
+// sends empty batches as heartbeats while the log is idle. From can
+// regress below a previous batch's end when the primary truncated its
+// tail (statement abort, crash recovery); the follower discards any
+// unapplied suffix at or beyond From and re-buffers.
+type ReplBatch struct {
+	From       uint64
+	DurableEnd uint64
+	Data       []byte
+}
+
+func (m *ReplBatch) Encode() []byte {
+	var e enc
+	e.uvarint(m.From)
+	e.uvarint(m.DurableEnd)
+	e.uvarint(uint64(len(m.Data)))
+	e.b = append(e.b, m.Data...)
+	return e.b
+}
+
+func DecodeReplBatch(p []byte) (*ReplBatch, error) {
+	d := dec{b: p}
+	m := &ReplBatch{From: d.uvarint(), DurableEnd: d.uvarint()}
+	n := d.uvarint()
+	if d.err == nil {
+		if n > uint64(len(d.b)) {
+			return nil, fmt.Errorf("netproto: batch length %d exceeds payload", n)
+		}
+		m.Data = d.b[:n]
+		d.b = d.b[n:]
+	}
+	return m, d.done()
+}
+
+// ReplSnapSeg describes one data segment in a snapshot: its id and how
+// many pages follow in SnapPages frames.
+type ReplSnapSeg struct {
+	Seg   uint32
+	Pages uint32
+}
+
+// ReplSnapBegin opens a checkpoint snapshot. WALBase is the global
+// offset of the snapshot's checkpoint tail: the follower seeds its
+// mirrored log with the raw tail bytes (shipped in WAL-flagged
+// SnapPages frames) at that offset, and batches resume from WALBase
+// plus the tail's length (carried in SnapEnd).
+type ReplSnapBegin struct {
+	WALBase uint64
+	Segs    []ReplSnapSeg
+}
+
+func (m *ReplSnapBegin) Encode() []byte {
+	var e enc
+	e.uvarint(m.WALBase)
+	e.uvarint(uint64(len(m.Segs)))
+	for _, s := range m.Segs {
+		e.uvarint(uint64(s.Seg))
+		e.uvarint(uint64(s.Pages))
+	}
+	return e.b
+}
+
+func DecodeReplSnapBegin(p []byte) (*ReplSnapBegin, error) {
+	d := dec{b: p}
+	m := &ReplSnapBegin{WALBase: d.uvarint()}
+	n := d.uvarint()
+	if n > uint64(len(d.b))+1 {
+		return nil, fmt.Errorf("netproto: segment count %d exceeds payload", n)
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Segs = append(m.Segs, ReplSnapSeg{Seg: uint32(d.uvarint()), Pages: uint32(d.uvarint())})
+	}
+	return m, d.done()
+}
+
+// ReplSnapPages carries one chunk of a snapshot: either consecutive
+// raw pages of a data segment (WAL=false; First is the 1-based page
+// number of the chunk's first page, Data holds whole pages) or a chunk
+// of the checkpoint WAL tail (WAL=true; First is unused and the chunks
+// arrive in offset order).
+type ReplSnapPages struct {
+	WAL   bool
+	Seg   uint32
+	First uint32
+	Data  []byte
+}
+
+func (m *ReplSnapPages) Encode() []byte {
+	var e enc
+	e.bool(m.WAL)
+	e.uvarint(uint64(m.Seg))
+	e.uvarint(uint64(m.First))
+	e.uvarint(uint64(len(m.Data)))
+	e.b = append(e.b, m.Data...)
+	return e.b
+}
+
+func DecodeReplSnapPages(p []byte) (*ReplSnapPages, error) {
+	d := dec{b: p}
+	m := &ReplSnapPages{WAL: d.bool(), Seg: uint32(d.uvarint()), First: uint32(d.uvarint())}
+	n := d.uvarint()
+	if d.err == nil {
+		if n > uint64(len(d.b)) {
+			return nil, fmt.Errorf("netproto: chunk length %d exceeds payload", n)
+		}
+		m.Data = d.b[:n]
+		d.b = d.b[n:]
+	}
+	return m, d.done()
+}
+
+// ReplSnapEnd closes a snapshot. WALEnd is the global offset one past
+// the shipped checkpoint tail — the offset the following batches
+// resume from.
+type ReplSnapEnd struct {
+	WALEnd uint64
+}
+
+func (m *ReplSnapEnd) Encode() []byte {
+	var e enc
+	e.uvarint(m.WALEnd)
+	return e.b
+}
+
+func DecodeReplSnapEnd(p []byte) (*ReplSnapEnd, error) {
+	d := dec{b: p}
+	m := &ReplSnapEnd{WALEnd: d.uvarint()}
+	return m, d.done()
+}

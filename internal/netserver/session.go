@@ -350,6 +350,13 @@ func (sess *session) handle(f frame) bool {
 			return true
 		}
 		return sess.doStmtQuery(m.ID, m.Window, m.Args)
+	case netproto.TypeReplStart:
+		m, err := netproto.DecodeReplStart(f.payload)
+		if err != nil {
+			sess.writeErr(protoErr("bad ReplStart: %v", err))
+			return true
+		}
+		return sess.doRepl(m.From)
 	case netproto.TypeStmtClose:
 		m, err := netproto.DecodeStmtClose(f.payload)
 		if err != nil {

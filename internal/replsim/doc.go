@@ -1,0 +1,14 @@
+// Package replsim is a seeded chaos harness for WAL-shipping
+// replication: a real primary (engine + netserver) feeds real
+// followers (internal/repl) over loopback TCP while the matrix kills
+// and restarts followers, tears shipped frames mid-byte, races the
+// primary's segment recycling against a lagging follower, and crashes
+// followers mid-replay. Every cell converges the follower and checks
+// it against the primary itself as an oracle: a follower's reads must
+// equal the primary's ASOF reads at the follower's visible horizon,
+// with zero pinned pages and zero leaked goroutines.
+//
+// Everything is driven by explicit seeds, so any failure reproduces
+// with its seed number. CI runs the full matrix under -race
+// (the replchaos job); -short keeps a smoke slice.
+package replsim

@@ -1,0 +1,240 @@
+package replsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/aimnet"
+	"repro/internal/doctor"
+	"repro/internal/engine"
+	"repro/internal/netserver"
+)
+
+// TestFailoverDrill promotes a follower after the primary dies: stop
+// the primary, reopen the follower's directory read-write, and verify
+// the promoted store is healthy (aimdoctor's verify pass) with every
+// committed-and-shipped transaction intact — including ones the
+// follower had only mirrored seconds before the primary stopped.
+//
+// Commits the primary accepted but never shipped are the documented
+// lost-tail window: replication is asynchronous, so promotion recovers
+// the shipped prefix, not the primary's final instants. The drill
+// pins both sides of that line.
+func TestFailoverDrill(t *testing.T) {
+	leakCheck(t)
+	rng := rand.New(rand.NewSource(0xFA11))
+	primary, srv := startPrimary(t, engine.Options{})
+	dir := t.TempDir()
+	f := startFollower(t, srv.Addr(), dir)
+	mutate(t, primary, rng, 60)
+	if _, err := primary.Exec(`INSERT INTO KV VALUES (9001, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, primary, f)
+	shipped := dump(t, primary, 0)
+
+	// The lost tail: committed on the primary after the follower's
+	// stream is gone, never shipped.
+	f.Stop()
+	if _, err := primary.Exec(`INSERT INTO KV VALUES (9002, 1)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Primary dies; follower closes its replica engine for promotion.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("primary shutdown: %v", err)
+	}
+	if err := primary.Close(); err != nil {
+		t.Fatalf("primary close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("follower close: %v", err)
+	}
+
+	// The promoted directory must pass the doctor's verify scrub.
+	rep, err := doctor.Verify(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("doctor verify: %v", err)
+	}
+	if !rep.Healthy {
+		t.Fatalf("promoted directory unhealthy: %+v", rep)
+	}
+
+	// Reopen read-write: ordinary recovery, indexes rebuilt, writes on.
+	promoted, err := engine.Open(engine.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer promoted.Close()
+	if got := dump(t, promoted, 0); got != shipped {
+		t.Fatalf("promoted state != shipped state\n got:\n%s\nwant:\n%s", got, shipped)
+	}
+	tab, _, err := promoted.Query(`SELECT x.K FROM x IN KV WHERE x.K = 9002`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 0 {
+		t.Fatal("unshipped commit survived promotion; lost-tail window misdrawn")
+	}
+	if _, err := promoted.Exec(`INSERT INTO KV VALUES (9003, 1)`); err != nil {
+		t.Fatalf("promoted engine refused a write: %v", err)
+	}
+	noPins(t, "promoted", promoted)
+}
+
+// TestReplicaCursorSnapshotStable opens a streaming cursor on a
+// replica, lets replication publish new commits under it, and checks
+// the cursor never sees them: replica cursors read at the visible
+// timestamp sampled when they opened.
+func TestReplicaCursorSnapshotStable(t *testing.T) {
+	leakCheck(t)
+	primary, srv := startPrimary(t, engine.Options{})
+	for i := 0; i < 20; i++ {
+		if _, err := primary.Exec(fmt.Sprintf(`INSERT INTO KV VALUES (%d, 0)`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := startFollower(t, srv.Addr(), t.TempDir())
+	catchUp(t, primary, f)
+	fdb := f.DB()
+
+	rows, err := fdb.QueryRows(`SELECT x.K, x.V FROM x IN KV ORDER BY x.K`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var ks []int64
+	for i := 0; i < 5; i++ { // drain a prefix before the world moves
+		if !rows.Next() {
+			t.Fatalf("cursor died early: %v", rows.Err())
+		}
+		var k, v int64
+		if err := rows.Scan(&k, &v); err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, k)
+	}
+
+	// New commits land and replicate while the cursor is mid-stream.
+	for i := 0; i < 20; i++ {
+		if _, err := primary.Exec(fmt.Sprintf(`INSERT INTO KV VALUES (%d, 1)`, 100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := primary.Exec(`UPDATE x IN KV SET V = 7 WHERE x.K < 20`); err != nil {
+		t.Fatal(err)
+	}
+	catchUp(t, primary, f)
+
+	for rows.Next() {
+		var k, v int64
+		if err := rows.Scan(&k, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v != 0 {
+			t.Fatalf("cursor saw post-open update V=%d at K=%d", v, k)
+		}
+		ks = append(ks, k)
+	}
+	if rows.Err() != nil {
+		t.Fatal(rows.Err())
+	}
+	if len(ks) != 20 {
+		t.Fatalf("snapshot cursor returned %d rows, want the 20 pre-open ones", len(ks))
+	}
+	for i, k := range ks {
+		if k != int64(i) {
+			t.Fatalf("cursor row %d has K=%d; post-open rows leaked in", i, k)
+		}
+	}
+
+	// A fresh query sees the replicated world.
+	tab, _, err := fdb.Query(`SELECT x.K FROM x IN KV WHERE x.K >= 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 20 {
+		t.Fatalf("fresh replica query sees %d new rows, want 20", tab.Len())
+	}
+	noPins(t, "replica", fdb)
+}
+
+// TestReplicaRefusesWrites pins the typed error: every write path on a
+// replica — DML, DDL, transactions, in process and across the wire —
+// fails with ErrReadOnlyReplica and nothing else.
+func TestReplicaRefusesWrites(t *testing.T) {
+	leakCheck(t)
+	primary, srv := startPrimary(t, engine.Options{})
+	if _, err := primary.Exec(`INSERT INTO KV VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	f := startFollower(t, srv.Addr(), t.TempDir())
+	catchUp(t, primary, f)
+	fdb := f.DB()
+
+	for _, q := range []string{
+		`INSERT INTO KV VALUES (2, 20)`,
+		`UPDATE x IN KV SET V = 0 WHERE x.K = 1`,
+		`DELETE x FROM x IN KV WHERE x.K = 1`,
+		`CREATE TABLE T2 (A INT)`,
+		`DROP TABLE KV`,
+		`BEGIN`,
+	} {
+		_, err := fdb.Exec(q)
+		if !errors.Is(err, engine.ErrReadOnlyReplica) {
+			t.Fatalf("%s on replica: got %v, want ErrReadOnlyReplica", q, err)
+		}
+	}
+	if _, err := fdb.Begin(); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("Begin on replica: got %v, want ErrReadOnlyReplica", err)
+	}
+
+	// Reads are fine, including ASOF at the visible horizon.
+	ts := fdb.ReplCounters().VisibleTS.Load()
+	if _, _, err := fdb.Query(fmt.Sprintf(`SELECT x.K FROM x IN KV ASOF %d`, ts)); err != nil {
+		t.Fatalf("ASOF read on replica: %v", err)
+	}
+
+	// Across the wire: serve the replica and check the error
+	// round-trips the protocol as the same sentinel.
+	rsrv := netserver.New(fdb, netserver.Options{})
+	if err := rsrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		rsrv.Shutdown(ctx)
+	}()
+	conn, err := aimnet.Dial(rsrv.Addr(), aimnet.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ctx := context.Background()
+	if _, err := conn.Exec(ctx, `INSERT INTO KV VALUES (3, 30)`); !errors.Is(err, engine.ErrReadOnlyReplica) {
+		t.Fatalf("network write to replica: got %v, want ErrReadOnlyReplica", err)
+	}
+	rows, err := conn.Query(ctx, `SELECT x.K, x.V FROM x IN KV ORDER BY x.K`)
+	if err != nil {
+		t.Fatalf("network read from replica: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if n != 1 {
+		t.Fatalf("network read from replica returned %d rows, want 1", n)
+	}
+	noPins(t, "replica", fdb)
+}

@@ -1,0 +1,316 @@
+package replsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/netserver"
+	"repro/internal/repl"
+)
+
+// Matrix sizing: each seeded subtest is one chaos point. The full
+// matrix (what CI's replchaos job runs) must cover at least 120
+// points; -short keeps a smoke slice for the ordinary test run.
+const (
+	killFull      = 40
+	tornFull      = 30
+	recycleFull   = 30
+	midreplayFull = 30
+)
+
+// seedCount picks the matrix width for one cell.
+func seedCount(full, short int) int {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
+
+// TestMatrixCoversBudget pins the acceptance floor: the full matrix is
+// at least 120 seeded points.
+func TestMatrixCoversBudget(t *testing.T) {
+	n := killFull + tornFull + recycleFull + midreplayFull
+	if n < 120 {
+		t.Fatalf("full chaos matrix has %d points, want >= 120", n)
+	}
+}
+
+// leakCheck snapshots the goroutine count and, at cleanup time (after
+// the teardown cleanups registered later have run), verifies it
+// settled back. Register it BEFORE starting anything: cleanups run
+// LIFO.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base+2 {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d at start, %d after teardown\n%s",
+			base, runtime.NumGoroutine(), buf[:n])
+	})
+}
+
+// startPrimary opens a durable primary with a versioned KV table (the
+// versioning is what gives replica reads and the ASOF oracle a common
+// timeline) and serves it on a loopback port.
+func startPrimary(t *testing.T, opts engine.Options) (*engine.DB, *netserver.Server) {
+	t.Helper()
+	opts.Dir = t.TempDir()
+	db, err := engine.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE KV (K INT, V INT) VERSIONED`); err != nil {
+		t.Fatal(err)
+	}
+	srv := netserver.New(db, netserver.Options{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return db, srv
+}
+
+// startFollower begins following addr into dir. The returned follower
+// is cleaned up at test end; tests that stop or close it earlier are
+// fine (both are idempotent).
+func startFollower(t *testing.T, addr, dir string) *repl.Follower {
+	t.Helper()
+	f, err := repl.Start(repl.Options{Addr: addr, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// mutate runs n random auto-commit statements against the primary:
+// inserts, updates and deletes over a small key space so history has
+// real churn.
+func mutate(t *testing.T, db *engine.DB, rng *rand.Rand, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := rng.Intn(64)
+		var q string
+		switch rng.Intn(4) {
+		case 0:
+			q = fmt.Sprintf(`DELETE x FROM x IN KV WHERE x.K = %d`, k)
+		case 1:
+			q = fmt.Sprintf(`UPDATE x IN KV SET V = %d WHERE x.K = %d`, rng.Intn(1000), k)
+		default:
+			q = fmt.Sprintf(`INSERT INTO KV VALUES (%d, %d)`, k, rng.Intn(1000))
+		}
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("workload %q: %v", q, err)
+		}
+	}
+}
+
+// dump renders KV's full ordered contents; asof 0 reads the present.
+func dump(t *testing.T, db *engine.DB, asof int64) string {
+	t.Helper()
+	q := `SELECT x.K, x.V FROM x IN KV ORDER BY x.K, x.V`
+	if asof != 0 {
+		q = fmt.Sprintf(`SELECT x.K, x.V FROM x IN KV ASOF %d ORDER BY x.K, x.V`, asof)
+	}
+	tab, _, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("dump (asof %d): %v", asof, err)
+	}
+	var sb strings.Builder
+	for _, tup := range tab.Tuples {
+		sb.WriteString(tup.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// catchUp waits until the follower has applied everything the primary
+// has logged so far.
+func catchUp(t *testing.T, primary *engine.DB, f *repl.Follower) {
+	t.Helper()
+	end := primary.Log().End()
+	if err := f.WaitApplied(end, 15*time.Second); err != nil {
+		t.Fatalf("follower never caught up to %d: %v", end, err)
+	}
+}
+
+// compareFrozen checks the chaos matrix's core oracle: with the
+// follower's stream stopped (so its horizon cannot move), its reads
+// must equal the primary's ASOF reads at the follower's visible
+// timestamp.
+func compareFrozen(t *testing.T, label string, primary *engine.DB, fdb *engine.DB) {
+	t.Helper()
+	ts := fdb.ReplCounters().VisibleTS.Load()
+	if ts == 0 {
+		return // nothing replicated yet: nothing to compare
+	}
+	got := dump(t, fdb, 0)
+	want := dump(t, primary, ts)
+	if got != want {
+		t.Fatalf("%s: follower diverged from primary ASOF %d\n got:\n%s\nwant:\n%s",
+			label, ts, got, want)
+	}
+}
+
+// noPins asserts zero pinned buffer pages, waiting briefly for
+// in-flight teardowns to release theirs.
+func noPins(t *testing.T, label string, db *engine.DB) {
+	t.Helper()
+	waitFor(t, label+": pins released", func() bool { return db.Pool().PinnedCount() == 0 })
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// chopProxy sits between follower and primary and tears the
+// server-to-client stream mid-byte: each of the first len(budgets)
+// connections is cut after forwarding its budget of shipped bytes
+// (tearing frames at arbitrary offsets), later connections forward
+// untouched so the test converges.
+type chopProxy struct {
+	ln     net.Listener
+	target string
+
+	mu      sync.Mutex
+	budgets []int64
+	conns   map[net.Conn]struct{}
+	closed  bool
+	cuts    int
+
+	wg sync.WaitGroup
+}
+
+func startChop(t *testing.T, target string, budgets []int64) *chopProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chopProxy{ln: ln, target: target, budgets: budgets, conns: map[net.Conn]struct{}{}}
+	p.wg.Add(1)
+	go p.accept()
+	t.Cleanup(p.Close)
+	return p
+}
+
+func (p *chopProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *chopProxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Cuts reports how many connections were torn.
+func (p *chopProxy) Cuts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cuts
+}
+
+func (p *chopProxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *chopProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *chopProxy) accept() {
+	defer p.wg.Done()
+	for {
+		cli, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		var budget int64 = -1
+		if len(p.budgets) > 0 {
+			budget = p.budgets[0]
+			p.budgets = p.budgets[1:]
+			p.cuts++
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.pipe(cli, budget)
+	}
+}
+
+func (p *chopProxy) pipe(cli net.Conn, budget int64) {
+	defer p.wg.Done()
+	srv, err := net.Dial("tcp", p.target)
+	if err != nil {
+		cli.Close()
+		return
+	}
+	if !p.track(cli) || !p.track(srv) {
+		cli.Close()
+		srv.Close()
+		return
+	}
+	defer p.untrack(cli)
+	defer p.untrack(srv)
+	done := make(chan struct{}, 2)
+	go func() { // client -> server: requests pass untouched
+		io.Copy(srv, cli)
+		done <- struct{}{}
+	}()
+	go func() { // server -> client: bounded by the chaos budget
+		if budget < 0 {
+			io.Copy(cli, srv)
+		} else {
+			io.CopyN(cli, srv, budget)
+		}
+		done <- struct{}{}
+	}()
+	<-done // either direction ending (budget hit, peer gone) kills both
+}

@@ -1,0 +1,233 @@
+package replsim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+// TestKilledFollowers kills and restarts followers at random points of
+// a random workload. Every kill freezes the follower's horizon, so
+// each one is an oracle checkpoint: the dead follower's state must
+// equal the primary ASOF its visible timestamp; each restart must
+// recover locally and catch up incrementally (no snapshot — the
+// primary retains the whole log here).
+func TestKilledFollowers(t *testing.T) {
+	for seed := 0; seed < seedCount(killFull, 4); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			leakCheck(t)
+			rng := rand.New(rand.NewSource(0x41AA + int64(seed)))
+			primary, srv := startPrimary(t, engine.Options{})
+			dir := t.TempDir()
+			f := startFollower(t, srv.Addr(), dir)
+			mutate(t, primary, rng, 5+rng.Intn(20))
+			catchUp(t, primary, f)
+
+			kills := 1 + rng.Intn(3)
+			for i := 0; i < kills; i++ {
+				mutate(t, primary, rng, rng.Intn(25))
+				if rng.Intn(2) == 0 {
+					catchUp(t, primary, f) // sometimes kill a fully caught-up follower
+				}
+				f.Stop() // abrupt: stream dies, engine stays for inspection
+				fdb := f.DB()
+				if fdb == nil {
+					t.Fatal("killed follower lost its engine")
+				}
+				compareFrozen(t, fmt.Sprintf("after kill %d", i), primary, fdb)
+				noPins(t, "killed follower", fdb)
+				if err := f.Close(); err != nil {
+					t.Fatalf("closing killed follower: %v", err)
+				}
+				mutate(t, primary, rng, rng.Intn(25)) // primary moves on while follower is down
+				f = startFollower(t, srv.Addr(), dir)
+			}
+
+			mutate(t, primary, rng, 5+rng.Intn(20))
+			catchUp(t, primary, f)
+			f.Stop()
+			fdb := f.DB()
+			compareFrozen(t, "final", primary, fdb)
+			if got, want := dump(t, fdb, 0), dump(t, primary, 0); got != want {
+				t.Fatalf("caught-up follower != primary present\n got:\n%s\nwant:\n%s", got, want)
+			}
+			ctr := fdb.ReplCounters()
+			if ctr.SnapshotsTaken.Load() != 0 {
+				t.Fatalf("restart took %d snapshots; incremental catch-up expected", ctr.SnapshotsTaken.Load())
+			}
+			noPins(t, "final follower", fdb)
+			noPins(t, "primary", primary)
+		})
+	}
+}
+
+// TestTornShippedFrames routes the stream through a proxy that cuts
+// the primary-to-follower byte stream at random offsets, tearing
+// handshake, snapshot and batch frames mid-byte. The follower must
+// discard incomplete groups, reconnect, resume from its own durable
+// horizon and converge byte-exactly.
+func TestTornShippedFrames(t *testing.T) {
+	for seed := 0; seed < seedCount(tornFull, 3); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			leakCheck(t)
+			rng := rand.New(rand.NewSource(0x70A2 + int64(seed)))
+			primary, srv := startPrimary(t, engine.Options{})
+			mutate(t, primary, rng, 10+rng.Intn(30))
+
+			cuts := 2 + rng.Intn(5)
+			budgets := make([]int64, cuts)
+			for i := range budgets {
+				budgets[i] = 1 + int64(rng.Intn(4096))
+			}
+			proxy := startChop(t, srv.Addr(), budgets)
+			f := startFollower(t, proxy.Addr(), t.TempDir())
+
+			for i := 0; i < 3; i++ {
+				mutate(t, primary, rng, rng.Intn(20))
+			}
+			catchUp(t, primary, f)
+			f.Stop()
+			fdb := f.DB()
+			compareFrozen(t, "after torn frames", primary, fdb)
+			if got, want := dump(t, fdb, 0), dump(t, primary, 0); got != want {
+				t.Fatalf("follower != primary after torn frames\n got:\n%s\nwant:\n%s", got, want)
+			}
+			if proxy.Cuts() < cuts {
+				t.Fatalf("proxy cut %d connections, want %d", proxy.Cuts(), cuts)
+			}
+			noPins(t, "torn follower", fdb)
+			noPins(t, "primary", primary)
+		})
+	}
+}
+
+// TestRecycleRacesLaggingFollower disconnects a follower, then drives
+// the primary through enough churn and checkpoints that the follower's
+// resume position is recycled away. Reconnecting must detect the gap
+// and fall back to a fresh checkpoint snapshot — and still converge to
+// the oracle.
+func TestRecycleRacesLaggingFollower(t *testing.T) {
+	for seed := 0; seed < seedCount(recycleFull, 3); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			leakCheck(t)
+			rng := rand.New(rand.NewSource(0x2ECC + int64(seed)))
+			// Tiny segments so checkpoints actually retire history fast.
+			primary, srv := startPrimary(t, engine.Options{WALSegmentBytes: 4096})
+			dir := t.TempDir()
+			f := startFollower(t, srv.Addr(), dir)
+			mutate(t, primary, rng, 5+rng.Intn(15))
+			catchUp(t, primary, f)
+			lagAt := primary.Log().End()
+			if err := f.Close(); err != nil { // lagging follower goes dark
+				t.Fatalf("closing follower: %v", err)
+			}
+
+			// Churn past the follower's position and recycle it away.
+			for primary.Log().OldestRetained() <= lagAt {
+				mutate(t, primary, rng, 10)
+				if err := primary.WALCheckpoint(); err != nil {
+					t.Fatalf("checkpoint: %v", err)
+				}
+			}
+
+			f2 := startFollower(t, srv.Addr(), dir)
+			mutate(t, primary, rng, rng.Intn(15))
+			catchUp(t, primary, f2)
+			f2.Stop()
+			fdb := f2.DB()
+			compareFrozen(t, "after recycle race", primary, fdb)
+			if got, want := dump(t, fdb, 0), dump(t, primary, 0); got != want {
+				t.Fatalf("follower != primary after recycle race\n got:\n%s\nwant:\n%s", got, want)
+			}
+			ctr := fdb.ReplCounters()
+			if ctr.SnapshotsTaken.Load() < 1 {
+				t.Fatal("recycled-away follower caught up without a snapshot")
+			}
+			noPins(t, "reseeded follower", fdb)
+			noPins(t, "primary", primary)
+		})
+	}
+}
+
+// TestFollowerCrashMidReplay crashes a follower mid-replay: its last
+// MirrorAppend may have reached the OS but not survived (the group was
+// never acknowledged), leaving a torn garbage suffix on the mirrored
+// log. Reopening must trim the tear with ordinary WAL recovery and
+// resume shipping from the follower's own durable horizon.
+func TestFollowerCrashMidReplay(t *testing.T) {
+	for seed := 0; seed < seedCount(midreplayFull, 3); seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			leakCheck(t)
+			rng := rand.New(rand.NewSource(0xC4A5 + int64(seed)))
+			primary, srv := startPrimary(t, engine.Options{})
+			dir := t.TempDir()
+			f := startFollower(t, srv.Addr(), dir)
+			mutate(t, primary, rng, 10+rng.Intn(30))
+			catchUp(t, primary, f)
+			if err := f.Close(); err != nil { // crash: stream and engine die
+				t.Fatalf("closing follower: %v", err)
+			}
+
+			// Tear the mirrored log: an in-flight, never-synced group
+			// crash-lands as a garbage suffix on the newest segment.
+			if rng.Intn(4) != 0 { // sometimes the crash was clean
+				tearWALTail(t, dir, rng)
+			}
+			mutate(t, primary, rng, rng.Intn(20)) // primary moves on meanwhile
+
+			f2 := startFollower(t, srv.Addr(), dir)
+			mutate(t, primary, rng, rng.Intn(20))
+			catchUp(t, primary, f2)
+			f2.Stop()
+			fdb := f2.DB()
+			compareFrozen(t, "after crash mid-replay", primary, fdb)
+			if got, want := dump(t, fdb, 0), dump(t, primary, 0); got != want {
+				t.Fatalf("follower != primary after crash\n got:\n%s\nwant:\n%s", got, want)
+			}
+			if fdb.ReplCounters().SnapshotsTaken.Load() != 0 {
+				t.Fatal("crashed follower reseeded; local recovery expected")
+			}
+			noPins(t, "recovered follower", fdb)
+			noPins(t, "primary", primary)
+		})
+	}
+}
+
+// tearWALTail appends random garbage to the newest WAL segment in dir,
+// modeling a crash that tore an unacknowledged append.
+func tearWALTail(t *testing.T, dir string, rng *rand.Rand) {
+	t.Helper()
+	logs, err := filepath.Glob(filepath.Join(dir, "wal*.log"))
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("no WAL segments to tear: %v", err)
+	}
+	newest, base := "", uint64(0)
+	for _, l := range logs {
+		var b uint64
+		if l == filepath.Join(dir, wal.SegFileName(0)) {
+			b = 0
+		} else {
+			fmt.Sscanf(filepath.Base(l), "wal-%d.log", &b)
+		}
+		if newest == "" || b >= base {
+			newest, base = l, b
+		}
+	}
+	junk := make([]byte, 1+rng.Intn(2048))
+	rng.Read(junk)
+	fh, err := os.OpenFile(newest, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write(junk); err != nil {
+		t.Fatal(err)
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+package subtuple
+
+import (
+	"fmt"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+// ApplyShipped redoes one record of a shipped, commit-terminated WAL
+// group onto the pool's pages — the follower-side streaming analogue
+// of Recover's redo pass. The follower applies only groups whose
+// terminator (commit or checkpoint) has arrived, so every record here
+// is committed: full-page images install at their own LSN (they
+// precede the group's operations in stream order) and the page LSN
+// proves which records a previous incarnation of the follower already
+// applied. Non-page records are ignored.
+func ApplyShipped(pool *buffer.Pool, r wal.Record) error {
+	switch r.Op {
+	case wal.OpInsert, wal.OpUpdate, wal.OpDelete, wal.OpPageImage:
+	default:
+		return nil
+	}
+	if err := ensurePage(pool, r.Seg, r.Page); err != nil {
+		return err
+	}
+	f, err := pool.Pin(buffer.PageKey{Seg: r.Seg, Page: r.Page})
+	if err != nil {
+		return err
+	}
+	defer pool.Unpin(f, true)
+	if r.Op == wal.OpPageImage {
+		if len(r.Payload) != page.Size {
+			return fmt.Errorf("subtuple: shipped page image %v.%d has %d bytes", r.Seg, r.Page, len(r.Payload))
+		}
+		if f.Page.LSN() >= r.LSN {
+			return nil
+		}
+		copy(f.Page.Bytes(), r.Payload)
+		f.Page.SetLSN(r.LSN)
+		return nil
+	}
+	if f.Page.LSN() >= r.LSN {
+		return nil // applied before a follower restart
+	}
+	switch r.Op {
+	case wal.OpInsert:
+		if err := f.Page.InsertAt(r.Slot, r.Payload); err != nil {
+			return fmt.Errorf("subtuple: apply shipped insert %v.%d.%d: %w", r.Seg, r.Page, r.Slot, err)
+		}
+	case wal.OpUpdate:
+		if err := f.Page.Update(r.Slot, r.Payload); err != nil {
+			return fmt.Errorf("subtuple: apply shipped update %v.%d.%d: %w", r.Seg, r.Page, r.Slot, err)
+		}
+	case wal.OpDelete:
+		if err := f.Page.Delete(r.Slot); err != nil {
+			return fmt.Errorf("subtuple: apply shipped delete %v.%d.%d: %w", r.Seg, r.Page, r.Slot, err)
+		}
+	}
+	f.Page.SetLSN(r.LSN)
+	return nil
+}

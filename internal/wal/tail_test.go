@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// readAll drains a cursor's currently-durable bytes in max-sized
+// chunks, returning the concatenation and the final position.
+func readAll(t *testing.T, c *TailCursor, max int) ([]byte, uint64) {
+	t.Helper()
+	var out []byte
+	for {
+		data, _, err := c.Read(max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			return out, c.Pos()
+		}
+		out = append(out, data...)
+	}
+}
+
+// TestTailCursorSegmentBoundary: a cursor positioned exactly at a
+// segment's end steps cleanly into the next segment, and a cursor at
+// the durable horizon returns empty until the horizon advances.
+func TestTailCursorSegmentBoundary(t *testing.T) {
+	dir := t.TempDir()
+	l := openSegLog(t, dir, 96)
+	defer l.Close()
+	payload := []byte("0123456789abcdef") // 37-byte records → 2 per 96-byte segment
+	var want []byte
+	rec := func() {
+		r := &Record{Op: OpInsert, Seg: 1, Page: 7, Payload: payload}
+		if _, err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		rec()
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.SegmentCount() < 3 {
+		t.Fatalf("log did not roll: %d segments", l.SegmentCount())
+	}
+	want, err := l.ReadDurable(0, l.SyncedThrough())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the chain in chunks sized to land the cursor exactly on the
+	// first segment boundary, then on every later boundary.
+	c, err := l.TailCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := c.Read(74) // exactly two records = segment 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 74 {
+		t.Fatalf("first chunk = %d bytes, want 74", len(first))
+	}
+	rest, pos := readAll(t, c, 74)
+	got := append(append([]byte(nil), first...), rest...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cursor bytes diverge from ReadDurable: %d vs %d bytes", len(got), len(want))
+	}
+	if pos != l.SyncedThrough() {
+		t.Fatalf("cursor stopped at %d, durable horizon %d", pos, l.SyncedThrough())
+	}
+
+	// At the horizon the cursor blocks (returns empty) rather than
+	// over-reading buffered bytes: append without sync, then sync and
+	// confirm TailNotify wakes the read.
+	ch := l.TailNotify()
+	rec()
+	if data, _, err := c.Read(1 << 20); err != nil || len(data) != 0 {
+		t.Fatalf("read of unsynced tail = %d bytes, err %v; want empty", len(data), err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("TailNotify did not fire after Sync")
+	}
+	data, _, err := c.Read(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 37 {
+		t.Fatalf("post-sync read = %d bytes, want 37", len(data))
+	}
+}
+
+// TestTailCursorRecycled: positions below the oldest retained segment
+// surface the typed ErrTailRecycled, both at cursor creation and on a
+// later Read after Recycle ran behind an idle cursor.
+func TestTailCursorRecycled(t *testing.T) {
+	dir := t.TempDir()
+	l := openSegLog(t, dir, 96)
+	defer l.Close()
+	payload := []byte("0123456789abcdef")
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(&Record{Op: OpInsert, Seg: 1, Page: 1, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Append(&Record{Op: OpCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	idle, err := l.TailCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.WriteCheckpoint(CheckpointInfo{Durable: l.SyncedThrough()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Recycle(); err != nil {
+		t.Fatal(err)
+	}
+	if l.OldestRetained() == 0 {
+		t.Fatal("recycle retired nothing; test needs a trimmed chain")
+	}
+	if _, err := l.TailCursor(0); !errors.Is(err, ErrTailRecycled) {
+		t.Fatalf("TailCursor(0) after recycle: err = %v, want ErrTailRecycled", err)
+	}
+	if _, _, err := idle.Read(1 << 20); !errors.Is(err, ErrTailRecycled) {
+		t.Fatalf("idle cursor read after recycle: err = %v, want ErrTailRecycled", err)
+	}
+	// A cursor at the retained boundary still works.
+	c, err := l.TailCursor(l.OldestRetained())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, _, err := c.Read(1 << 20); err != nil || len(data) == 0 {
+		t.Fatalf("boundary cursor read = %d bytes, err %v", len(data), err)
+	}
+}
+
+// TestTailCursorRegressOnTruncate: a truncation behind the cursor
+// makes the next Read regress to the cut point and re-ship the
+// rewritten bytes, so a follower never keeps a stale suffix.
+func TestTailCursorRegressOnTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l := openSegLog(t, dir, 1<<20)
+	defer l.Close()
+	payload := []byte("0123456789abcdef")
+	if _, err := l.Append(&Record{Op: OpInsert, Seg: 1, Page: 1, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Op: OpCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	commitEnd := l.End()
+	// An uncommitted suffix gets shipped (it is durable) ...
+	if _, err := l.Append(&Record{Op: OpInsert, Seg: 1, Page: 2, Payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := l.TailCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, pos := readAll(t, c, 1<<20)
+	if pos != l.End() {
+		t.Fatalf("cursor at %d, end %d", pos, l.End())
+	}
+	// ... then recovery-style truncation cuts it and different records
+	// take its place.
+	if err := l.TruncateTail(commitEnd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Op: OpDelete, Seg: 1, Page: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(&Record{Op: OpCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, pos, err := c.Read(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != commitEnd {
+		t.Fatalf("cursor regressed to %d, want cut point %d", pos, commitEnd)
+	}
+	full := append(got[:commitEnd], data...)
+	want, err := l.ReadDurable(0, l.End())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full, want) {
+		t.Fatal("regressed cursor bytes diverge from the rewritten log")
+	}
+}
+
+// TestMirrorRoundTrip: bytes shipped off a rolling, checkpointing
+// primary and mirrored with MirrorAppend/MirrorCheckpoint produce a
+// follower chain that replays the identical record stream, reopens
+// cleanly, and recycles on its own checkpoint horizon.
+func TestMirrorRoundTrip(t *testing.T) {
+	pdir, fdir := t.TempDir(), t.TempDir()
+	p := openSegLog(t, pdir, 256)
+	defer p.Close()
+	payload := []byte("0123456789abcdef")
+	appendGroup := func(pages ...uint32) {
+		for _, pg := range pages {
+			if _, err := p.Append(&Record{Op: OpInsert, Seg: 1, Page: pg, Payload: payload}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := p.Append(&Record{Op: OpCommit, Payload: CommitPayload(0, 1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendGroup(1, 2, 3)
+	appendGroup(4, 5)
+	if _, err := p.WriteCheckpoint(CheckpointInfo{Durable: p.SyncedThrough()}); err != nil {
+		t.Fatal(err)
+	}
+	appendGroup(6, 7, 8, 9)
+	appendGroup(10)
+
+	f := openSegLog(t, fdir, 256)
+	c, err := p.TailCursor(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(t, c, 64) // small chunks: exercise partial-record carry
+	recs, consumed, err := DecodeRecords(raw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(raw) {
+		t.Fatalf("decoded %d of %d shipped bytes", consumed, len(raw))
+	}
+	at := uint64(0)
+	for _, r := range recs {
+		start := r.LSN - 1
+		end := start + uint64(r.Size())
+		if r.Op == OpCheckpoint {
+			if err := f.MirrorCheckpoint(start, raw[start:end]); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := f.MirrorAppend(start, raw[start:end]); err != nil {
+			t.Fatal(err)
+		}
+		at = end
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if at != p.End() || f.End() != p.End() {
+		t.Fatalf("mirror end %d, primary end %d", f.End(), p.End())
+	}
+	if f.CheckpointLSN() != p.CheckpointLSN() {
+		t.Fatalf("mirror checkpoint %d, primary %d", f.CheckpointLSN(), p.CheckpointLSN())
+	}
+	if _, err := f.Recycle(); err != nil {
+		t.Fatal(err)
+	}
+	if f.OldestRetained() == 0 {
+		t.Fatal("mirror recycle retired nothing despite mirrored checkpoint")
+	}
+	collect := func(l *Log) []Record {
+		var rs []Record
+		if err := l.ReplayTail(func(r Record) error {
+			r.Payload = append([]byte(nil), r.Payload...)
+			rs = append(rs, r)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	prs, frs := collect(p), collect(f)
+	if len(prs) != len(frs) {
+		t.Fatalf("mirror tail has %d records, primary %d", len(frs), len(prs))
+	}
+	for i := range prs {
+		if prs[i].LSN != frs[i].LSN || prs[i].Op != frs[i].Op || !bytes.Equal(prs[i].Payload, frs[i].Payload) {
+			t.Fatalf("record %d diverges: %+v vs %+v", i, prs[i], frs[i])
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The mirrored chain reopens like any crashed follower would.
+	f2 := openSegLog(t, fdir, 256)
+	defer f2.Close()
+	if f2.End() != p.End() {
+		t.Fatalf("reopened mirror end %d, primary end %d", f2.End(), p.End())
+	}
+}

@@ -176,6 +176,14 @@ type Log struct {
 	// DiscardUnflushed cuts the log. Lock order: syncMu before mu.
 	syncMu  sync.Mutex
 	waiters atomic.Int32
+
+	// cuts and tailCh serve tail-following replication readers (see
+	// tail.go): cuts is a suffix-min stack of truncation points so a
+	// cursor can regress past a cut, tailCh is the lazily-created
+	// broadcast channel closed whenever the durable horizon advances
+	// or the chain is reshaped. Both are guarded by mu.
+	cuts   []tailCut
+	tailCh chan struct{}
 }
 
 // Open opens (or creates) a single-file log at path and positions
@@ -294,6 +302,7 @@ func (l *Log) rollLocked() error {
 	l.active().size = int64(l.nextLSN - l.active().base)
 	l.segs = append(l.segs, &segFile{name: name, base: l.nextLSN, f: f})
 	l.w.Reset(f)
+	l.notifyTailLocked()
 	return nil
 }
 
@@ -331,6 +340,9 @@ func (l *Log) syncUnderLeader() error {
 		}
 	}
 	l.syncs.Add(1)
+	l.mu.Lock()
+	l.notifyTailLocked()
+	l.mu.Unlock()
 	return nil
 }
 
@@ -345,6 +357,7 @@ func (l *Log) syncLocked() error {
 	}
 	l.flushed.Store(l.nextLSN)
 	l.syncs.Add(1)
+	l.notifyTailLocked()
 	return nil
 }
 
@@ -441,6 +454,7 @@ func (l *Log) truncateTailLocked(off uint64) error {
 	a.size = int64(off - a.base)
 	l.nextLSN = off
 	l.epoch.Add(1)
+	l.noteCutLocked(off)
 	if l.flushed.Load() > off {
 		l.flushed.Store(off)
 	}
@@ -494,6 +508,7 @@ func (l *Log) discardLocked() error {
 	l.nextLSN = flushed
 	if cut {
 		l.epoch.Add(1)
+		l.noteCutLocked(flushed)
 		for k, lsn := range l.imaged {
 			if lsn > flushed {
 				delete(l.imaged, k)
